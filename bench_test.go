@@ -1,0 +1,171 @@
+package repro_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each reporting the headline numbers as custom metrics so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the whole evaluation at sample scale. The paper-scale run is
+// `go run ./cmd/benchtab -all -n 0`.
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/bio"
+	"repro/internal/buildsim"
+	"repro/internal/debpkg"
+	"repro/internal/mlsim"
+)
+
+// benchSample is the per-iteration package count for build benches: small
+// enough for -bench=., proportioned like the full universe.
+const benchSample = 150
+
+func buildReport(b *testing.B, n int) *buildsim.Report {
+	b.Helper()
+	o := &buildsim.Options{Seed: 1}
+	specs := debpkg.Universe(1, n)
+	outs := o.BuildAll(specs, nil)
+	return buildsim.Aggregate(outs)
+}
+
+// BenchmarkTable1 regenerates the build-status transition table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := buildReport(b, benchSample)
+		cells := r.Cells
+		b.ReportMetric(pct(cells["irreproducible"]["reproducible"], r.BLIrrepro), "%rescued")
+		b.ReportMetric(pct(cells["reproducible"]["reproducible"], r.BLRepro), "%kept")
+		b.ReportMetric(float64(r.BLFail), "bl-fail")
+	}
+}
+
+// BenchmarkTable2 reports the per-package tracer event averages.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := buildReport(b, benchSample)
+		b.ReportMetric(r.Table2.Syscalls, "syscalls/pkg")
+		b.ReportMetric(r.Table2.Rdtsc, "rdtsc/pkg")
+		b.ReportMetric(r.Table2.UrandomOpens, "urandom/pkg")
+		b.ReportMetric(r.Table2.ReadRetries, "readretry/pkg")
+	}
+}
+
+// BenchmarkFig5 reports the slowdown-vs-rate relationship.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := buildReport(b, benchSample)
+		b.ReportMetric(r.AggregateSlowdown, "slowdown(x)")
+		b.ReportMetric(float64(len(r.Fig5)), "points")
+	}
+}
+
+// BenchmarkFig6 reports the bioinformatics DT-vs-native ratios at 16 procs.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := bio.RunFig6(uint64(11 + i))
+		get := func(tool bio.Tool, native bool) float64 {
+			for _, c := range cells {
+				if c.Tool == tool && c.Procs == 16 && c.Native == native {
+					return c.Speedup
+				}
+			}
+			return 0
+		}
+		b.ReportMetric(get(bio.Clustal, true)/get(bio.Clustal, false), "clustal-ovh(x)")
+		b.ReportMetric(get(bio.Hmmer, true)/get(bio.Hmmer, false), "hmmer-ovh(x)")
+		b.ReportMetric(get(bio.Raxml, true)/get(bio.Raxml, false), "raxml-ovh(x)")
+	}
+}
+
+// BenchmarkTensorFlow reports the §7.6 slowdowns.
+func BenchmarkTensorFlow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := mlsim.RunStudy(uint64(31 + i))
+		b.ReportMetric(rs[0].VsParallel, "alexnet-vs-par(x)")
+		b.ReportMetric(rs[0].VsSerial, "alexnet-vs-ser(x)")
+		b.ReportMetric(rs[1].VsParallel, "cifar10-vs-par(x)")
+		b.ReportMetric(rs[1].VsSerial, "cifar10-vs-ser(x)")
+	}
+}
+
+// BenchmarkRRComparison reports the §7.1.3 rr study.
+func BenchmarkRRComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := (&buildsim.Options{Seed: 5}).RunRRStudy()
+		b.ReportMetric(float64(st.Crashed), "crashed")
+		b.ReportMetric(st.AvgOverhead, "rr-overhead(x)")
+	}
+}
+
+// BenchmarkPortability reports the §7.3 study (sampled).
+func BenchmarkPortability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := (&buildsim.Options{Seed: 6}).RunPortability(25, false)
+		b.ReportMetric(float64(st.Identical)/float64(st.Packages), "identical-frac")
+	}
+}
+
+// BenchmarkStockBaseline reports the §6.1 numbers.
+func BenchmarkStockBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := (&buildsim.Options{Seed: 8}).RunStock(debpkg.Universe(8, benchSample))
+		b.ReportMetric(float64(st.ReproNoStrip), "repro-nostrip")
+		b.ReportMetric(pct(st.ReproWithStrip, st.Build), "%repro-stripped")
+	}
+}
+
+// BenchmarkLLVMSelfHost reports the §7.2 correctness check.
+func BenchmarkLLVMSelfHost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		st := (&buildsim.Options{Seed: 7}).RunLLVM()
+		if st.Match {
+			b.ReportMetric(1, "outcomes-match")
+		} else {
+			b.ReportMetric(0, "outcomes-match")
+		}
+	}
+}
+
+// BenchmarkContainerSyscall measures simulator throughput: intercepted
+// syscalls per second of real time.
+func BenchmarkContainerSyscall(b *testing.B) {
+	reg := repro.NewRegistry()
+	calls := b.N
+	reg.Register("loop", func(p *repro.GuestProc) int {
+		for i := 0; i < calls; i++ {
+			p.Time()
+		}
+		return 0
+	})
+	img := repro.MinimalImage()
+	img.AddFile("/bin/loop", 0o755, repro.MakeExe("loop", nil))
+	b.ResetTimer()
+	c := repro.New(repro.Config{Image: img, HostSeed: 1})
+	res := c.Run(reg, "/bin/loop", []string{"loop"}, nil)
+	if res.Err != nil {
+		b.Fatal(res.Err)
+	}
+}
+
+// BenchmarkContainerBoot measures end-to-end boot+exec+exit latency.
+func BenchmarkContainerBoot(b *testing.B) {
+	reg := repro.NewRegistry()
+	reg.Register("noop", func(p *repro.GuestProc) int { return 0 })
+	for i := 0; i < b.N; i++ {
+		img := repro.MinimalImage()
+		img.AddFile("/bin/noop", 0o755, repro.MakeExe("noop", nil))
+		c := repro.New(repro.Config{Image: img, HostSeed: uint64(i)})
+		if res := c.Run(reg, "/bin/noop", []string{"noop"}, nil); res.Err != nil {
+			b.Fatal(res.Err)
+		}
+	}
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

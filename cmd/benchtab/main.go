@@ -1,0 +1,173 @@
+// Command benchtab regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index):
+//
+//	benchtab -table1            Table 1 (build-status transitions)
+//	benchtab -table2            Table 2 (per-package tracer events)
+//	benchtab -fig5              Figure 5 CSV (slowdown vs syscall rate)
+//	benchtab -fig6              Figure 6 (bioinformatics speedups)
+//	benchtab -tensorflow        §7.6 TensorFlow slowdowns
+//	benchtab -rr                §7.1.3 Mozilla rr comparison
+//	benchtab -portability       §7.3 cross-machine study (plus ablation)
+//	benchtab -llvm              §7.2 LLVM self-host correctness
+//	benchtab -baseline          §6.1 stock-Wheezy numbers
+//	benchtab -unsupported       §7.1.1 unsupported breakdown
+//	benchtab -biorepro          §6.1 bio/ML reproducibility verdicts
+//	benchtab -all               everything
+//
+// The package universe defaults to a deterministic 1,200-package sample
+// (proportions preserved); -n 0 runs all 17,145 packages like the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/buildsim"
+	"repro/internal/debpkg"
+	"repro/internal/mlsim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		seed   = flag.Uint64("seed", 1, "universe + environment seed")
+		n      = flag.Int("n", 1200, "package sample size (0 = full 17,145 universe)")
+		jobs   = flag.Int("jobs", 0, "parallel build workers (0 = GOMAXPROCS)")
+		nport  = flag.Int("nport", 100, "portability study size (paper: 1,000)")
+		table1 = flag.Bool("table1", false, "")
+		table2 = flag.Bool("table2", false, "")
+		fig5   = flag.Bool("fig5", false, "")
+		fig6   = flag.Bool("fig6", false, "")
+		tf     = flag.Bool("tensorflow", false, "")
+		rrFlag = flag.Bool("rr", false, "")
+		port   = flag.Bool("portability", false, "")
+		llvm   = flag.Bool("llvm", false, "")
+		stock  = flag.Bool("baseline", false, "")
+		unsup  = flag.Bool("unsupported", false, "")
+		biorep = flag.Bool("biorepro", false, "")
+		rescue = flag.Bool("rescue", false, "")
+		all    = flag.Bool("all", false, "")
+	)
+	flag.Parse()
+	o := &buildsim.Options{Seed: *seed, Jobs: *jobs}
+
+	needUniverse := *all || *table1 || *table2 || *fig5 || *unsup
+	var report *buildsim.Report
+	if needUniverse {
+		specs := debpkg.Universe(*seed, *n)
+		fmt.Printf("== building %d packages (4 builds each) ==\n", len(specs))
+		start := time.Now()
+		outs := o.BuildAll(specs, progress)
+		fmt.Printf("\n   done in %s\n\n", time.Since(start).Round(time.Second))
+		report = buildsim.Aggregate(outs)
+	}
+
+	if *all || *table1 {
+		section("Table 1: build status transitions, baseline <-> DetTrace")
+		fmt.Println(report.Table1Top())
+		fmt.Println(report.Table1Bottom())
+	}
+	if *all || *unsup {
+		section("§7.1.1: why packages are unsupported")
+		fmt.Println(report.UnsupportedBreakdown())
+	}
+	if *all || *table2 {
+		section("Table 2: per-package average tracer events")
+		fmt.Println(report.Table2String())
+	}
+	if *all || *fig5 {
+		section("Figure 5: DetTrace slowdown vs system call rate (CSV)")
+		fmt.Println(report.Fig5Summary())
+	}
+	if *all || *stock {
+		section("§6.1: stock Wheezy baseline (no DetTrace)")
+		st := o.RunStock(debpkg.Universe(*seed, sampleOr(*n, 400)))
+		fmt.Println(st)
+		for _, d := range st.SampleDiffs {
+			fmt.Println("  example difference:", d)
+		}
+		fmt.Println()
+	}
+	if *all || *fig6 {
+		section("Figure 6: bioinformatics speedups (1/4/16 processes)")
+		fmt.Println(bio.FormatFig6(bio.RunFig6(*seed)))
+	}
+	if *all || *biorep {
+		section("§6.1: bio output reproducibility (hashdeep)")
+		t := stats.NewTable("workflow", "native identical", "dettrace identical")
+		for _, r := range bio.VerifyRepro(*seed) {
+			t.Row(string(r.Tool), r.NativeIdentical, r.DetTraceIdentical)
+		}
+		fmt.Println(t.String())
+	}
+	if *all || *tf {
+		section("§7.6: TensorFlow (alexnet/cifar10) slowdowns")
+		t := stats.NewTable("model", "DT vs 16-thread native", "DT vs serialized native")
+		for _, r := range mlsim.RunStudy(*seed) {
+			t.Row(string(r.Model), fmt.Sprintf("%.2fx", r.VsParallel), fmt.Sprintf("%.2fx", r.VsSerial))
+		}
+		fmt.Println(t.String())
+	}
+	if *all || *rrFlag {
+		section("§7.1.3: comparison with Mozilla rr")
+		fmt.Println(o.RunRRStudy())
+		fmt.Println()
+	}
+	if *all || *port {
+		section("§7.3: portability across Skylake/4.15 and Broadwell/4.18")
+		fmt.Println(o.RunPortability(*nport, false))
+		fmt.Println("ablation (directory-size virtualization disabled):")
+		fmt.Println(o.RunPortability(*nport, true))
+		fmt.Println()
+	}
+	if *all || *rescue {
+		section("extension ablation: experimental sockets+signals vs the unsupported set")
+		var specs []*debpkg.Spec
+		for _, s := range debpkg.Universe(*seed, sampleOr(*n, 2400)) {
+			if s.Unsup == debpkg.UnsupSocket || s.Unsup == debpkg.UnsupSignal {
+				specs = append(specs, s)
+			}
+			if len(specs) >= 40 {
+				break
+			}
+		}
+		exp := &buildsim.Options{Seed: *seed, Jobs: *jobs, Experimental: true}
+		rescued := 0
+		for _, out := range exp.BuildAll(specs, nil) {
+			if out.DT == buildsim.Reproducible {
+				rescued++
+			}
+		}
+		fmt.Printf("socket/signal-class packages sampled: %d; reproducible with experimental modes: %d\n\n",
+			len(specs), rescued)
+	}
+	if *all || *llvm {
+		section("§7.2: LLVM self-host correctness")
+		st := o.RunLLVM()
+		fmt.Printf("native build:   %s\n", st.NativeSummary)
+		fmt.Printf("dettrace build: %s\n", st.DetTraceSummary)
+		fmt.Printf("outcomes match: %v; dettrace verdict: %s\n\n", st.Match, st.DetTraceVerdict)
+	}
+}
+
+func section(title string) {
+	fmt.Printf("==== %s ====\n", title)
+}
+
+func progress(done, total int) {
+	if done%100 == 0 || done == total {
+		fmt.Printf("\r   %d/%d packages", done, total)
+	}
+}
+
+func sampleOr(n, def int) int {
+	if n == 0 {
+		return 0
+	}
+	if n < def {
+		return n
+	}
+	return def
+}

@@ -1,0 +1,132 @@
+// Command dettrace mirrors the artifact appendix's CLI: run a command inside
+// a reproducible container.
+//
+//	dettrace [flags] <command> [args...]
+//
+// Programs come from the simulated toolchain registry (cc, make, tar,
+// dpkg-buildpackage, date, ...); the filesystem starts from the built-in
+// minimal image plus, optionally, a generated package tree.
+//
+//	$ dettrace date
+//	Sun Aug  8 22:00:00 UTC 1993
+//	$ dettrace --host-seed 999 --machine broadwell date
+//	Sun Aug  8 22:00:00 UTC 1993        # same output on any host
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/debpkg"
+	"repro/internal/machine"
+)
+
+func main() {
+	var (
+		seed       = flag.Uint64("seed", 0, "container PRNG seed (part of the container input)")
+		hostSeed   = flag.Uint64("host-seed", 1, "simulated physical-run entropy (must not affect output)")
+		epoch      = flag.Int64("epoch", 1_600_000_000, "host wall-clock epoch at boot (must not affect output)")
+		mach       = flag.String("machine", "skylake", "host machine: skylake|broadwell|haswell|sandybridge")
+		noSeccomp  = flag.Bool("no-seccomp", false, "disable seccomp-bpf selective interception (slower, same results)")
+		debug      = flag.Int("debug", 0, "debug verbosity (>=1 traces every system call)")
+		workingDir = flag.String("working-dir", "", "container working directory (default /build)")
+		withPkg    = flag.Int("with-package", -1, "materialize universe package N under /build")
+		showStats  = flag.Bool("stats", false, "print tracer statistics after the run")
+		expSocks   = flag.Bool("experimental-sockets", false, "allow container-internal AF_UNIX sockets")
+		expSigs    = flag.Bool("experimental-signals", false, "allow reproducible cross-process signals")
+		fastVdso   = flag.Bool("fast-vdso", false, "answer vDSO timing calls logically without a stop")
+		download   = flag.String("download", "", "declare a fetchable file: url=sha256hex=literal-content")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: dettrace [flags] command [args...]")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	profiles := map[string]func() *machine.Profile{
+		"skylake":     machine.CloudLabC220G5,
+		"broadwell":   machine.PortabilityBroadwell,
+		"haswell":     machine.BioHaswell,
+		"sandybridge": machine.LegacySandyBridge,
+	}
+	mk, ok := profiles[*mach]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "dettrace: unknown machine %q\n", *mach)
+		os.Exit(2)
+	}
+
+	img := repro.ToolchainImage()
+	wd := *workingDir
+	if *withPkg >= 0 {
+		specs := debpkg.Universe(1, *withPkg+1)
+		spec := specs[*withPkg]
+		pkgdir := spec.Materialize(img, "/build")
+		if wd == "" {
+			wd = pkgdir
+		}
+		fmt.Fprintf(os.Stderr, "dettrace: materialized %s at %s\n", spec.Name, pkgdir)
+	}
+
+	cfg := repro.Config{
+		Image:               img,
+		Profile:             mk(),
+		HostSeed:            *hostSeed,
+		Epoch:               *epoch,
+		PRNGSeed:            *seed,
+		WorkingDir:          wd,
+		DisableSeccomp:      *noSeccomp,
+		ExperimentalSockets: *expSocks,
+		ExperimentalSignals: *expSigs,
+		FastVdso:            *fastVdso,
+	}
+	if *download != "" {
+		parts := strings.SplitN(*download, "=", 3)
+		if len(parts) != 3 {
+			fmt.Fprintln(os.Stderr, "dettrace: --download wants url=sha256hex=content")
+			os.Exit(2)
+		}
+		cfg.Downloads = map[string]repro.Download{
+			parts[0]: {SHA256: parts[1], Data: []byte(parts[2])},
+		}
+	}
+	if *debug >= 1 {
+		cfg.Debug = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[dettrace] "+f+"\n", a...) }
+	}
+
+	reg := repro.NewRegistry()
+	repro.RegisterToolchain(reg)
+
+	argv := flag.Args()
+	path := argv[0]
+	if len(path) > 0 && path[0] != '/' {
+		path = "/bin/" + path
+	}
+	c := repro.New(cfg)
+	res := c.Run(reg, path, argv, []string{"PATH=/bin", "USER=root", "HOME=/root", "LC_ALL=C", "TZ=UTC"})
+
+	os.Stdout.WriteString(res.Stdout)
+	os.Stderr.WriteString(res.Stderr)
+	if res.Err != nil {
+		var ue *repro.UnsupportedError
+		if errors.As(res.Err, &ue) {
+			fmt.Fprintf(os.Stderr, "dettrace: container error: unsupported operation: %s\n", ue.Op)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dettrace: %v\n", res.Err)
+		os.Exit(1)
+	}
+	if *showStats {
+		fmt.Fprintf(os.Stderr, "--- dettrace stats ---\n")
+		fmt.Fprintf(os.Stderr, "virtual wall time : %.3fs\n", float64(res.WallTime)/1e9)
+		fmt.Fprintf(os.Stderr, "system calls      : %d\n", res.Stats.Syscalls)
+		fmt.Fprintf(os.Stderr, "tracer stops      : %d\n", res.Tracer.Stops)
+		fmt.Fprintf(os.Stderr, "memory reads      : %d\n", res.Tracer.MemReads)
+		fmt.Fprintf(os.Stderr, "rdtsc intercepted : %d\n", res.Stats.RdtscTrapped)
+	}
+	os.Exit(res.ExitCode)
+}

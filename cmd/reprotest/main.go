@@ -1,0 +1,71 @@
+// Command reprotest runs the §6.1 build-twice protocol for one package and
+// prints the verdicts: the native build under adversarial environment
+// variation versus the DetTrace build, with diffoscope localizing whatever
+// differs.
+//
+//	reprotest -pkg 7          # universe package #7
+//	reprotest -llvm           # the §7.2 llvm package
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/buildsim"
+	"repro/internal/debpkg"
+)
+
+func main() {
+	var (
+		seed = flag.Uint64("seed", 1, "universe + environment seed")
+		pkgN = flag.Int("pkg", 0, "universe package index")
+		llvm = flag.Bool("llvm", false, "build the llvm package instead")
+	)
+	flag.Parse()
+
+	var spec *debpkg.Spec
+	if *llvm {
+		spec = debpkg.LLVM()
+	} else {
+		specs := debpkg.Universe(*seed, *pkgN+1)
+		if *pkgN >= len(specs) {
+			fmt.Fprintf(os.Stderr, "reprotest: package %d out of range\n", *pkgN)
+			os.Exit(2)
+		}
+		spec = specs[*pkgN]
+	}
+
+	fmt.Printf("package %s %s  (units=%d headers=%d weight=%d compiler=%s)\n",
+		spec.Name, spec.Version, spec.Units, spec.Headers, spec.Weight, spec.Compiler)
+	if len(spec.Directives) > 0 {
+		fmt.Printf("irreproducibility sources: %v\n", spec.Directives)
+	}
+	if len(spec.PortDirectives) > 0 {
+		fmt.Printf("machine-capturing sources: %v\n", spec.PortDirectives)
+	}
+	if spec.Unsup != debpkg.UnsupNone {
+		fmt.Printf("uses unsupported feature: %s\n", spec.Unsup)
+	}
+
+	o := &buildsim.Options{Seed: *seed}
+	out := o.BuildPackage(spec)
+	fmt.Printf("\nbaseline (reprotest variations): %s", out.BL)
+	if out.BLTime > 0 {
+		fmt.Printf("  [%.1fs, %.0f syscalls/s]", float64(out.BLTime)/1e9, out.SyscallRate)
+	}
+	fmt.Println()
+	if out.DT != "" {
+		fmt.Printf("dettrace:                        %s", out.DT)
+		if out.UnsupReason != "" {
+			fmt.Printf("  (%s)", out.UnsupReason)
+		}
+		if out.Slowdown > 0 {
+			fmt.Printf("  [%.1fs, %.2fx slowdown]", float64(out.DTTime)/1e9, out.Slowdown)
+		}
+		fmt.Println()
+	}
+	if out.BL == buildsim.Irreproducible && out.DT == buildsim.Reproducible {
+		fmt.Println("\nDetTrace rendered an irreproducible package reproducible, automatically.")
+	}
+}

@@ -1,0 +1,80 @@
+// Bioinformatics workflow: a process-parallel analysis whose workers seed
+// heuristics from /dev/urandom — natively irreproducible run to run, stable
+// under DetTrace, with the overhead profile of §7.5.
+//
+//	go run ./examples/bioinformatics
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/abi"
+)
+
+// analysis forks N workers that each score a share of sequences using a
+// randomly-seeded heuristic, writing results under /data/out.
+func analysis(p *repro.GuestProc) int {
+	const workers, tasks = 4, 32
+	p.MkdirAll("/data/out", 0o755)
+	for w := 0; w < workers; w++ {
+		worker := w
+		p.Fork(func(c *repro.GuestProc) int {
+			// Heuristic seed: the irreproducibility.
+			seed := make([]byte, 4)
+			if fd, err := c.Open("/dev/urandom", abi.ORdonly, 0); err == abi.OK {
+				c.Read(fd, seed)
+				c.Close(fd)
+			}
+			out := fmt.Sprintf("/data/out/worker%02d.scores", worker)
+			for t := worker; t < tasks; t += workers {
+				c.Compute(40_000_000) // 40ms of alignment math per sequence
+				score := int(seed[0])*1000 + t*7
+				c.AppendFile(out, []byte(fmt.Sprintf("seq%03d score=%d\n", t, score)), 0o644)
+			}
+			return 0
+		})
+	}
+	for w := 0; w < workers; w++ {
+		p.Wait()
+	}
+	p.Printf("analysis complete: %d sequences, %d workers\n", tasks, workers)
+	return 0
+}
+
+func run(label string, cfg repro.Config, dettrace bool) (string, int64) {
+	reg := repro.NewRegistry()
+	reg.Register("analysis", analysis)
+	img := repro.MinimalImage()
+	img.AddDir("/data", 0o755)
+	img.AddFile("/bin/analysis", 0o755, repro.MakeExe("analysis", nil))
+	cfg.Image = img
+	if cfg.Profile == nil {
+		cfg.Profile = repro.BioHaswell()
+	}
+	c := repro.New(cfg)
+	res := c.Run(reg, "/bin/analysis", []string{"analysis"}, nil)
+	if res.Err != nil {
+		panic(res.Err)
+	}
+	hash := repro.HashImage(res.FS)
+	fmt.Printf("%-34s hash=%s...  wall=%dms\n", label, hash[:16], res.WallTime/1e6)
+	return hash, res.WallTime
+}
+
+func main() {
+	fmt.Println("two DetTrace runs on different hosts (must match):")
+	h1, _ := run("  dettrace / Haswell / seed 1", repro.Config{HostSeed: 1, Epoch: 1_540_000_000, PRNGSeed: 9}, true)
+	h2, _ := run("  dettrace / Broadwell / seed 2", repro.Config{HostSeed: 2, Epoch: 1_590_000_000, PRNGSeed: 9, Profile: repro.PortabilityBroadwell()}, true)
+	if h1 == h2 {
+		fmt.Println("=> identical output trees: the workflow is reproducible.")
+	} else {
+		fmt.Println("=> MISMATCH!")
+	}
+	fmt.Println()
+	fmt.Println("changing the container's randomness seed (a declared input) changes results:")
+	h3, _ := run("  dettrace / Haswell / PRNG seed 10", repro.Config{HostSeed: 1, Epoch: 1_540_000_000, PRNGSeed: 10}, true)
+	if h3 != h1 {
+		fmt.Println("=> different, as requested — \"true randomness\" enters only via the seed.")
+	}
+}

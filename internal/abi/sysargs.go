@@ -1,0 +1,56 @@
+package abi
+
+// Syscall is the in-flight representation of one system call: the register
+// file as the tracer sees it. Scalar arguments live in Arg (the six argument
+// registers); pointer arguments are decoded into Path/Path2 (string
+// pointers), Buf (a data buffer aliasing guest memory) and Obj (a typed
+// struct pointer such as *Stat or *Utsname).
+//
+// A ptrace-style tracer may mutate any field at the pre-syscall stop: change
+// Num to turn the call into a NOP (DetTrace rewrites to SysTime, §5.10),
+// edit Arg to add WNOHANG, or swap Obj for a struct it allocated in the
+// tracee's scratch page. At the post-syscall stop it may rewrite Ret and the
+// contents of Buf/Obj before the tracee resumes.
+type Syscall struct {
+	Num   Sysno
+	Arg   [6]int64
+	Path  string // first path-like argument, already read from tracee memory
+	Path2 string // second path-like argument (rename, link, symlink)
+	Buf   []byte // data buffer shared with the tracee's address space
+	Obj   any    // decoded struct argument (e.g. *Stat out, *Utsname out)
+
+	// Ret is the return value: >= 0 on success, or the negated errno.
+	Ret int64
+
+	// Injected marks a call the tracer manufactured (e.g. a retried read);
+	// injected calls are not re-reported to the tracer.
+	Injected bool
+
+	// Attempts counts kernel re-executions of this call: blocking retries
+	// and tracer-requested replays. Interception layers use it to count
+	// events exactly once.
+	Attempts int
+}
+
+// SetErrno stores an error return. SetErrno(OK) stores 0.
+func (sc *Syscall) SetErrno(e Errno) { sc.Ret = -int64(e) }
+
+// Err returns the errno encoded in Ret, or OK for success values.
+func (sc *Syscall) Err() Errno {
+	if sc.Ret < 0 {
+		return Errno(-sc.Ret)
+	}
+	return OK
+}
+
+// Value returns the non-negative result. It is only meaningful when
+// Err() == OK.
+func (sc *Syscall) Value() int64 { return sc.Ret }
+
+// Regs is the subset of the tracee register file the tracer can observe and
+// modify: the program counter (used to re-run a syscall instruction for
+// read/write retries) and the syscall register block.
+type Regs struct {
+	PC      uint64
+	Syscall *Syscall
+}

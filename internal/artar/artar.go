@@ -1,0 +1,147 @@
+// Package artar defines the archive format the simulated toolchain uses —
+// the stand-in for tar/ar/deb containers. Like real tar, each member header
+// records name, mode, ownership and mtime, so an archive built from
+// identical file contents still differs bitwise when the filesystem's
+// timestamps differ. That is the property that makes zero stock Debian
+// packages reproducible before strip-nondeterminism (§6.1).
+package artar
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Magic identifies an artar archive.
+const Magic = "!<artar>"
+
+// Member is one archived file.
+type Member struct {
+	Name  string
+	Mode  uint32
+	UID   uint32
+	GID   uint32
+	Mtime int64 // seconds
+	Data  []byte
+}
+
+// Archive is an ordered list of members. Order is significant — it is
+// whatever order the packing tool walked the directory in, so host readdir
+// order leaks into the artifact.
+type Archive struct {
+	Members []Member
+}
+
+// Add appends a member.
+func (a *Archive) Add(m Member) { a.Members = append(a.Members, m) }
+
+// Pack serializes the archive.
+func (a *Archive) Pack() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(Magic + "\n")
+	for _, m := range a.Members {
+		fmt.Fprintf(&buf, "entry name=%q mode=%o uid=%d gid=%d mtime=%d size=%d\n",
+			m.Name, m.Mode, m.UID, m.GID, m.Mtime, len(m.Data))
+		buf.Write(m.Data)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// Unpack parses archive bytes.
+func Unpack(raw []byte) (*Archive, error) {
+	if !bytes.HasPrefix(raw, []byte(Magic+"\n")) {
+		return nil, fmt.Errorf("artar: bad magic")
+	}
+	rest := raw[len(Magic)+1:]
+	ar := &Archive{}
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			return nil, fmt.Errorf("artar: truncated header")
+		}
+		header := string(rest[:nl])
+		rest = rest[nl+1:]
+		m, size, err := parseHeader(header)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(rest)) < size+1 {
+			return nil, fmt.Errorf("artar: truncated member %q", m.Name)
+		}
+		m.Data = append([]byte(nil), rest[:size]...)
+		rest = rest[size+1:] // skip trailing newline
+		ar.Add(m)
+	}
+	return ar, nil
+}
+
+func parseHeader(h string) (Member, int64, error) {
+	if !strings.HasPrefix(h, "entry ") {
+		return Member{}, 0, fmt.Errorf("artar: bad header %q", h)
+	}
+	var m Member
+	var size int64
+	fields := splitFields(h[len("entry "):])
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Member{}, 0, fmt.Errorf("artar: bad field %q", f)
+		}
+		switch k {
+		case "name":
+			name, err := strconv.Unquote(v)
+			if err != nil {
+				return Member{}, 0, fmt.Errorf("artar: bad name %q", v)
+			}
+			m.Name = name
+		case "mode":
+			n, err := strconv.ParseUint(v, 8, 32)
+			if err != nil {
+				return Member{}, 0, err
+			}
+			m.Mode = uint32(n)
+		case "uid":
+			n, _ := strconv.ParseUint(v, 10, 32)
+			m.UID = uint32(n)
+		case "gid":
+			n, _ := strconv.ParseUint(v, 10, 32)
+			m.GID = uint32(n)
+		case "mtime":
+			m.Mtime, _ = strconv.ParseInt(v, 10, 64)
+		case "size":
+			size, _ = strconv.ParseInt(v, 10, 64)
+		}
+	}
+	return m, size, nil
+}
+
+// splitFields splits on spaces outside quotes.
+func splitFields(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' && (i == 0 || s[i-1] != '\\'):
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case c == ' ' && !inQuote:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// IsArchive reports whether raw looks like an artar archive.
+func IsArchive(raw []byte) bool { return bytes.HasPrefix(raw, []byte(Magic+"\n")) }

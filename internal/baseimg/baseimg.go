@@ -1,0 +1,39 @@
+// Package baseimg builds the minimal chroot images the experiments start
+// from — the moral equivalent of a debootstrap'd Debian tree (artifact
+// appendix A.4): a standard directory skeleton, device nodes, and a /bin
+// populated with executables that resolve against a guest program registry.
+package baseimg
+
+import (
+	"repro/internal/fs"
+	"repro/internal/guest"
+)
+
+// Minimal returns the smallest useful container image: the standard
+// directory skeleton plus /dev nodes.
+func Minimal() *fs.Image {
+	im := fs.NewImage()
+	for _, d := range []string{
+		"/bin", "/usr", "/usr/bin", "/usr/lib", "/lib", "/etc",
+		"/tmp", "/build", "/dev", "/proc", "/home", "/root", "/var",
+	} {
+		im.AddDir(d, 0o755)
+	}
+	im.AddDev("/dev/null", "null")
+	im.AddDev("/dev/zero", "zero")
+	im.AddDev("/dev/urandom", "urandom")
+	im.AddDev("/dev/random", "random")
+	im.AddFile("/etc/hostname", 0o644, []byte("wheezy\n"))
+	im.AddFile("/etc/os-release", 0o644, []byte("PRETTY_NAME=\"Debian GNU/Linux 7 (wheezy)\"\n"))
+	return im
+}
+
+// WithBinaries returns Minimal plus one /bin/<name> executable per program
+// name, each resolving to a registered guest program of the same name.
+func WithBinaries(names ...string) *fs.Image {
+	im := Minimal()
+	for _, n := range names {
+		im.AddFile("/bin/"+n, 0o755, guest.MakeExe(n, nil))
+	}
+	return im
+}

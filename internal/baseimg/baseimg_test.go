@@ -1,0 +1,44 @@
+package baseimg
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/guest"
+)
+
+func TestMinimalSkeleton(t *testing.T) {
+	im := Minimal()
+	for _, p := range []string{"/bin", "/tmp", "/dev", "/etc", "/build"} {
+		e, ok := im.Entries[p]
+		if !ok || e.Mode&abi.ModeTypeMask != abi.ModeDir {
+			t.Errorf("missing directory %s", p)
+		}
+	}
+	for p, id := range map[string]string{
+		"/dev/null": "null", "/dev/zero": "zero",
+		"/dev/urandom": "urandom", "/dev/random": "random",
+	} {
+		e, ok := im.Entries[p]
+		if !ok || e.DevID != id {
+			t.Errorf("device %s: %+v", p, e)
+		}
+	}
+}
+
+func TestWithBinaries(t *testing.T) {
+	im := WithBinaries("cc", "ld")
+	for _, name := range []string{"cc", "ld"} {
+		e, ok := im.Entries["/bin/"+name]
+		if !ok {
+			t.Fatalf("missing /bin/%s", name)
+		}
+		if e.Mode&0o111 == 0 {
+			t.Errorf("/bin/%s not executable", name)
+		}
+		prog, _, ok := guest.ParseExe(e.Data)
+		if !ok || prog != name {
+			t.Errorf("/bin/%s resolves to %q", name, prog)
+		}
+	}
+}

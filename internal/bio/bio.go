@@ -1,0 +1,222 @@
+// Package bio implements the §6/§7.5 bioinformatics workflows as guest
+// programs: clustal (multiple sequence alignment, compute-bound), hmmer
+// (profile HMM search, non-blocking syscall-heavy) and raxml (phylogenetic
+// inference, blocking-write-heavy). Each runs with process-level parallelism
+// under a driver that forks N workers, matching how the paper invokes them.
+//
+// Their §6.1 reproducibility signatures are mechanical: hmmer and raxml
+// seed heuristics from /dev/urandom and stamp run metadata from the clock,
+// so consecutive native runs produce different output files; clustal is
+// pure. DetTrace must erase the difference.
+//
+// Their Fig. 6 performance signatures come from workload shape alone:
+// clustal issues ~1k syscalls/s, hmmer a few thousand (non-blocking),
+// raxml the same plus constant progress writes into a pipe its driver
+// drains — the potentially-blocking operations the paper blames for its
+// 6.2× overhead at 16 processes.
+package bio
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/guest"
+)
+
+// Tool identifies one workflow.
+type Tool string
+
+// The three workflows.
+const (
+	Clustal Tool = "clustal"
+	Hmmer   Tool = "hmmer"
+	Raxml   Tool = "raxml"
+)
+
+// Tools lists all three in Fig. 6 order.
+var Tools = []Tool{Clustal, Hmmer, Raxml}
+
+// shape holds one workload's calibrated parameters (virtual-time budget and
+// syscall intensity per worker task).
+type shape struct {
+	totalWork  int64 // ns of compute for the whole sequential job
+	serialFrac int64 // percent of work that cannot parallelize
+	tasks      int   // parallelizable task count (divisible by 16)
+	weight     int64 // events-per-event scale
+
+	writesPerTask int  // result records appended per task (persistent fd)
+	pipePerTask   int  // raxml: progress lines per task through the pipe
+	readsDB       bool // hmmer: scan a database chunk per task
+	seedsRandom   bool // reads /dev/urandom into the output (irreproducible)
+	stampsTime    bool // records the wall clock in the output
+}
+
+func shapeOf(tool Tool) shape {
+	switch tool {
+	case Clustal:
+		// Highly compute-bound: a couple of result writes per alignment
+		// block and nothing else.
+		return shape{
+			totalWork: 64e9, serialFrac: 18, tasks: 32, weight: 350,
+			writesPerTask: 2,
+		}
+	case Hmmer:
+		// Frequent but non-blocking calls: database chunk per target plus
+		// hit records.
+		return shape{
+			totalWork: 64e9, serialFrac: 7, tasks: 48, weight: 300,
+			writesPerTask: 2, readsDB: true, seedsRandom: true, stampsTime: true,
+		}
+	default: // Raxml
+		// The same rate class as hmmer but dominated by potentially-
+		// blocking progress writes into the driver's pipe (§7.5).
+		return shape{
+			totalWork: 64e9, serialFrac: 8, tasks: 48, weight: 1000,
+			writesPerTask: 6, pipePerTask: 12, seedsRandom: true, stampsTime: true,
+		}
+	}
+}
+
+// Main is the guest entry point: `<tool> -np <procs>`. It writes per-worker
+// result files under /data/out and, for raxml, streams progress to stdout
+// the way the real tool logs likelihood improvements.
+func Main(tool Tool) guest.Program {
+	return func(p *guest.Proc) int {
+		procs := 1
+		argv := p.Argv()
+		for i := 1; i < len(argv)-1; i++ {
+			if argv[i] == "-np" {
+				procs = atoi(argv[i+1], 1)
+			}
+		}
+		sh := shapeOf(tool)
+		// Setup and process management are singular events; only the task
+		// loop's records are scaled (the weight is set in runWorker).
+		p.MkdirAll("/data/out", 0o755)
+
+		// Serial phase: parse inputs, build indices.
+		input, err := p.ReadFile("/data/input.fasta")
+		if err != abi.OK {
+			p.Eprintf("%s: no input: %s\n", tool, err)
+			return 1
+		}
+		_ = input
+		p.Compute(sh.totalWork * sh.serialFrac / 100)
+
+		// raxml workers log through a pipe the driver drains; the driver
+		// grows it to the usual 64 KiB.
+		var pr, pw int
+		if sh.pipePerTask > 0 {
+			pr, pw, _ = p.Pipe()
+			p.SetPipeSize(pw, 65536)
+		}
+
+		parallel := sh.totalWork * (100 - sh.serialFrac) / 100
+		perTask := parallel / int64(sh.tasks)
+		for w := 0; w < procs; w++ {
+			worker := w
+			p.Fork(func(c *guest.Proc) int {
+				if sh.pipePerTask > 0 {
+					c.Close(pr)
+				}
+				return runWorker(c, tool, sh, worker, procs, perTask, pw)
+			})
+		}
+		if sh.pipePerTask > 0 {
+			p.Close(pw)
+			// Drain worker progress until every write end closes.
+			buf := make([]byte, 113)
+			for {
+				n, rerr := p.Read(pr, buf)
+				if rerr == abi.EINTR {
+					continue
+				}
+				if rerr != abi.OK || n == 0 {
+					break
+				}
+			}
+			p.Close(pr)
+		}
+		for w := 0; w < procs; w++ {
+			p.Wait()
+		}
+		p.Printf("%s: done (%d workers)\n", tool, procs)
+		return 0
+	}
+}
+
+// runWorker processes this worker's share of tasks. The result file stays
+// open for the worker's lifetime, as the real tools keep their output
+// streams.
+func runWorker(c *guest.Proc, tool Tool, sh shape, worker, procs int, perTask int64, pw int) int {
+	out := fmt.Sprintf("/data/out/%s.worker%02d", tool, worker)
+	fd, err := c.Open(out, abi.OCreat|abi.OWronly|abi.OAppend, 0o644)
+	if err != abi.OK {
+		return 1
+	}
+	defer c.Close(fd)
+	seed := uint64(0)
+	if sh.seedsRandom {
+		// Heuristic seeding from OS randomness: the §6.1 irreproducibility.
+		buf := make([]byte, 8)
+		if rfd, rerr := c.Open("/dev/urandom", abi.ORdonly, 0); rerr == abi.OK {
+			c.Read(rfd, buf)
+			c.Close(rfd)
+		}
+		for _, b := range buf {
+			seed = seed<<8 | uint64(b)
+		}
+		c.WriteString(fd, fmt.Sprintf("seed=%x\n", seed))
+	}
+	if sh.stampsTime {
+		// Run stamp: the tools record when the run started.
+		c.WriteString(fd, fmt.Sprintf("run start=%d\n", c.Time()))
+	}
+
+	// Each task-loop event stands for sh.weight real ones.
+	c.SetWeight(sh.weight)
+	defer c.SetWeight(1)
+	for task := worker; task < sh.tasks; task += procs {
+		c.Compute(perTask)
+		score := scoreOf(tool, task, seed)
+		for s := 0; s < sh.writesPerTask; s++ {
+			c.WriteString(fd, fmt.Sprintf("task %03d metric %d value %d\n", task, s, score+int64(s)))
+		}
+		if sh.readsDB {
+			// Non-blocking database chunk reads.
+			if dbfd, derr := c.Open("/data/input.fasta", abi.ORdonly, 0); derr == abi.OK {
+				chunk := make([]byte, 256)
+				c.Read(dbfd, chunk)
+				c.Close(dbfd)
+			}
+		}
+		for l := 0; l < sh.pipePerTask; l++ {
+			// Progress logging through the driver: potentially blocking.
+			c.Write(pw, []byte(fmt.Sprintf("w%02d t%03d i%02d lnL %d\n", worker, task, l, score)))
+		}
+	}
+	if sh.pipePerTask > 0 {
+		c.Close(pw)
+	}
+	return 0
+}
+
+// scoreOf is the numerical result of one task: deterministic in the inputs
+// except for the heuristic seed, which is exactly how the real tools behave.
+func scoreOf(tool Tool, task int, seed uint64) int64 {
+	h := uint64(len(tool))*0x9e3779b97f4a7c15 + uint64(task)*0x853c49e6748fea9b + seed
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	return int64(h % 1_000_000)
+}
+
+func atoi(s string, def int) int {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return def
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

@@ -1,0 +1,60 @@
+package bio
+
+import "testing"
+
+func TestFig6Shapes(t *testing.T) {
+	cells := RunFig6(11)
+	get := func(tool Tool, procs int, native bool) float64 {
+		for _, c := range cells {
+			if c.Tool == tool && c.Procs == procs && c.Native == native {
+				return c.Speedup
+			}
+		}
+		t.Fatalf("missing cell %s %d %v", tool, procs, native)
+		return 0
+	}
+	t.Logf("\n%s", FormatFig6(cells))
+	// Native scaling: every tool speeds up with processes.
+	for _, tool := range Tools {
+		if !(get(tool, 16, true) > get(tool, 4, true) && get(tool, 4, true) > 1.2) {
+			t.Errorf("%s native does not scale: 4p=%.2f 16p=%.2f", tool, get(tool, 4, true), get(tool, 16, true))
+		}
+	}
+	// clustal: compute-bound, DetTrace overhead small at 16 procs (<10%).
+	if ratio := get(Clustal, 16, true) / get(Clustal, 16, false); ratio > 1.10 {
+		t.Errorf("clustal DT overhead at 16p = %.2fx, want < 1.10x", ratio)
+	}
+	// raxml: blocking-write-heavy, DetTrace overhead large at 16 procs (>3x).
+	if ratio := get(Raxml, 16, true) / get(Raxml, 16, false); ratio < 3 {
+		t.Errorf("raxml DT overhead at 16p = %.2fx, want > 3x", ratio)
+	}
+	// hmmer sits between.
+	hm := get(Hmmer, 16, true) / get(Hmmer, 16, false)
+	cl := get(Clustal, 16, true) / get(Clustal, 16, false)
+	rx := get(Raxml, 16, true) / get(Raxml, 16, false)
+	if !(hm > cl && hm < rx) {
+		t.Errorf("ordering violated: clustal %.2f, hmmer %.2f, raxml %.2f", cl, hm, rx)
+	}
+	// Sequential DetTrace slowdowns stay moderate.
+	if s := get(Raxml, 1, false); s > 0.5 || s < 0.15 {
+		t.Errorf("raxml DT seq speedup = %.2f, want ~0.3", s)
+	}
+}
+
+func TestReproducibilitySignatures(t *testing.T) {
+	for _, r := range VerifyRepro(21) {
+		switch r.Tool {
+		case Clustal:
+			if !r.NativeIdentical {
+				t.Errorf("clustal should be natively reproducible (§6.1)")
+			}
+		default:
+			if r.NativeIdentical {
+				t.Errorf("%s should be natively irreproducible (§6.1)", r.Tool)
+			}
+		}
+		if !r.DetTraceIdentical {
+			t.Errorf("%s should be reproducible under DetTrace", r.Tool)
+		}
+	}
+}

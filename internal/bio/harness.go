@@ -1,0 +1,163 @@
+package bio
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseimg"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/hashdeep"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/stats"
+)
+
+// image builds the chroot for one bio run.
+func image(tool Tool) *fs.Image {
+	im := baseimg.Minimal()
+	im.AddDir("/data", 0o755)
+	var fasta strings.Builder
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&fasta, ">seq%03d\nACGTACGTACGTAGCTAGCTAGCATCGATCGATCGTAGCTAGCTAACGT\n", i)
+	}
+	im.AddFile("/data/input.fasta", 0o644, []byte(fasta.String()))
+	im.AddFile("/bin/"+string(tool), 0o755, guest.MakeExe(string(tool), nil))
+	return im
+}
+
+func registry(tool Tool) *guest.Registry {
+	reg := guest.NewRegistry()
+	reg.Register(string(tool), Main(tool))
+	return reg
+}
+
+// RunNative executes the tool natively with the given worker count and
+// returns wall time plus the output tree.
+func RunNative(tool Tool, procs int, seed uint64, epoch int64) (int64, *fs.Image) {
+	reg := registry(tool)
+	k := kernel.New(kernel.Config{
+		Profile:  machine.BioHaswell(),
+		Seed:     seed,
+		Epoch:    epoch,
+		NumCPU:   16, // the paper runs up to 16 parallel processes
+		Image:    image(tool),
+		Resolver: reg.Resolver(),
+	})
+	argv := []string{string(tool), "-np", fmt.Sprint(procs)}
+	init := func(t *kernel.Thread) int {
+		p := &guest.Proc{T: t}
+		if err := p.Exec("/bin/"+string(tool), argv, []string{"PATH=/bin"}); err != 0 {
+			return 127
+		}
+		return 127
+	}
+	k.Start(init, argv, []string{"PATH=/bin"})
+	if err := k.Run(); err != nil {
+		panic(fmt.Sprintf("bio native run failed: %v", err))
+	}
+	return k.Now(), k.FS.SnapshotImage(k.FS.Root)
+}
+
+// RunDetTrace executes the tool inside DetTrace.
+func RunDetTrace(tool Tool, procs int, hostSeed uint64, epoch int64) (int64, *fs.Image, error) {
+	c := core.New(core.Config{
+		Image:    image(tool),
+		Profile:  machine.BioHaswell(),
+		HostSeed: hostSeed,
+		Epoch:    epoch,
+		NumCPU:   16,
+		PRNGSeed: 0xb10,
+	})
+	argv := []string{string(tool), "-np", fmt.Sprint(procs)}
+	res := c.Run(registry(tool), "/bin/"+string(tool), argv, []string{"PATH=/bin"})
+	return res.WallTime, res.FS, res.Err
+}
+
+// Fig6Cell is one bar of Figure 6.
+type Fig6Cell struct {
+	Tool    Tool
+	Procs   int
+	Native  bool
+	Wall    int64
+	Speedup float64 // vs sequential native
+}
+
+// Fig6Procs are the worker counts on the figure's x axis.
+var Fig6Procs = []int{1, 4, 16}
+
+// RunFig6 produces every bar of Figure 6.
+func RunFig6(seed uint64) []Fig6Cell {
+	var cells []Fig6Cell
+	for _, tool := range Tools {
+		seqWall, _ := RunNative(tool, 1, seed, 1_540_000_000)
+		for _, np := range Fig6Procs {
+			nw, _ := RunNative(tool, np, seed+uint64(np), 1_540_000_000)
+			cells = append(cells, Fig6Cell{tool, np, true, nw, float64(seqWall) / float64(nw)})
+		}
+		for _, np := range Fig6Procs {
+			dw, _, err := RunDetTrace(tool, np, seed+uint64(np)^0xD7, 1_541_000_000)
+			if err != nil {
+				panic(fmt.Sprintf("bio DetTrace run failed: %v", err))
+			}
+			cells = append(cells, Fig6Cell{tool, np, false, dw, float64(seqWall) / float64(dw)})
+		}
+	}
+	return cells
+}
+
+// FormatFig6 renders the cells like the figure's bar labels.
+func FormatFig6(cells []Fig6Cell) string {
+	t := stats.NewTable("workflow", "config", "1 proc", "4 procs", "16 procs")
+	for _, tool := range Tools {
+		for _, native := range []bool{true, false} {
+			vals := map[int]float64{}
+			for _, c := range cells {
+				if c.Tool == tool && c.Native == native {
+					vals[c.Procs] = c.Speedup
+				}
+			}
+			cfg := "native"
+			if !native {
+				cfg = "dettrace"
+			}
+			t.Row(string(tool), cfg,
+				fmt.Sprintf("%.2f", vals[1]),
+				fmt.Sprintf("%.2f", vals[4]),
+				fmt.Sprintf("%.2f", vals[16]))
+		}
+	}
+	return t.String()
+}
+
+// ReproResult is the §6.1 hashdeep verdict for one tool.
+type ReproResult struct {
+	Tool              Tool
+	NativeIdentical   bool // two native runs produce identical /data/out
+	DetTraceIdentical bool
+}
+
+// VerifyRepro reruns each workflow twice natively (different host accidents)
+// and twice under DetTrace, hashing the outputs like §6.1 does with
+// hashdeep.
+func VerifyRepro(seed uint64) []ReproResult {
+	var out []ReproResult
+	for _, tool := range Tools {
+		_, n1 := RunNative(tool, 4, seed+1, 1_540_000_000)
+		_, n2 := RunNative(tool, 4, seed+2, 1_540_011_111)
+		nEq, _ := hashdeep.Equal(
+			hashdeep.HashSubtree(n1, "/data/out"),
+			hashdeep.HashSubtree(n2, "/data/out"))
+		_, d1, err1 := RunDetTrace(tool, 4, seed+3, 1_540_000_000)
+		_, d2, err2 := RunDetTrace(tool, 4, seed+4, 1_540_011_111)
+		if err1 != nil || err2 != nil {
+			panic(fmt.Sprintf("bio DetTrace verify failed: %v / %v", err1, err2))
+		}
+		dEq, _ := hashdeep.Equal(
+			hashdeep.HashSubtree(d1, "/data/out"),
+			hashdeep.HashSubtree(d2, "/data/out"))
+		out = append(out, ReproResult{tool, nEq, dEq})
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+// Each ablation switch reopens a specific leak from the §5 taxonomy; these
+// tests demonstrate the leak and that the full configuration closes it.
+
+func inodeProgram(p *guest.Proc) int {
+	p.WriteFile("/tmp/a", []byte("a"), 0o644)
+	p.WriteFile("/tmp/b", []byte("b"), 0o644)
+	sa, _ := p.Stat("/tmp/a")
+	sb, _ := p.Stat("/tmp/b")
+	p.Printf("%d %d", sa.Ino, sb.Ino)
+	return 0
+}
+
+func TestInodeVirtAblation(t *testing.T) {
+	a := runDT(t, hostA, core.Config{DisableInodeVirt: true}, inodeProgram)
+	b := runDT(t, hostB, core.Config{DisableInodeVirt: true}, inodeProgram)
+	if a.Stdout == b.Stdout {
+		t.Skip("host inode bases coincided for these seeds")
+	}
+	a = runDT(t, hostA, core.Config{}, inodeProgram)
+	b = runDT(t, hostB, core.Config{}, inodeProgram)
+	if a.Stdout != b.Stdout {
+		t.Errorf("inode virtualization failed: %q vs %q", a.Stdout, b.Stdout)
+	}
+}
+
+func TestInodeRecyclingGetsFreshVirtualInode(t *testing.T) {
+	res := runDT(t, hostA, core.Config{}, func(p *guest.Proc) int {
+		p.WriteFile("/tmp/x", []byte("1"), 0o644)
+		st1, _ := p.Stat("/tmp/x")
+		p.Unlink("/tmp/x")
+		// The kernel recycles the real inode; DetTrace must not reuse the
+		// virtual one (§5.5).
+		p.WriteFile("/tmp/y", []byte("2"), 0o644)
+		st2, _ := p.Stat("/tmp/y")
+		p.Printf("%d %d", st1.Ino, st2.Ino)
+		if st1.Ino == st2.Ino {
+			return 1
+		}
+		return 0
+	})
+	if res.ExitCode != 0 {
+		t.Errorf("recycled real inode aliased a virtual inode: %s", res.Stdout)
+	}
+}
+
+func readdirProgram(p *guest.Proc) int {
+	for _, n := range []string{"epsilon", "alpha", "mu", "beta"} {
+		p.WriteFile("/tmp/"+n, nil, 0o644)
+	}
+	ents, _ := p.ReadDir("/tmp")
+	for _, e := range ents {
+		p.Printf("%s ", e.Name)
+	}
+	return 0
+}
+
+func TestGetdentsSortAblation(t *testing.T) {
+	a := runDT(t, hostA, core.Config{DisableGetdentsSort: true}, readdirProgram)
+	b := runDT(t, hostB, core.Config{DisableGetdentsSort: true}, readdirProgram)
+	if a.Stdout == b.Stdout {
+		t.Errorf("without sorting, the two machines' hash orders should differ")
+	}
+	a = runDT(t, hostA, core.Config{}, readdirProgram)
+	b = runDT(t, hostB, core.Config{}, readdirProgram)
+	if a.Stdout != b.Stdout || !strings.HasPrefix(a.Stdout, "alpha beta") {
+		t.Errorf("sorted getdents wrong: %q vs %q", a.Stdout, b.Stdout)
+	}
+}
+
+func TestCpuidTrapAblationLegacyHardware(t *testing.T) {
+	// On pre-Ivy-Bridge hardware cpuid cannot be hidden (§5.8) — but those
+	// machines also lack TSX/rdrand, so well-behaved programs stay
+	// reproducible within the smaller machine class.
+	legacy := host{profileLegacy(), 0x111, 1_450_000_000, 0}
+	prog := func(p *guest.Proc) int {
+		l := p.Cpuid(7)
+		p.Printf("tsx=%d rdrand-able=%v", l.Leaf.EBX&0x800, l.OK)
+		if _, ok := p.Rdrand(); ok {
+			p.Printf(" rdrand-worked")
+		}
+		return 0
+	}
+	res := runDT(t, legacy, core.Config{}, prog)
+	if res.Err != nil {
+		t.Fatalf("legacy run: %v", res.Err)
+	}
+	if strings.Contains(res.Stdout, "rdrand-worked") {
+		t.Errorf("sandy bridge should have no rdrand: %q", res.Stdout)
+	}
+	// Same seed, same legacy machine: still deterministic.
+	res2 := runDT(t, host{profileLegacy(), 0x999, 1_460_000_000, 0}, core.Config{}, prog)
+	if res.Stdout != res2.Stdout {
+		t.Errorf("legacy machine class not internally reproducible")
+	}
+}
+
+// TestCriticalInstructionsEscape documents §4's finding: rdrand and TSX are
+// untrappable, so an adversarial program that ignores cpuid can still
+// observe irreproducibility. DetTrace's guarantee assumes well-behaved
+// programs.
+func TestCriticalInstructionsEscape(t *testing.T) {
+	adversary := func(p *guest.Proc) int {
+		// Ignore cpuid; run the instructions anyway.
+		if v, ok := p.Rdrand(); ok {
+			p.Printf("rdrand=%x ", v)
+		}
+		commits := 0
+		for i := 0; i < 32; i++ {
+			if p.Xbegin() {
+				commits++
+			}
+		}
+		p.Printf("tsx-commits=%d", commits)
+		return 0
+	}
+	a := runDT(t, hostA, core.Config{}, adversary)
+	b := runDT(t, host{hostA.profile, hostA.seed + 1, hostA.epoch, 0}, core.Config{}, adversary)
+	if a.Stdout == b.Stdout {
+		t.Skip("hardware entropy coincided; extremely unlikely")
+	}
+	// This asymmetry is the point: the same runs WITHOUT the critical
+	// instructions are identical.
+	clean := func(p *guest.Proc) int { p.Printf("t=%d", p.Time()); return 0 }
+	ca := runDT(t, hostA, core.Config{}, clean)
+	cb := runDT(t, host{hostA.profile, hostA.seed + 1, hostA.epoch, 0}, core.Config{}, clean)
+	if ca.Stdout != cb.Stdout {
+		t.Errorf("well-behaved program diverged")
+	}
+}

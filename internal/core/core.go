@@ -1,0 +1,398 @@
+// Package core implements DetTrace: the reproducible container abstraction
+// of the paper. A Container attaches to the simulated kernel as its tracing
+// policy and enforces, per the §5 taxonomy, that every computation inside is
+// a pure function of the container's inputs — the initial filesystem image,
+// the entry command, the configured environment, and the PRNG seed (Fig. 1).
+//
+// Host accidents — the entropy seed, the wall epoch, core counts, the
+// machine profile's cpuid/directory-size quirks — must not be observable.
+// The determinism meta-test in this package's tests runs the same container
+// on wildly different hosts and requires bitwise-identical results.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/prng"
+	"repro/internal/sched"
+	"repro/internal/seccomp"
+	"repro/internal/tracer"
+)
+
+// DefaultLogicalEpoch is the fixed wall-clock second DetTrace's logical time
+// starts from: Sun Aug  8 22:00:00 UTC 1993, the date the artifact's
+// `dettrace date` demo prints.
+const DefaultLogicalEpoch = 744847200
+
+// Config describes one reproducible container. Fields marked [input] are
+// part of the container's reproducibility contract (changing them may change
+// output); fields marked [host] describe the physical run and must NOT
+// affect output — that is the property under test.
+type Config struct {
+	Image *fs.Image // [input] initial filesystem state
+
+	Profile  *machine.Profile // [host] machine the container runs on
+	HostSeed uint64           // [host] physical-run entropy
+	Epoch    int64            // [host] wall-clock seconds at boot
+	NumCPU   int              // [host] core count override (0 = profile's)
+
+	PRNGSeed uint64 // [input] seed for container-visible randomness (§5.2)
+
+	// LogicalEpoch is the fixed base for logical time; 0 selects
+	// DefaultLogicalEpoch. [input]
+	LogicalEpoch int64
+
+	// Deadline bounds virtual time; 0 means unlimited. A timed-out build is
+	// classified Timeout in the evaluation. [input]
+	Deadline int64
+
+	// Ablation switches; all default to the full DetTrace configuration.
+	DisableSeccomp      bool // every syscall takes two ptrace stops (§5.11)
+	DisableVdso         bool // skip vDSO replacement: vDSO time calls leak (§5.3)
+	DisableDirSizes     bool // skip directory-size virtualization (§7.3)
+	DisableCpuidTrap    bool // pretend pre-Ivy-Bridge hardware (§5.8)
+	DisableInodeVirt    bool // report host inodes (§5.5)
+	DisableGetdentsSort bool // report host directory order (§5.5)
+
+	// WorkingDir is the container working directory (the --working-dir
+	// bind-mount target); empty selects /build when the image has it.
+	// [input]
+	WorkingDir string
+
+	// SpinLimit overrides the busy-wait detection threshold (0 keeps the
+	// scheduler default). [input]
+	SpinLimit int
+
+	// UpdateVirtualMtimes makes writes advance a file's virtual mtime —
+	// the "more realistic-looking virtual mtimes" extension §5.5 mentions.
+	// Off by default, matching the paper's prototype. [input]
+	UpdateVirtualMtimes bool
+
+	// FastVdso enables the §5.3 planned optimization: instead of
+	// downgrading vDSO timing calls to intercepted system calls, the
+	// patched vDSO answers them with logical time directly — no stop, no
+	// tracer serialization, same reproducible values. [input]
+	FastVdso bool
+
+	// ExperimentalSockets permits AF_UNIX sockets *within* the container
+	// (§5.9's future work): the reproducible scheduler already orders
+	// their dataflow deterministically, so container-internal IPC is safe
+	// to allow. Network reachability remains impossible — there is nothing
+	// outside the container to connect to. [input]
+	ExperimentalSockets bool
+
+	// ExperimentalSignals permits cross-process signals inside the
+	// container (§5.4's "in principle, fully reproducible via a logical
+	// clock"): delivery happens at the receiver's next scheduler-ordered
+	// stop, which is a pure function of logical history. [input]
+	ExperimentalSignals bool
+
+	// Downloads declares the container's permitted external fetches (§3:
+	// "downloading files with known checksums"): URL -> expected content.
+	// The fetch pseudo-syscall verifies the SHA-256 before any byte is
+	// visible; an undeclared or corrupt fetch aborts reproducibly. [input]
+	Downloads map[string]Download
+
+	// LogRealRandom implements the §5.2 escape hatch for applications that
+	// need true randomness: getrandom and /dev/[u]random serve real host
+	// entropy, and every byte is logged into Result.RandomLog so the run
+	// can be reproduced later by replaying the log. [input when replayed]
+	LogRealRandom bool
+	// RandomReplay, when non-nil, replays a previously captured RandomLog
+	// instead of drawing fresh entropy. Runs that exhaust the log get more
+	// LFSR bytes (and are flagged in the result). [input]
+	RandomReplay []byte
+
+	// Debug receives a kernel trace when non-nil (the --debug flag).
+	Debug func(format string, args ...any)
+}
+
+// Download is one declared external file: content pinned by checksum.
+type Download struct {
+	Data   []byte
+	SHA256 string // hex digest the content must match
+}
+
+// UnsupportedError is the reproducible container-level error DetTrace raises
+// for operations outside its supported set (§5.9).
+type UnsupportedError struct {
+	Op string // "socket", "cross-process signal", "busy-wait", or a syscall name
+}
+
+func (e *UnsupportedError) Error() string {
+	return "dettrace: unsupported operation: " + e.Op
+}
+
+// Result captures everything observable about one container run.
+type Result struct {
+	ExitCode int
+	Stdout   string
+	Stderr   string
+	FS       *fs.Image // final filesystem state
+	Err      error     // nil, *UnsupportedError (wrapped), timeout, or deadlock
+
+	WallTime int64 // virtual ns the run took on this host
+	Stats    kernel.Stats
+	Tracer   tracer.Session // stop/memory counters
+
+	// RandomLog holds every byte of true randomness served to the
+	// container when Config.LogRealRandom was set; feed it back through
+	// Config.RandomReplay to reproduce the run (§5.2).
+	RandomLog []byte
+	// ReplayExhausted reports that a RandomReplay ran out of bytes.
+	ReplayExhausted bool
+}
+
+// Unsupported reports whether the run aborted on an unsupported operation,
+// and which one.
+func (r *Result) Unsupported() (string, bool) {
+	var ue *UnsupportedError
+	if errors.As(r.Err, &ue) {
+		return ue.Op, true
+	}
+	return "", false
+}
+
+// TimedOut reports whether the run exceeded its virtual deadline.
+func (r *Result) TimedOut() bool { return errors.Is(r.Err, kernel.ErrTimeout) }
+
+// Container is the DetTrace tracer: it implements kernel.Policy and owns all
+// determinization state.
+type Container struct {
+	cfg    Config
+	k      *kernel.Kernel
+	sess   *tracer.Session
+	sched  *sched.Scheduler
+	filter *seccomp.Filter
+	prng   *prng.LFSR
+
+	// Virtual inode and mtime maps (§5.5): real inode -> virtual value,
+	// assigned lazily in first-touch order.
+	inoMap    map[uint64]uint64
+	nextIno   uint64
+	mtimeMap  map[uint64]int64
+	nextMtime int64
+
+	// PID namespace (§5.1): raw host pid -> virtual pid from 1.
+	vpid     map[int]int
+	rawPid   map[int]int // inverse
+	nextVPID int
+
+	// Per-process rdtsc counts for the §5.8 linear function.
+	rdtscCount map[*kernel.Proc]int64
+
+	// In-flight read/write retry state (Fig. 4), per thread.
+	rw map[*kernel.Thread]*rwRetry
+
+	// pendingOpen remembers the pre-open existence check (§5.5), per thread.
+	pendingOpen map[*kernel.Thread]bool
+
+	interceptCpuid bool
+
+	// §5.2 true-randomness escape hatch state.
+	randomLog       []byte
+	replayCursor    int
+	replayExhausted bool
+}
+
+// fillRandom services one randomness request per the container's policy:
+// seeded LFSR by default; logged host entropy or a replayed log when the
+// §5.2 escape hatch is enabled.
+func (c *Container) fillRandom(p []byte) {
+	switch {
+	case c.cfg.RandomReplay != nil:
+		n := copy(p, c.cfg.RandomReplay[c.replayCursor:])
+		c.replayCursor += n
+		if n < len(p) {
+			c.replayExhausted = true
+			c.prng.Fill(p[n:])
+		}
+	case c.cfg.LogRealRandom:
+		c.k.HW.Entropy.Fill(p)
+		c.randomLog = append(c.randomLog, p...)
+	default:
+		c.prng.Fill(p)
+	}
+}
+
+type rwRetry struct {
+	orig  []byte
+	total int64
+}
+
+// New assembles a container and its kernel, ready to Run.
+func New(cfg Config) *Container {
+	if cfg.Profile == nil {
+		cfg.Profile = machine.CloudLabC220G5()
+	}
+	if cfg.LogicalEpoch == 0 {
+		cfg.LogicalEpoch = DefaultLogicalEpoch
+	}
+	c := &Container{
+		cfg:         cfg,
+		sched:       sched.New(),
+		prng:        prng.NewLFSR(cfg.PRNGSeed),
+		inoMap:      make(map[uint64]uint64),
+		nextIno:     2, // inode 1 is conventionally reserved
+		mtimeMap:    make(map[uint64]int64),
+		vpid:        make(map[int]int),
+		rawPid:      make(map[int]int),
+		nextVPID:    1,
+		rdtscCount:  make(map[*kernel.Proc]int64),
+		rw:          make(map[*kernel.Thread]*rwRetry),
+		pendingOpen: make(map[*kernel.Thread]bool),
+	}
+	if cfg.SpinLimit > 0 {
+		c.sched.SpinLimit = cfg.SpinLimit
+	}
+	c.sess = tracer.NewSession(cfg.Profile.SeccompSingleStop && !cfg.DisableSeccomp)
+	if cfg.DisableSeccomp {
+		c.filter = seccomp.TraceAll()
+	} else {
+		c.filter = seccomp.DetTrace()
+	}
+	c.interceptCpuid = !cfg.DisableCpuidTrap && cfg.Profile.SupportsCpuidInterception()
+	return c
+}
+
+// Run executes path inside the container with the given argv/env, resolving
+// programs against reg. It blocks until the container finishes.
+func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *Result {
+	k := kernel.New(kernel.Config{
+		Profile:  c.cfg.Profile,
+		Seed:     c.cfg.HostSeed,
+		Epoch:    c.cfg.Epoch,
+		Image:    c.cfg.Image,
+		Policy:   c,
+		Resolver: reg.Resolver(),
+		Deadline: c.cfg.Deadline,
+		NumCPU:   c.cfg.NumCPU,
+	})
+	c.k = k
+	if c.cfg.Debug != nil {
+		k.SetDebug(c.cfg.Debug)
+	}
+	// The container's /dev/[u]random are fed from the seeded LFSR (§5.2),
+	// or from logged/replayed true randomness when configured.
+	k.RegisterDevice("urandom", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
+	k.RegisterDevice("random", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
+
+	// /proc reports the same canonical uniprocessor the cpuid mask and
+	// sysinfo do (§5.8): no host identity reaches readers of these files.
+	k.RegisterDevice("proc:cpuinfo", kernel.TextFile(func() string {
+		return "processor\t: 0\nmodel name\t: DetTrace Virtual CPU @ 2.00GHz\nflags\t\t: fpu sse2\n\n"
+	}))
+	k.RegisterDevice("proc:uptime", kernel.TextFile(func() string {
+		// Logical uptime: one "second" per time query, like §5.3's clock.
+		return fmt.Sprintf("%d.00 %d.00\n", c.timeQueries(), c.timeQueries())
+	}))
+	k.RegisterDevice("proc:meminfo", kernel.TextFile(func() string {
+		return "MemTotal:        4194304 kB\nMemFree:         2097152 kB\n"
+	}))
+	k.RegisterDevice("proc:version", kernel.TextFile(func() string {
+		return "Linux version 4.0.0-dettrace (dettrace@dettrace) #1 SMP\n"
+	}))
+
+	// Init execs the requested command so the OnExec hook (vDSO, traps,
+	// scratch page) fires exactly as it would for any process.
+	init := func(t *kernel.Thread) int {
+		p := &guest.Proc{T: t}
+		if err := p.Exec(path, argv, env); err != abi.OK {
+			p.Eprintf("dettrace: exec %s: %s\n", path, err)
+			return 127
+		}
+		return 127 // unreachable
+	}
+	proc := k.Start(init, argv, env)
+	// Namespace root: the invoking user maps to root; cwd is the bind-
+	// mounted working directory when the image provides /build.
+	proc.UID, proc.GID = 0, 0
+	c.vpid[proc.PID] = c.nextVPID
+	c.rawPid[c.nextVPID] = proc.PID
+	c.nextVPID++
+	c.armProcess(proc)
+	wd := c.cfg.WorkingDir
+	if wd == "" {
+		wd = "/build"
+	}
+	if n, err := k.ResolveInode(proc, wd, true); err == abi.OK && n.IsDir() {
+		proc.Cwd = n
+		proc.CwdPath = wd
+	}
+
+	runErr := k.Run()
+	res := &Result{
+		ExitCode: proc.ExitCode(),
+		Stdout:   k.Console.Stdout(),
+		Stderr:   k.Console.Stderr(),
+		FS:       k.FS.SnapshotImage(k.FS.Root),
+		Err:      runErr,
+		WallTime: k.Now(),
+		Stats:    k.Stats,
+		Tracer:   *c.sess,
+	}
+	res.Stats.MemReads = c.sess.MemReads
+	res.Stats.MemWrites = c.sess.MemWrites
+	res.RandomLog = c.randomLog
+	res.ReplayExhausted = c.replayExhausted
+	var ab *kernel.AbortError
+	if errors.As(runErr, &ab) {
+		res.Err = fmt.Errorf("dettrace: %w", ab.Err)
+	}
+	return res
+}
+
+// armProcess configures instruction trapping and the replaced vDSO for a
+// process, as DetTrace does after attach and after every execve.
+func (c *Container) armProcess(p *kernel.Proc) {
+	p.Trap.TSCTrap = true
+	p.Trap.CpuidTrap = c.interceptCpuid
+	if !c.cfg.DisableVdso {
+		p.VdsoReplaced = true
+		p.VdsoLogical = c.cfg.FastVdso
+		c.sess.WriteMem(p.Weight, 1) // patching the vDSO page
+	}
+	p.ScratchPage = true
+	c.sess.WriteMem(p.Weight, 1) // mapping the scratch page
+	p.DisableASLR()
+}
+
+// timeQueries sums logical-clock advancement across the container, the
+// deterministic stand-in for uptime.
+func (c *Container) timeQueries() int64 { return c.nextMtime + int64(c.nextVPID) }
+
+// virtIno returns (assigning lazily) the virtual inode for a real one.
+func (c *Container) virtIno(real uint64) uint64 {
+	if v, ok := c.inoMap[real]; ok {
+		return v
+	}
+	v := c.nextIno
+	c.nextIno++
+	c.inoMap[real] = v
+	return v
+}
+
+// newFileInode (re)assigns a fresh virtual inode and the next virtual mtime
+// for a file DetTrace observed being created — even if the OS recycled a
+// real inode number (§5.5).
+func (c *Container) newFileInode(real uint64) {
+	v := c.nextIno
+	c.nextIno++
+	c.inoMap[real] = v
+	c.nextMtime++
+	c.mtimeMap[real] = c.nextMtime
+}
+
+// virtMtime returns the virtual mtime (seconds) for a real inode; inodes
+// from the initial image report 0.
+func (c *Container) virtMtime(real uint64) int64 { return c.mtimeMap[real] }
+
+// virtDirSize is the machine-independent directory size function added for
+// §7.3 portability: a deterministic function of the entry count alone.
+func virtDirSize(entries int) int64 { return 4096 * (1 + int64(entries)/128) }

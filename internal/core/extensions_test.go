@@ -1,0 +1,90 @@
+package core_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+func TestRealRandomLoggingAndReplay(t *testing.T) {
+	prog := func(p *guest.Proc) int {
+		buf := make([]byte, 16)
+		p.GetRandom(buf)
+		p.Printf("a=%x ", buf)
+		fd, _ := p.Open("/dev/urandom", abi.ORdonly, 0)
+		p.Read(fd, buf[:8])
+		p.Close(fd)
+		p.Printf("b=%x", buf[:8])
+		return 0
+	}
+	// With logging on, two hosts produce *different* output: the container
+	// got true entropy.
+	a := runDT(t, hostA, core.Config{LogRealRandom: true}, prog)
+	b := runDT(t, hostB, core.Config{LogRealRandom: true}, prog)
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("runs failed: %v / %v", a.Err, b.Err)
+	}
+	if a.Stdout == b.Stdout {
+		t.Fatalf("true randomness produced identical streams — logging path broken")
+	}
+	if len(a.RandomLog) != 24 {
+		t.Fatalf("RandomLog = %d bytes, want 24", len(a.RandomLog))
+	}
+	// Replaying host A's log on host B reproduces host A's run exactly.
+	c := runDT(t, hostB, core.Config{RandomReplay: a.RandomLog}, prog)
+	if c.Stdout != a.Stdout {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", c.Stdout, a.Stdout)
+	}
+	if c.ReplayExhausted {
+		t.Errorf("replay should not have exhausted a complete log")
+	}
+	// A truncated log is flagged and padded deterministically.
+	d := runDT(t, hostB, core.Config{RandomReplay: a.RandomLog[:10]}, prog)
+	if !d.ReplayExhausted {
+		t.Errorf("truncated replay not flagged")
+	}
+}
+
+func TestUpdateVirtualMtimesExtension(t *testing.T) {
+	prog := func(p *guest.Proc) int {
+		p.WriteFile("/tmp/f", []byte("v1"), 0o644)
+		st1, _ := p.Stat("/tmp/f")
+		p.WriteFile("/tmp/other", []byte("x"), 0o644) // advances the counter
+		p.AppendFile("/tmp/f", []byte("v2"), 0o644)
+		st2, _ := p.Stat("/tmp/f")
+		p.Printf("m1=%d m2=%d", st1.Mtime.Sec, st2.Mtime.Sec)
+		return 0
+	}
+	// Default (paper prototype): writes do not update the virtual mtime.
+	res := runDT(t, hostA, core.Config{}, prog)
+	parts := strings.Fields(res.Stdout)
+	if parts[0] != strings.Replace(parts[1], "m2", "m1", 1) {
+		t.Errorf("default config: mtime changed on write: %q", res.Stdout)
+	}
+	// Extension on: the second version has a later mtime.
+	res = runDT(t, hostA, core.Config{UpdateVirtualMtimes: true}, prog)
+	var m1, m2 int64
+	if _, err := sscan(res.Stdout, &m1, &m2); err != nil {
+		t.Fatalf("bad output %q", res.Stdout)
+	}
+	if m2 <= m1 {
+		t.Errorf("extension on: mtime did not advance on write: %q", res.Stdout)
+	}
+	// Still deterministic across hosts.
+	other := runDT(t, hostB, core.Config{UpdateVirtualMtimes: true}, prog)
+	if other.Stdout != res.Stdout {
+		t.Errorf("mtime extension not portable: %q vs %q", other.Stdout, res.Stdout)
+	}
+}
+
+// sscan parses "m1=%d m2=%d".
+func sscan(s string, m1, m2 *int64) (int, error) {
+	var n int
+	var err error
+	n, err = fmt.Sscanf(s, "m1=%d m2=%d", m1, m2)
+	return n, err
+}

@@ -1,0 +1,413 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/kernel"
+)
+
+// This file holds DetTrace's per-syscall determinization handlers — the
+// concrete realization of the §5 taxonomy. enterHandlers runs at the
+// pre-syscall stop (emulate or rewrite arguments), exitHandlers at the
+// post-syscall stop (rewrite results, inject retries).
+
+// enterHandlers may fully emulate the call (DispEmulate) or rewrite its
+// arguments before the kernel sees it. Returns true when the EnterResult is
+// final.
+func (c *Container) enterHandlers(t *kernel.Thread, sc *abi.Syscall, er *kernel.EnterResult) bool {
+	p := t.Proc
+	w := p.Weight
+	switch sc.Num {
+	case abi.SysTime:
+		// Logical time (§5.3): a count of time queries, monotone and
+		// reproducible.
+		er.Disposition = kernel.DispEmulate
+		sc.Ret = c.logicalSeconds(p)
+		return true
+
+	case abi.SysGettimeofday, abi.SysClockGettime:
+		er.Disposition = kernel.DispEmulate
+		secs := c.logicalSeconds(p)
+		if out, ok := sc.Obj.(*abi.Timespec); ok && out != nil {
+			*out = abi.Timespec{Sec: secs}
+			er.PostCost += c.sess.WriteMem(w, 1)
+		}
+		sc.Ret = 0
+		return true
+
+	case abi.SysNanosleep:
+		// Sleeps become NOPs: the call is rewritten to the harmless `time`
+		// syscall before the kernel examines it (§5.10).
+		er.Disposition = kernel.DispEmulate
+		sc.Ret = 0
+		return true
+
+	case abi.SysAlarm:
+		// Timers expire "instantaneously" (§5.4): DetTrace itself sends the
+		// signal and the kernel never sees a timer.
+		er.Disposition = kernel.DispEmulate
+		if sc.Arg[0] > 0 {
+			c.k.PostSignal(p, abi.SIGALRM)
+		}
+		sc.Ret = 0
+		return true
+
+	case abi.SysSetitimer:
+		er.Disposition = kernel.DispEmulate
+		if it, ok := sc.Obj.(*abi.Itimerval); ok && it != nil && it.Value > 0 {
+			c.k.PostSignal(p, abi.SIGVTALRM)
+		}
+		sc.Ret = 0
+		return true
+
+	case abi.SysGetrandom:
+		// OS randomness comes from the container's seeded LFSR — or, with
+		// the escape hatch enabled, logged/replayed true entropy (§5.2).
+		er.Disposition = kernel.DispEmulate
+		c.fillRandom(sc.Buf)
+		er.PostCost += c.sess.WriteMem(w, 1)
+		sc.Ret = int64(len(sc.Buf))
+		return true
+
+	case abi.SysUname:
+		// The container always reports the same simple machine (§3): a
+		// pinned kernel version and hostname, hiding the host's.
+		er.Disposition = kernel.DispEmulate
+		if out, ok := sc.Obj.(*abi.Utsname); ok && out != nil {
+			*out = abi.Utsname{
+				Sysname:  "Linux",
+				Nodename: "dettrace",
+				Release:  "4.0.0-dettrace",
+				Version:  "#1 SMP",
+				Machine:  "x86_64",
+			}
+			er.PostCost += c.sess.WriteMem(w, 1)
+		}
+		sc.Ret = 0
+		return true
+
+	case abi.SysSysinfo:
+		// A canonical uniprocessor with fixed memory (§5.8).
+		er.Disposition = kernel.DispEmulate
+		if out, ok := sc.Obj.(*abi.Sysinfo); ok && out != nil {
+			*out = abi.Sysinfo{
+				Uptime:   p.TimeCallCount,
+				TotalRAM: 4 << 30,
+				FreeRAM:  2 << 30,
+				Procs:    uint16(c.nextVPID - 1),
+				NumCPU:   1,
+			}
+			er.PostCost += c.sess.WriteMem(w, 1)
+		}
+		sc.Ret = 0
+		return true
+
+	case abi.SysUtimes, abi.SysUtimensat:
+		// A null times pointer would make the kernel stamp host wall-clock
+		// time; DetTrace allocates a reproducible struct in the tracee's
+		// scratch page instead (§5.10).
+		if sc.Obj == nil {
+			times := [2]abi.Timespec{{}, {Sec: c.nextMtime}}
+			sc.Obj = &times
+			er.PostCost += c.sess.WriteMem(w, 1)
+		}
+		return false
+
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
+		// Pre-open existence check so the post stop can tell creations from
+		// re-opens (§5.5).
+		_, rerr := c.k.ResolveInode(p, sc.Path, true)
+		c.pendingOpen[t] = rerr == abi.OK
+		er.PreCost += c.sess.ReadProc(w)
+		return false
+
+	case abi.SysWait4:
+		// Translate a virtual pid argument back to the host pid.
+		if sc.Arg[0] > 0 {
+			if raw, ok := c.rawPid[int(sc.Arg[0])]; ok {
+				sc.Arg[0] = int64(raw)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// enterKill vets kill: self-signals are permitted (precise-exception style),
+// cross-process signals are unsupported (§5.4) — unless the experimental
+// reproducible-delivery mode is on, in which case the deterministic
+// scheduler makes the delivery point a pure function of logical history.
+func (c *Container) enterKill(t *kernel.Thread, sc *abi.Syscall) (kernel.EnterResult, bool) {
+	target := int(sc.Arg[0])
+	if raw, ok := c.rawPid[target]; ok {
+		sc.Arg[0] = int64(raw)
+		target = raw
+	}
+	if target != t.Proc.PID && !c.cfg.ExperimentalSignals {
+		return abort(&UnsupportedError{Op: "cross-process signal"}), true
+	}
+	return kernel.EnterResult{}, false
+}
+
+// enterFetch services the checksummed-download pseudo-syscall (§3): only
+// declared URLs whose content matches the pinned SHA-256 are visible.
+func (c *Container) enterFetch(t *kernel.Thread, sc *abi.Syscall) kernel.EnterResult {
+	url := sc.Path
+	dl, ok := c.cfg.Downloads[url]
+	if !ok {
+		return abort(&UnsupportedError{Op: "undeclared download: " + url})
+	}
+	sum := sha256.Sum256(dl.Data)
+	if hex.EncodeToString(sum[:]) != strings.ToLower(dl.SHA256) {
+		return abort(&UnsupportedError{Op: "checksum mismatch: " + url})
+	}
+	if out, k := sc.Obj.(*[]byte); k && out != nil {
+		*out = append([]byte(nil), dl.Data...)
+	}
+	sc.Ret = int64(len(dl.Data))
+	w := t.Proc.Weight
+	return kernel.EnterResult{
+		Disposition: kernel.DispEmulate,
+		Serialize:   true,
+		LocalCost:   c.sess.InterceptCost(w),
+		PostCost:    c.sess.HandlerCost(abi.SysFetch, w) + c.sess.WriteMem(w, 1+int64(len(dl.Data))/4096),
+	}
+}
+
+// exitHandlers rewrites results at the post-syscall stop.
+func (c *Container) exitHandlers(t *kernel.Thread, sc *abi.Syscall, xr *kernel.ExitResult) {
+	p := t.Proc
+	w := p.Weight
+	switch sc.Num {
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
+		existed := c.pendingOpen[t]
+		delete(c.pendingOpen, t)
+		if sc.Err() != abi.OK {
+			return
+		}
+		// Identify the real inode through /proc/<pid>/fd (§5.5).
+		ino, ferr := c.k.FDInode(p, int(sc.Ret))
+		xr.PostCost += c.sess.ReadProc(w)
+		if ferr != abi.OK {
+			return
+		}
+		if !existed {
+			c.newFileInode(ino.Ino)
+		}
+
+	case abi.SysStat, abi.SysLstat, abi.SysFstat:
+		if sc.Err() != abi.OK {
+			return
+		}
+		st, ok := sc.Obj.(*abi.Stat)
+		if !ok || st == nil {
+			return
+		}
+		c.rewriteStat(t, sc, st)
+		xr.PostCost += c.sess.WriteMem(w, 1)
+
+	case abi.SysGetdents:
+		if sc.Err() != abi.OK {
+			return
+		}
+		out, ok := sc.Obj.(*[]abi.Dirent)
+		if !ok || out == nil {
+			return
+		}
+		if !c.cfg.DisableGetdentsSort {
+			sortDirents(*out)
+		}
+		if !c.cfg.DisableInodeVirt {
+			for i := range *out {
+				(*out)[i].Ino = c.virtIno((*out)[i].Ino)
+			}
+		}
+		xr.PostCost += c.sess.WriteMem(w, int64(1+len(*out)/16))
+
+	case abi.SysRead:
+		c.retryRead(t, sc, xr)
+
+	case abi.SysWrite:
+		c.retryWrite(t, sc, xr)
+		if c.cfg.UpdateVirtualMtimes && sc.Err() == abi.OK && !xr.Retry {
+			// Extension (§5.5): writes advance the file's virtual mtime.
+			if ino, ferr := c.k.FDInode(p, int(sc.Arg[0])); ferr == abi.OK && ino.IsRegular() {
+				c.nextMtime++
+				c.mtimeMap[ino.Ino] = c.nextMtime
+				xr.PostCost += c.sess.ReadProc(w)
+			}
+		}
+
+	case abi.SysFork, abi.SysClone:
+		if sc.Err() != abi.OK {
+			return
+		}
+		if sc.Num == abi.SysClone && sc.Arg[0]&abi.CloneThread != 0 {
+			// Thread ids are scheduler-virtual.
+			sc.Ret = int64(1000 + c.sched.VTID(lastThread(p)))
+			return
+		}
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		}
+
+	case abi.SysGetpid:
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		}
+
+	case abi.SysGetppid:
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		} else {
+			sc.Ret = 0 // parent is outside the namespace
+		}
+
+	case abi.SysGetTid:
+		sc.Ret = int64(1000 + c.sched.VTID(t))
+
+	case abi.SysWait4:
+		if sc.Err() != abi.OK || sc.Ret <= 0 {
+			return
+		}
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		}
+		if wr, ok := sc.Obj.(*kernel.WaitResult); ok && wr != nil {
+			if v, ok := c.vpid[wr.PID]; ok {
+				wr.PID = v
+			}
+			// rusage carries host timing; zero it reproducibly.
+			wr.Usage = abi.Rusage{}
+			xr.PostCost += c.sess.WriteMem(w, 1)
+		}
+	}
+}
+
+// rewriteStat applies the §5.5 metadata virtualization: virtual inodes,
+// zeroed atime/ctime, creation-ordered mtimes, canonical device numbers and
+// machine-independent directory sizes (§7.3).
+func (c *Container) rewriteStat(t *kernel.Thread, sc *abi.Syscall, st *abi.Stat) {
+	p := t.Proc
+	realIno := st.Ino
+	if !c.cfg.DisableInodeVirt {
+		st.Ino = c.virtIno(realIno)
+		st.Dev = 1
+	}
+	st.Atime = abi.Timespec{}
+	st.Ctime = abi.Timespec{}
+	st.Mtime = abi.Timespec{Sec: c.virtMtime(realIno)}
+	st.Blksize = 512
+	if st.IsDir() && !c.cfg.DisableDirSizes {
+		// The host's directory size formula varies across machines; report
+		// a pure function of the entry count instead.
+		var entries int
+		switch sc.Num {
+		case abi.SysFstat:
+			if n, err := c.k.FDInode(p, int(sc.Arg[0])); err == abi.OK {
+				entries = n.NumEntries()
+			}
+		default:
+			if n, err := c.k.ResolveInode(p, sc.Path, sc.Num == abi.SysStat); err == abi.OK {
+				entries = n.NumEntries()
+			}
+		}
+		c.sess.ReadProc(p.Weight)
+		st.Size = virtDirSize(entries)
+	}
+	st.Blocks = (st.Size + 511) / 512
+}
+
+// retryRead implements Fig. 4: a read that returned fewer bytes than
+// requested is replayed (PC reset, arguments advanced) until the buffer is
+// full or EOF.
+func (c *Container) retryRead(t *kernel.Thread, sc *abi.Syscall, xr *kernel.ExitResult) {
+	st := c.rw[t]
+	if sc.Err() != abi.OK {
+		if st != nil {
+			c.finishRetry(t, sc, st)
+		}
+		return
+	}
+	n := sc.Ret
+	if st == nil {
+		if n == 0 || n == int64(len(sc.Buf)) {
+			return // complete on the first try
+		}
+		st = &rwRetry{orig: sc.Buf, total: n}
+		c.rw[t] = st
+		sc.Buf = sc.Buf[n:]
+		c.k.Stats.ReadRetries += t.Proc.Weight
+		xr.Retry = true
+		xr.PostCost += c.sess.Costs.Stop * t.Proc.Weight
+		return
+	}
+	st.total += n
+	if n == 0 || st.total == int64(len(st.orig)) {
+		c.finishRetry(t, sc, st)
+		return
+	}
+	sc.Buf = sc.Buf[n:]
+	c.k.Stats.ReadRetries += t.Proc.Weight
+	xr.Retry = true
+	xr.PostCost += c.sess.Costs.Stop * t.Proc.Weight
+}
+
+// retryWrite is the symmetric treatment for partial writes.
+func (c *Container) retryWrite(t *kernel.Thread, sc *abi.Syscall, xr *kernel.ExitResult) {
+	st := c.rw[t]
+	if sc.Err() != abi.OK {
+		if st != nil {
+			c.finishRetry(t, sc, st)
+		}
+		return
+	}
+	n := sc.Ret
+	if st == nil {
+		if n == int64(len(sc.Buf)) {
+			return
+		}
+		st = &rwRetry{orig: sc.Buf, total: n}
+		c.rw[t] = st
+		sc.Buf = sc.Buf[n:]
+		c.k.Stats.WriteRetries += t.Proc.Weight
+		xr.Retry = true
+		xr.PostCost += c.sess.Costs.Stop * t.Proc.Weight
+		return
+	}
+	st.total += n
+	if st.total == int64(len(st.orig)) {
+		c.finishRetry(t, sc, st)
+		return
+	}
+	sc.Buf = sc.Buf[n:]
+	c.k.Stats.WriteRetries += t.Proc.Weight
+	xr.Retry = true
+	xr.PostCost += c.sess.Costs.Stop * t.Proc.Weight
+}
+
+// finishRetry restores the original buffer and reports the accumulated
+// count, so the tracee perceives one complete call.
+func (c *Container) finishRetry(t *kernel.Thread, sc *abi.Syscall, st *rwRetry) {
+	sc.Buf = st.orig
+	if sc.Err() == abi.OK {
+		sc.Ret = st.total
+	} else if st.total > 0 {
+		// Data already transferred wins over a late error.
+		sc.Ret = st.total
+	}
+	delete(c.rw, t)
+}
+
+// logicalSeconds advances and returns the process's logical clock (§5.3).
+func (c *Container) logicalSeconds(p *kernel.Proc) int64 {
+	s := c.cfg.LogicalEpoch + p.TimeCallCount
+	p.TimeCallCount++
+	return s
+}
+
+// lastThread returns the most recently created thread of p.
+func lastThread(p *kernel.Proc) *kernel.Thread { return p.Threads[len(p.Threads)-1] }

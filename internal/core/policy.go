@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/cpu"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/seccomp"
+)
+
+// Container implements kernel.Policy: this file is the tracer's event loop
+// half — scheduling, the pre/post syscall stops, instruction traps and
+// lifecycle hooks. The per-syscall determinization logic lives in
+// handlers.go.
+
+var _ kernel.Policy = (*Container)(nil)
+
+// Name implements kernel.Policy.
+func (c *Container) Name() string { return "dettrace" }
+
+// ThreadsSerialized tells the kernel's time model that threads within a
+// process share one execution token (§5.7).
+func (c *Container) ThreadsSerialized() bool { return true }
+
+// PickNext delegates to the reproducible scheduler and converts its
+// busy-wait detection into a container abort.
+func (c *Container) PickNext(k *kernel.Kernel, pending []*kernel.Thread) *kernel.Thread {
+	t := c.sched.Pick(k, pending)
+	if c.sched.Err != nil {
+		k.Abort(&UnsupportedError{Op: "busy-wait"})
+		c.sched.Err = nil
+		return nil
+	}
+	return t
+}
+
+// syscallKnown lists every call DetTrace has a determinization story for.
+// Anything else raises a reproducible container error (§5.9) — the "long
+// tail of miscellaneous system calls" from §7.1.1.
+func (c *Container) syscallKnown(nr abi.Sysno) bool {
+	switch nr {
+	case abi.SysMount, abi.SysSchedAffinity, abi.SysPersonality:
+		return false
+	}
+	return true
+}
+
+// SyscallEnter is the pre-syscall stop.
+func (c *Container) SyscallEnter(t *kernel.Thread, sc *abi.Syscall) kernel.EnterResult {
+	w := t.Proc.Weight
+	nr := sc.Num
+
+	// Unsupported operation classes abort the container reproducibly.
+	switch {
+	case isSocketCall(nr) && !c.cfg.ExperimentalSockets:
+		return abort(&UnsupportedError{Op: "socket"})
+	case nr == abi.SysFetch:
+		return c.enterFetch(t, sc)
+	case !c.syscallKnown(nr):
+		return abort(&UnsupportedError{Op: "syscall:" + nr.String()})
+	case nr == abi.SysKill:
+		if res, ok := c.enterKill(t, sc); ok {
+			return res
+		}
+	}
+
+	// seccomp-bpf verdict: allowed calls run natively with no stops (§5.11).
+	if c.filter.Decide(nr) == seccomp.Allow {
+		return kernel.EnterResult{Disposition: kernel.DispExecute}
+	}
+
+	er := kernel.EnterResult{
+		Disposition: kernel.DispExecute,
+		Serialize:   true,
+	}
+	if sc.Attempts == 0 {
+		er.LocalCost = c.sess.InterceptCost(w) // tracee-side stop stall
+		er.PostCost = c.sess.HandlerCost(nr, w)
+	} else {
+		// Replays pay a single stop, not the full handler again.
+		er.LocalCost = c.sess.Costs.Stop * w
+	}
+
+	// Path arguments must be read from tracee memory (registers come with
+	// the stop itself).
+	if sc.Attempts == 0 {
+		n := int64(0)
+		if sc.Path != "" {
+			n++
+		}
+		if sc.Path2 != "" {
+			n++
+		}
+		if n > 0 {
+			er.PreCost += c.sess.ReadMem(w, n)
+		}
+	}
+
+	if done := c.enterHandlers(t, sc, &er); done {
+		return er
+	}
+	return er
+}
+
+func abort(err error) kernel.EnterResult {
+	return kernel.EnterResult{Disposition: kernel.DispAbort, AbortErr: err}
+}
+
+// SyscallExit is the post-syscall stop: result rewriting and retry
+// injection.
+func (c *Container) SyscallExit(t *kernel.Thread, sc *abi.Syscall) kernel.ExitResult {
+	var xr kernel.ExitResult
+	if c.filter.Decide(sc.Num) == seccomp.Allow {
+		return xr
+	}
+	c.exitHandlers(t, sc, &xr)
+	if !xr.Retry {
+		// Every completed system call is a thread context-switch point
+		// under the serialized-thread rule (§5.9).
+		c.sched.ReleaseToken(t)
+	}
+	return xr
+}
+
+// WouldBlock converts every blocking call into the parked/Blocked-queue
+// discipline of §5.6.1. The thread token passes on so siblings can make the
+// progress that will unblock this call.
+func (c *Container) WouldBlock(t *kernel.Thread, sc *abi.Syscall) bool {
+	c.sched.ReleaseToken(t)
+	return true
+}
+
+// Instr emulates trapped instructions (§5.8).
+func (c *Container) Instr(t *kernel.Thread, req cpu.Request) (cpu.Result, bool, int64) {
+	cost := (c.sess.Costs.Stop + c.sess.Costs.HandlerLight) * t.Proc.Weight
+	switch req.Instr {
+	case cpu.RDTSC, cpu.RDTSCP:
+		c.rdtscCount[t.Proc] += t.Proc.Weight
+		// A linear function of rdtsc instructions executed so far: time
+		// that advances, reproducibly.
+		v := uint64(0x4000_0000 + c.rdtscCount[t.Proc]*1000)
+		return cpu.Result{Value: v, OK: true}, true, cost
+	case cpu.CPUID:
+		return cpu.Result{Leaf: c.maskedCPUID(req.Leaf), OK: true}, true, cost
+	default:
+		// rdrand, rdseed and TSX cannot be trapped from ring 0 — the
+		// paper's critical-instruction finding (§4). They execute on the
+		// hardware, irreproducibly; DetTrace hides them via cpuid and
+		// relies on programs being well-behaved.
+		return cpu.Result{}, false, 0
+	}
+}
+
+// maskedCPUID presents the canonical simplified machine: one core, a fixed
+// cache, no TSX, no hardware randomness (§5.8).
+func (c *Container) maskedCPUID(leaf uint32) machine.CPUIDLeaf {
+	switch leaf {
+	case 0:
+		return machine.CPUIDLeaf{EAX: 0x16, EBX: 0x756e6547, ECX: 0x6c65746e, EDX: 0x49656e69}
+	case 1:
+		return machine.CPUIDLeaf{EAX: 0x000306a9, EBX: 1 << 16} // one core, no rdrand bit
+	case 4:
+		return machine.CPUIDLeaf{EAX: 0, EBX: 8192} // canonical cache size
+	case 7:
+		return machine.CPUIDLeaf{} // no TSX, no rdseed
+	case 0x16:
+		return machine.CPUIDLeaf{EAX: 2000}
+	default:
+		return machine.CPUIDLeaf{}
+	}
+}
+
+// OnSpawn registers the new thread with the scheduler and assigns virtual
+// ids; spawn is a scheduling decision point.
+func (c *Container) OnSpawn(parent, child *kernel.Thread) {
+	c.sched.Register(child)
+	if child.Proc != parent.Proc {
+		v := c.nextVPID
+		c.nextVPID++
+		c.vpid[child.Proc.PID] = v
+		c.rawPid[v] = child.Proc.PID
+	}
+	c.sched.ReleaseToken(parent)
+}
+
+// OnExit removes the thread from scheduling state.
+func (c *Container) OnExit(t *kernel.Thread) {
+	c.sched.Unregister(t)
+	delete(c.rw, t)
+	delete(c.pendingOpen, t)
+}
+
+// OnExec re-arms instruction traps, replaces the fresh vDSO and maps the
+// scratch page in the new image (§5.3, §5.8, §5.10).
+func (c *Container) OnExec(t *kernel.Thread) {
+	c.armProcess(t.Proc)
+}
+
+// VdsoTime implements kernel.VdsoProvider for the FastVdso configuration:
+// the patched vDSO answers timing reads with logical time, no stop needed.
+func (c *Container) VdsoTime(t *kernel.Thread) int64 {
+	return c.logicalSeconds(t.Proc) * 1e9
+}
+
+func isSocketCall(nr abi.Sysno) bool {
+	switch nr {
+	case abi.SysSocket, abi.SysSocketpair, abi.SysBind, abi.SysListen,
+		abi.SysConnect, abi.SysAccept, abi.SysAccept4, abi.SysSendto,
+		abi.SysRecvfrom:
+		return true
+	}
+	return false
+}
+
+// sortDirents orders getdents results by name (§5.5).
+func sortDirents(ents []abi.Dirent) {
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+}

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+)
+
+func procProgram(p *guest.Proc) int {
+	for _, f := range []string{"cpuinfo", "uptime", "meminfo", "version"} {
+		data, err := p.ReadFile("/proc/" + f)
+		p.Printf("%s[%v]=%q\n", f, err, data)
+	}
+	return 0
+}
+
+func TestProcFilesMasked(t *testing.T) {
+	a := runDT(t, hostA, core.Config{}, procProgram)
+	b := runDT(t, hostB, core.Config{}, procProgram)
+	if a.Err != nil {
+		t.Fatalf("run: %v", a.Err)
+	}
+	if a.Stdout != b.Stdout {
+		t.Errorf("/proc leaked host identity:\n%s\nvs\n%s", a.Stdout, b.Stdout)
+	}
+	if !strings.Contains(a.Stdout, "DetTrace Virtual CPU") {
+		t.Errorf("cpuinfo not canonical: %s", a.Stdout)
+	}
+	if strings.Contains(a.Stdout, "Xeon") || strings.Contains(a.Stdout, "generic") {
+		t.Errorf("host strings visible: %s", a.Stdout)
+	}
+	// One processor only.
+	if strings.Count(a.Stdout, "processor") != 1 {
+		t.Errorf("cpuinfo advertises multiple processors: %s", a.Stdout)
+	}
+}
+
+func TestProcFilesLeakNatively(t *testing.T) {
+	a := runBaseline(t, hostA, procProgram)
+	b := runBaseline(t, hostB, procProgram)
+	if a == b {
+		t.Errorf("native /proc identical across machines — leak model missing")
+	}
+	if !strings.Contains(a, "Xeon") {
+		t.Errorf("native cpuinfo should name the host CPU: %s", a)
+	}
+}

@@ -1,0 +1,137 @@
+// Package cpu models the guest-visible x86-64 instructions from the paper's
+// irreproducibility taxonomy (§4, §5.8): rdtsc/rdtscp (cycle counter),
+// cpuid (machine identification), rdrand/rdseed (hardware entropy) and the
+// TSX xbegin instruction (whose abort behaviour is the paper's one
+// definitively *critical* — untrappable — irreproducibility source).
+//
+// Hardware executes instructions through HW; per-thread trap configuration
+// (prctl PR_SET_TSC, arch_prctl ARCH_SET_CPUID) decides whether an
+// instruction instead faults to the tracer, which is how DetTrace emulates
+// them reproducibly.
+package cpu
+
+import (
+	"repro/internal/machine"
+	"repro/internal/prng"
+)
+
+// Instr identifies one modelled instruction.
+type Instr int
+
+// The modelled instruction set.
+const (
+	RDTSC Instr = iota
+	RDTSCP
+	CPUID
+	RDRAND
+	RDSEED
+	XBEGIN // TSX transaction begin; result reports commit or abort
+)
+
+var instrNames = [...]string{"rdtsc", "rdtscp", "cpuid", "rdrand", "rdseed", "xbegin"}
+
+// String returns the mnemonic.
+func (i Instr) String() string {
+	if int(i) < len(instrNames) {
+		return instrNames[i]
+	}
+	return "instr?"
+}
+
+// Request is one issued instruction. Leaf is the cpuid leaf for CPUID.
+type Request struct {
+	Instr Instr
+	Leaf  uint32
+}
+
+// Result is what the instruction left in the registers.
+type Result struct {
+	Value   uint64            // rdtsc[p], rdrand, rdseed
+	Leaf    machine.CPUIDLeaf // cpuid
+	OK      bool              // rdrand/rdseed carry flag; xbegin commit
+	Trapped bool              // true when a tracer emulated the instruction
+}
+
+// TrapConfig is the per-thread trap state the kernel keeps and the tracer
+// programs (§5.8). Inherited across fork, reset by execve like the real
+// prctl TSC setting is not — DetTrace re-arms it after every execve.
+type TrapConfig struct {
+	TSCTrap   bool // PR_SET_TSC = PR_TSC_SIGSEGV
+	CpuidTrap bool // ARCH_SET_CPUID = 0, requires hardware support
+}
+
+// HW executes instructions the way the physical machine would, drawing
+// nondeterminism from the host entropy pool and the host clock.
+type HW struct {
+	Profile *machine.Profile
+	Entropy *prng.Host
+	// Now returns virtual nanoseconds since boot.
+	Now func() int64
+
+	bootTSC uint64
+}
+
+// NewHW builds the hardware executor for one simulated boot.
+func NewHW(p *machine.Profile, entropy *prng.Host, now func() int64) *HW {
+	return &HW{
+		Profile: p,
+		Entropy: entropy,
+		Now:     now,
+		// The TSC does not start at zero on real machines; the offset is a
+		// boot-time accident.
+		bootTSC: entropy.Uint64() % (1 << 40),
+	}
+}
+
+// TSC returns the current cycle count: boot offset plus elapsed virtual time
+// scaled by the machine's TSC frequency.
+func (h *HW) TSC() uint64 {
+	return h.bootTSC + uint64(h.Now())*(h.Profile.TSCHz/1e6)/1e3
+}
+
+// Execute runs one instruction in "hardware".
+func (h *HW) Execute(req Request) Result {
+	switch req.Instr {
+	case RDTSC, RDTSCP:
+		return Result{Value: h.TSC(), OK: true}
+	case CPUID:
+		return Result{Leaf: h.Profile.CPUID(req.Leaf), OK: true}
+	case RDRAND:
+		if !h.Profile.HasRDRAND {
+			// Executing rdrand on silicon without it is #UD; we model it as
+			// a failed carry flag so guests can degrade gracefully.
+			return Result{OK: false}
+		}
+		return Result{Value: h.Entropy.Uint64(), OK: true}
+	case RDSEED:
+		if !h.Profile.HasRDRAND {
+			return Result{OK: false}
+		}
+		return Result{Value: h.Entropy.Uint64(), OK: true}
+	case XBEGIN:
+		if !h.Profile.HasTSX {
+			return Result{OK: false} // #UD modelled as immediate abort
+		}
+		// Transactions abort for highly irreproducible reasons — timer
+		// interrupts, cache pressure (§4). Model a 25% abort rate drawn
+		// from host entropy: definitively untrappable nondeterminism.
+		return Result{OK: h.Entropy.Intn(4) != 0}
+	default:
+		return Result{}
+	}
+}
+
+// Traps reports whether the instruction faults to the tracer under cfg on
+// this hardware. rdtsc trapping is universal (PR_SET_TSC); cpuid faulting
+// needs Ivy Bridge+ and kernel support; rdrand/rdseed/TSX cannot be trapped
+// from ring 0 at all — the paper's critical-instruction finding.
+func (h *HW) Traps(req Request, cfg TrapConfig) bool {
+	switch req.Instr {
+	case RDTSC, RDTSCP:
+		return cfg.TSCTrap
+	case CPUID:
+		return cfg.CpuidTrap && h.Profile.SupportsCpuidInterception()
+	default:
+		return false
+	}
+}

@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/prng"
+)
+
+func newHW(p *machine.Profile, seed uint64) (*HW, *int64) {
+	now := new(int64)
+	return NewHW(p, prng.NewHost(seed), func() int64 { return *now }), now
+}
+
+func TestTSCAdvancesWithTime(t *testing.T) {
+	hw, now := newHW(machine.CloudLabC220G5(), 1)
+	a := hw.TSC()
+	*now += 1_000_000 // 1ms
+	b := hw.TSC()
+	if b <= a {
+		t.Fatalf("TSC did not advance: %d -> %d", a, b)
+	}
+	// ~2.2GHz: 1ms is ~2.2M cycles.
+	if d := b - a; d < 1_000_000 || d > 5_000_000 {
+		t.Errorf("TSC rate off: %d cycles per ms", d)
+	}
+}
+
+func TestTSCBootOffsetVariesAcrossBoots(t *testing.T) {
+	a, _ := newHW(machine.CloudLabC220G5(), 1)
+	b, _ := newHW(machine.CloudLabC220G5(), 2)
+	if a.TSC() == b.TSC() {
+		t.Errorf("boot TSC offsets identical across boots")
+	}
+}
+
+func TestRdrandGatedByHardware(t *testing.T) {
+	sky, _ := newHW(machine.CloudLabC220G5(), 3)
+	if r := sky.Execute(Request{Instr: RDRAND}); !r.OK {
+		t.Errorf("rdrand should succeed on Skylake")
+	}
+	old, _ := newHW(machine.LegacySandyBridge(), 3)
+	if r := old.Execute(Request{Instr: RDRAND}); r.OK {
+		t.Errorf("rdrand should fail on Sandy Bridge")
+	}
+}
+
+func TestRdrandIsNondeterministic(t *testing.T) {
+	hw, _ := newHW(machine.CloudLabC220G5(), 4)
+	a := hw.Execute(Request{Instr: RDRAND}).Value
+	b := hw.Execute(Request{Instr: RDRAND}).Value
+	if a == b {
+		t.Errorf("consecutive rdrand values identical")
+	}
+}
+
+func TestTSXAbortsNondeterministically(t *testing.T) {
+	hw, _ := newHW(machine.CloudLabC220G5(), 5)
+	aborts, commits := 0, 0
+	for i := 0; i < 400; i++ {
+		if hw.Execute(Request{Instr: XBEGIN}).OK {
+			commits++
+		} else {
+			aborts++
+		}
+	}
+	if aborts == 0 || commits == 0 {
+		t.Errorf("TSX should both commit and abort: %d/%d", commits, aborts)
+	}
+	noTSX, _ := newHW(machine.BioHaswell(), 5) // profile without TSX
+	if noTSX.Execute(Request{Instr: XBEGIN}).OK {
+		t.Errorf("xbegin on TSX-less hardware should abort (#UD model)")
+	}
+}
+
+func TestTrapGating(t *testing.T) {
+	hw, _ := newHW(machine.CloudLabC220G5(), 6)
+	none := TrapConfig{}
+	full := TrapConfig{TSCTrap: true, CpuidTrap: true}
+
+	if hw.Traps(Request{Instr: RDTSC}, none) {
+		t.Errorf("rdtsc trapped without PR_SET_TSC")
+	}
+	if !hw.Traps(Request{Instr: RDTSC}, full) {
+		t.Errorf("rdtsc not trapped with PR_SET_TSC")
+	}
+	if !hw.Traps(Request{Instr: CPUID}, full) {
+		t.Errorf("cpuid not trapped on Ivy Bridge+ hardware")
+	}
+	// The paper's critical instructions: not trappable at all (§4).
+	for _, in := range []Instr{RDRAND, RDSEED, XBEGIN} {
+		if hw.Traps(Request{Instr: in}, full) {
+			t.Errorf("%v must not be trappable from ring 0", in)
+		}
+	}
+	// Pre-Ivy-Bridge hardware cannot trap cpuid even when asked.
+	old, _ := newHW(machine.LegacySandyBridge(), 6)
+	if old.Traps(Request{Instr: CPUID}, full) {
+		t.Errorf("cpuid trapped on Sandy Bridge")
+	}
+}
+
+func TestCPUIDReflectsProfile(t *testing.T) {
+	hw, _ := newHW(machine.CloudLabC220G5(), 7)
+	leaf := hw.Execute(Request{Instr: CPUID, Leaf: 1})
+	if leaf.Leaf.EBX>>16 != 40 {
+		t.Errorf("core count = %d, want 40", leaf.Leaf.EBX>>16)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	if RDTSC.String() != "rdtsc" || XBEGIN.String() != "xbegin" {
+		t.Errorf("mnemonics wrong: %s %s", RDTSC, XBEGIN)
+	}
+}

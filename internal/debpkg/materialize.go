@@ -1,0 +1,157 @@
+package debpkg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fs"
+	"repro/internal/prng"
+)
+
+// Materialize writes the package's source tree into an image under
+// dir/<name>-<version> and returns that package directory path. The tree is
+// what apt-get source would have unpacked: debian/ metadata, configure.ac,
+// a Makefile, headers and compile units carrying the spec's directives.
+func (s *Spec) Materialize(im *fs.Image, dir string) string {
+	pkgdir := dir + "/" + s.Name + "-" + s.Version
+	im.AddDir(pkgdir, 0o755)
+	im.AddDir(pkgdir+"/debian", 0o755)
+	im.AddDir(pkgdir+"/src", 0o755)
+	im.AddDir(pkgdir+"/include", 0o755)
+
+	im.AddFile(pkgdir+"/debian/control", 0o644, []byte(fmt.Sprintf(
+		"Package: %s\nVersion: %s\nArchitecture: amd64\nMaintainer: Wheezy Builder <builder@debian.org>\nDescription: synthetic package %s\n",
+		s.Name, s.Version, s.Name)))
+	im.AddFile(pkgdir+"/debian/rules", 0o755, []byte(s.rules()))
+	im.AddFile(pkgdir+"/configure.ac", 0o644, []byte(s.configureAC()))
+	im.AddFile(pkgdir+"/Makefile", 0o644, []byte(s.makefile()))
+
+	// Headers the compiler will probe for. Only every third probe target
+	// exists, so include scanning produces the ENOENT-heavy open pattern of
+	// a real preprocessor search path.
+	for h := 0; h < s.Headers; h += 3 {
+		im.AddFile(fmt.Sprintf("%s/include/h%03d.h", pkgdir, h), 0o644,
+			[]byte(fmt.Sprintf("#define H%03d 1\n", h)))
+	}
+
+	rng := prng.NewHost(hashName(s.Name))
+	for u := 0; u < s.Units; u++ {
+		im.AddFile(fmt.Sprintf("%s/src/unit%03d.c", pkgdir, u), 0o644,
+			[]byte(s.unitSource(u, rng)))
+	}
+	return pkgdir
+}
+
+// rules renders debian/rules for dpkg-buildpackage.
+func (s *Spec) rules() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# rules for %s\n", s.Name)
+	fmt.Fprintf(&b, "weight %d\n", s.Weight)
+	fmt.Fprintf(&b, "export CCFACTOR=%d\n", s.ComputeFct)
+	b.WriteString("step configure\n")
+	// Wheezy-era packages build sequentially unless they opt into
+	// parallelism; the opt-in ones are where scheduling races live.
+	if s.LogArtifact || s.Compiler == "javac" {
+		b.WriteString("step make -j%NPROC%\n")
+	} else {
+		b.WriteString("step make -j1\n")
+	}
+	if s.Tests[0] > 0 {
+		b.WriteString("step test\n")
+	}
+	if s.UsesIoctl {
+		b.WriteString("step tty-check\n")
+	}
+	switch s.Unsup {
+	case UnsupSocket:
+		b.WriteString("step special-socket\n")
+	case UnsupSignal:
+		b.WriteString("step special-signal\n")
+	case UnsupMisc:
+		b.WriteString("step special-misc\n")
+	}
+	if s.LogArtifact {
+		b.WriteString("artifact build/build.log\n")
+	}
+	if s.ShipConfigH {
+		b.WriteString("artifact config.h\n")
+	}
+	b.WriteString("step pack\n")
+	return b.String()
+}
+
+// configureAC holds the configure-time directives: machine-capturing probes
+// land here, like an autoconf macro recording the host.
+func (s *Spec) configureAC() string {
+	var b strings.Builder
+	b.WriteString("AC_INIT\n")
+	for _, d := range s.PortDirectives {
+		fmt.Fprintf(&b, "@embed-%s@\n", d)
+	}
+	if s.ShipConfigH {
+		// configure output that gets shipped may capture core counts etc.
+		for _, d := range s.Directives {
+			if d == "cores" || strings.HasPrefix(d, "env:") {
+				fmt.Fprintf(&b, "@embed-%s@\n", d)
+			}
+		}
+	}
+	b.WriteString("AC_OUTPUT\n")
+	return b.String()
+}
+
+// makefile renders the Makefile.
+func (s *Spec) makefile() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compiler=%s\n", s.Compiler)
+	b.WriteString("srcdir=src\nbuilddir=build\noutput=build/prog\n")
+	if s.Threads != "" {
+		fmt.Fprintf(&b, "threads=%s\n", s.Threads)
+	}
+	if s.LogArtifact {
+		b.WriteString("logfile=build/build.log\n")
+	}
+	return b.String()
+}
+
+// unitSource renders one compile unit: include probes, code lines sized to
+// UnitKB, and the spec's directives spread across the first units.
+func (s *Spec) unitSource(u int, rng *prng.Host) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "/* %s unit %d */\n", s.Name, u)
+	for h := 0; h < s.Headers; h++ {
+		fmt.Fprintf(&b, "#include <h%03d.h>\n", h)
+	}
+	if s.BrokenSource && u == 0 {
+		b.WriteString("@@SYNTAX ERROR@@\n")
+		b.WriteString("this unit does not compile\n")
+	}
+	// Directives: spread one per unit over the leading units; machine-
+	// capturing (portability) directives follow so they too reach the
+	// shipped binary.
+	if u < len(s.Directives) {
+		fmt.Fprintf(&b, "@embed-%s@\n", s.Directives[u])
+	} else if pu := u - len(s.Directives); pu < len(s.PortDirectives) {
+		fmt.Fprintf(&b, "@embed-%s@\n", s.PortDirectives[pu])
+	}
+	if u == 0 && s.Tests[0] > 0 {
+		fmt.Fprintf(&b, "@tests:%d:%d:%d@\n", s.Tests[0], s.Tests[1], s.Tests[2])
+	}
+	// Fill to UnitKB with stable pseudo-code.
+	target := s.UnitKB * 1024
+	line := 0
+	for b.Len() < target {
+		fmt.Fprintf(&b, "int fn_%s_%d_%d(void) { return %d; }\n", s.Name, u, line, rng.Intn(1000))
+		line++
+	}
+	return b.String()
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

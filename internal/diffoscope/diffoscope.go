@@ -1,0 +1,176 @@
+// Package diffoscope performs the bitwise artifact comparison the Debian
+// Reproducible Builds project uses to adjudicate reproducibility (§6.1):
+// two build outputs are reproducible iff diffoscope finds no differences.
+// Like the real tool it recurses into archives so a difference can be
+// localised to the embedded member that caused it.
+package diffoscope
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/artar"
+	"repro/internal/fs"
+)
+
+// Kind classifies one difference.
+type Kind string
+
+// Difference kinds.
+const (
+	Missing  Kind = "only-in-one"
+	Content  Kind = "content"
+	Mode     Kind = "mode"
+	Metadata Kind = "metadata"
+)
+
+// Difference is one divergence between two trees.
+type Difference struct {
+	Path   string
+	Kind   Kind
+	Detail string
+}
+
+func (d Difference) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Path, d.Kind, d.Detail)
+}
+
+// Compare diffs two filesystem images. Regular-file contents, symlink
+// targets and permission bits participate; inode numbers and directory
+// metadata do not (they are not part of the artifact).
+func Compare(a, b *fs.Image) []Difference {
+	var diffs []Difference
+	paths := unionPaths(a, b)
+	for _, p := range paths {
+		ea, inA := a.Entries[p]
+		eb, inB := b.Entries[p]
+		switch {
+		case !inA:
+			diffs = append(diffs, Difference{p, Missing, "only in second"})
+		case !inB:
+			diffs = append(diffs, Difference{p, Missing, "only in first"})
+		default:
+			diffs = append(diffs, compareEntry(p, ea, eb)...)
+		}
+	}
+	return diffs
+}
+
+// CompareSubtree restricts the diff to paths under prefix.
+func CompareSubtree(a, b *fs.Image, prefix string) []Difference {
+	var out []Difference
+	for _, d := range Compare(a, b) {
+		if len(d.Path) >= len(prefix) && d.Path[:len(prefix)] == prefix {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func compareEntry(p string, ea, eb fs.ImageEntry) []Difference {
+	var diffs []Difference
+	if ea.Mode != eb.Mode {
+		diffs = append(diffs, Difference{p, Mode, fmt.Sprintf("%o vs %o", ea.Mode, eb.Mode)})
+	}
+	switch ea.Mode & abi.ModeTypeMask {
+	case abi.ModeSymlink:
+		if ea.Target != eb.Target {
+			diffs = append(diffs, Difference{p, Content, fmt.Sprintf("target %q vs %q", ea.Target, eb.Target)})
+		}
+	case abi.ModeRegular:
+		if !bytes.Equal(ea.Data, eb.Data) {
+			diffs = append(diffs, diffContent(p, ea.Data, eb.Data)...)
+		}
+	}
+	return diffs
+}
+
+// diffContent recurses into archives so the report names the member that
+// differs, like diffoscope's nested unpacking.
+func diffContent(p string, a, b []byte) []Difference {
+	arA, errA := artar.Unpack(a)
+	arB, errB := artar.Unpack(b)
+	if errA != nil || errB != nil {
+		return []Difference{{p, Content, firstByteDiff(a, b)}}
+	}
+	var diffs []Difference
+	ma := memberMap(arA)
+	mb := memberMap(arB)
+	names := make(map[string]bool)
+	for n := range ma {
+		names[n] = true
+	}
+	for n := range mb {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		inner := p + "//" + n
+		ea, inA := ma[n]
+		eb, inB := mb[n]
+		switch {
+		case !inA:
+			diffs = append(diffs, Difference{inner, Missing, "only in second"})
+		case !inB:
+			diffs = append(diffs, Difference{inner, Missing, "only in first"})
+		default:
+			if ea.Mtime != eb.Mtime {
+				diffs = append(diffs, Difference{inner, Metadata, fmt.Sprintf("mtime %d vs %d", ea.Mtime, eb.Mtime)})
+			}
+			if ea.Mode != eb.Mode {
+				diffs = append(diffs, Difference{inner, Mode, fmt.Sprintf("%o vs %o", ea.Mode, eb.Mode)})
+			}
+			if !bytes.Equal(ea.Data, eb.Data) {
+				diffs = append(diffs, diffContent(inner, ea.Data, eb.Data)...)
+			}
+		}
+	}
+	if len(diffs) == 0 {
+		// Archive headers differ in some other way (ordering, counts).
+		diffs = append(diffs, Difference{p, Metadata, "archive framing differs"})
+	}
+	return diffs
+}
+
+func memberMap(ar *artar.Archive) map[string]artar.Member {
+	m := make(map[string]artar.Member, len(ar.Members))
+	for _, mem := range ar.Members {
+		m[mem.Name] = mem
+	}
+	return m
+}
+
+func firstByteDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("first difference at byte %d (%#x vs %#x)", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+func unionPaths(a, b *fs.Image) []string {
+	set := make(map[string]bool, len(a.Entries)+len(b.Entries))
+	for p := range a.Entries {
+		set[p] = true
+	}
+	for p := range b.Entries {
+		set[p] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

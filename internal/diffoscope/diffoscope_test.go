@@ -1,0 +1,120 @@
+package diffoscope
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/artar"
+	"repro/internal/fs"
+)
+
+func img(pairs ...string) *fs.Image {
+	im := fs.NewImage()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		im.AddFile(pairs[i], 0o644, []byte(pairs[i+1]))
+	}
+	return im
+}
+
+func TestIdenticalImagesNoDiff(t *testing.T) {
+	a := img("/f", "same", "/g", "also")
+	b := img("/f", "same", "/g", "also")
+	if d := Compare(a, b); len(d) != 0 {
+		t.Errorf("diffs = %v", d)
+	}
+}
+
+func TestContentDifferenceLocalized(t *testing.T) {
+	a := img("/f", "aaaa")
+	b := img("/f", "aaXa")
+	d := Compare(a, b)
+	if len(d) != 1 || d[0].Kind != Content {
+		t.Fatalf("diffs = %v", d)
+	}
+	if !strings.Contains(d[0].Detail, "byte 2") {
+		t.Errorf("difference not localized: %s", d[0].Detail)
+	}
+}
+
+func TestMissingFiles(t *testing.T) {
+	a := img("/only-a", "x")
+	b := img("/only-b", "y")
+	d := Compare(a, b)
+	if len(d) != 2 {
+		t.Fatalf("diffs = %v", d)
+	}
+	for _, diff := range d {
+		if diff.Kind != Missing {
+			t.Errorf("kind = %s", diff.Kind)
+		}
+	}
+}
+
+func TestModeDifference(t *testing.T) {
+	a := fs.NewImage()
+	a.AddFile("/f", 0o644, []byte("x"))
+	b := fs.NewImage()
+	b.AddFile("/f", 0o755, []byte("x"))
+	d := Compare(a, b)
+	if len(d) != 1 || d[0].Kind != Mode {
+		t.Errorf("diffs = %v", d)
+	}
+}
+
+func TestSymlinkTargetDifference(t *testing.T) {
+	a := fs.NewImage()
+	a.AddSymlink("/ln", "/x")
+	b := fs.NewImage()
+	b.AddSymlink("/ln", "/y")
+	d := Compare(a, b)
+	if len(d) != 1 || d[0].Kind != Content {
+		t.Errorf("diffs = %v", d)
+	}
+}
+
+// The headline feature: a difference buried inside a nested archive is
+// reported against the inner member, not just "files differ".
+func TestArchiveRecursion(t *testing.T) {
+	mkdeb := func(mtime int64, payload string) []byte {
+		data := &artar.Archive{}
+		data.Add(artar.Member{Name: "usr/bin/prog", Mtime: mtime, Data: []byte(payload)})
+		deb := &artar.Archive{}
+		deb.Add(artar.Member{Name: "debian-binary", Data: []byte("2.0\n")})
+		deb.Add(artar.Member{Name: "data.tar", Data: data.Pack()})
+		return deb.Pack()
+	}
+	a := img()
+	a.AddFile("/p.deb", 0o644, mkdeb(0, "same"))
+	b := img()
+	b.AddFile("/p.deb", 0o644, mkdeb(0, "diff"))
+	d := Compare(a, b)
+	if len(d) == 0 {
+		t.Fatal("no diffs found")
+	}
+	found := false
+	for _, diff := range d {
+		if strings.Contains(diff.Path, "data.tar//usr/bin/prog") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("difference not localized into the nested member: %v", d)
+	}
+
+	// Timestamp-only difference shows up as metadata on the member.
+	c := img()
+	c.AddFile("/p.deb", 0o644, mkdeb(999, "same"))
+	d = Compare(a, c)
+	if len(d) != 1 || d[0].Kind != Metadata || !strings.Contains(d[0].Detail, "mtime") {
+		t.Errorf("timestamp diff = %v", d)
+	}
+}
+
+func TestCompareSubtree(t *testing.T) {
+	a := img("/build/out/x.deb", "1", "/tmp/scratch", "a")
+	b := img("/build/out/x.deb", "2", "/tmp/scratch", "b")
+	d := CompareSubtree(a, b, "/build/out")
+	if len(d) != 1 || d[0].Path != "/build/out/x.deb" {
+		t.Errorf("subtree diff = %v", d)
+	}
+}

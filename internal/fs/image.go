@@ -1,0 +1,165 @@
+package fs
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+)
+
+// Image is a portable description of a filesystem tree — the "initial
+// filesystem state" that a DetTrace computation is a pure function of
+// (Fig. 1). Images are instantiated into a live FS per simulated run, which
+// models how reprotest copies a pristine control-chroot before every build:
+// paths, contents and permission bits carry over; inode numbers and
+// timestamps are assigned by the host at copy time.
+type Image struct {
+	Entries map[string]ImageEntry
+}
+
+// ImageEntry is one node in an Image.
+type ImageEntry struct {
+	Mode   uint32 // full S_IF | perm bits
+	Data   []byte // regular files
+	Target string // symlinks
+	DevID  string // character devices
+	UID    uint32
+	GID    uint32
+}
+
+// NewImage returns an empty image.
+func NewImage() *Image { return &Image{Entries: make(map[string]ImageEntry)} }
+
+// AddDir records a directory (and implicitly its parents).
+func (im *Image) AddDir(path string, perm uint32) {
+	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeDir | perm}
+}
+
+// AddFile records a regular file.
+func (im *Image) AddFile(path string, perm uint32, data []byte) {
+	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeRegular | perm, Data: data}
+}
+
+// AddSymlink records a symbolic link.
+func (im *Image) AddSymlink(path, target string) {
+	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeSymlink | 0o777, Target: target}
+}
+
+// AddDev records a character device resolved by the kernel at open time.
+func (im *Image) AddDev(path, devID string) {
+	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeCharDev | 0o666, DevID: devID}
+}
+
+// Clone returns a deep copy, so experiment images can be derived from a
+// control image without aliasing (the control/experiment chroot split of
+// §6.1).
+func (im *Image) Clone() *Image {
+	out := NewImage()
+	for p, e := range im.Entries {
+		if e.Data != nil {
+			e.Data = append([]byte(nil), e.Data...)
+		}
+		out.Entries[p] = e
+	}
+	return out
+}
+
+// Paths returns every recorded path in sorted order.
+func (im *Image) Paths() []string {
+	ps := make([]string, 0, len(im.Entries))
+	for p := range im.Entries {
+		ps = append(ps, p)
+	}
+	sort.Strings(ps)
+	return ps
+}
+
+func clean(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		p = "/" + p
+	}
+	return strings.TrimSuffix(p, "/")
+}
+
+// Populate instantiates the image under the root of f. Missing parent
+// directories are created with mode 0755. Inode numbers and timestamps are
+// whatever the live filesystem hands out — per-boot values, not image
+// properties.
+func (f *FS) Populate(im *Image) {
+	for _, p := range im.Paths() {
+		e := im.Entries[p]
+		dir := f.ensureDirs(parentOf(p))
+		name := baseOf(p)
+		if name == "" {
+			continue // the root itself
+		}
+		switch e.Mode & abi.ModeTypeMask {
+		case abi.ModeDir:
+			if existing, ok := dir.entries[name]; ok && existing.IsDir() {
+				existing.Mode = e.Mode
+				continue
+			}
+			n, _ := f.Mkdir(dir, name, e.Mode, e.UID, e.GID)
+			if n != nil {
+				n.Mode = e.Mode
+			}
+		case abi.ModeSymlink:
+			f.Symlink(dir, name, e.Target, e.UID, e.GID)
+		case abi.ModeCharDev:
+			f.Mkdev(dir, name, e.DevID, e.UID, e.GID)
+		default:
+			n, err := f.CreateFile(dir, name, e.Mode&abi.ModePermMask, e.UID, e.GID)
+			if err == abi.OK {
+				n.Data = append([]byte(nil), e.Data...)
+				n.Mode = e.Mode
+			}
+		}
+	}
+}
+
+func (f *FS) ensureDirs(path string) *Inode {
+	cur := f.Root
+	for _, c := range splitPath(path) {
+		next, ok := cur.entries[c]
+		if !ok {
+			next, _ = f.Mkdir(cur, c, 0o755, 0, 0)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func parentOf(p string) string {
+	i := strings.LastIndex(p, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return p[:i]
+}
+
+func baseOf(p string) string {
+	i := strings.LastIndex(p, "/")
+	return p[i+1:]
+}
+
+// SnapshotImage captures the subtree at root back into an Image — the
+// inverse of Populate, used to compare end-of-build filesystem states.
+func (f *FS) SnapshotImage(root *Inode) *Image {
+	im := NewImage()
+	f.Walk(root, func(path string, n *Inode) {
+		if path == "/" {
+			return
+		}
+		e := ImageEntry{Mode: n.Mode, UID: n.UID, GID: n.GID}
+		switch {
+		case n.IsRegular():
+			e.Data = append([]byte(nil), n.Data...)
+		case n.IsSymlink():
+			e.Target = n.Target
+		case n.IsDevice():
+			e.DevID = n.DevID
+		}
+		im.Entries[path] = e
+	})
+	return im
+}

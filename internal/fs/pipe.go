@@ -1,0 +1,90 @@
+package fs
+
+// DefaultPipeCapacity matches Linux's default 64 KiB pipe buffer.
+const DefaultPipeCapacity = 64 * 1024
+
+// Pipe is a bounded byte stream shared by pipe(2) fds and FIFO inodes.
+// Reads and writes are partial by nature — a read returns whatever is
+// buffered, a write stops when the buffer fills — which is exactly the
+// behaviour DetTrace's read/write retry machinery (§5.5, Fig. 4) exists to
+// hide from user processes.
+type Pipe struct {
+	buf      []byte
+	capacity int
+	readers  int
+	writers  int
+}
+
+// NewPipe returns an empty pipe with the given capacity.
+func NewPipe(capacity int) *Pipe {
+	if capacity <= 0 {
+		capacity = DefaultPipeCapacity
+	}
+	return &Pipe{capacity: capacity}
+}
+
+// AddReader / AddWriter register an open fd end.
+func (p *Pipe) AddReader() { p.readers++ }
+
+// AddWriter registers a write end.
+func (p *Pipe) AddWriter() { p.writers++ }
+
+// CloseReader drops a read end.
+func (p *Pipe) CloseReader() { p.readers-- }
+
+// CloseWriter drops a write end; when the last writer goes away, readers
+// start seeing EOF once the buffer drains.
+func (p *Pipe) CloseWriter() { p.writers-- }
+
+// SetCapacity resizes the buffer limit (F_SETPIPE_SZ).
+func (p *Pipe) SetCapacity(n int) {
+	if n > 0 {
+		p.capacity = n
+	}
+}
+
+// Buffered returns the number of bytes waiting to be read.
+func (p *Pipe) Buffered() int { return len(p.buf) }
+
+// Space returns the remaining write capacity.
+func (p *Pipe) Space() int { return p.capacity - len(p.buf) }
+
+// HasWriters reports whether any write end remains open.
+func (p *Pipe) HasWriters() bool { return p.writers > 0 }
+
+// HasReaders reports whether any read end remains open.
+func (p *Pipe) HasReaders() bool { return p.readers > 0 }
+
+// Read moves up to len(dst) buffered bytes into dst.
+//
+//	n > 0            data was transferred (possibly fewer bytes than asked)
+//	n == 0, eof      all writers closed and the buffer is empty
+//	n == 0, !eof     nothing buffered yet: the caller would block
+func (p *Pipe) Read(dst []byte) (n int, eof bool) {
+	if len(p.buf) == 0 {
+		return 0, p.writers == 0
+	}
+	n = copy(dst, p.buf)
+	p.buf = p.buf[n:]
+	return n, false
+}
+
+// Write appends up to len(src) bytes.
+//
+//	n > 0            bytes were accepted (possibly fewer than offered)
+//	n == 0, !broken  the buffer is full: the caller would block
+//	broken           no readers remain: the caller gets EPIPE/SIGPIPE
+func (p *Pipe) Write(src []byte) (n int, broken bool) {
+	if p.readers == 0 {
+		return 0, true
+	}
+	space := p.capacity - len(p.buf)
+	if space == 0 {
+		return 0, false
+	}
+	if len(src) > space {
+		src = src[:space]
+	}
+	p.buf = append(p.buf, src...)
+	return len(src), false
+}

@@ -1,0 +1,134 @@
+package fs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPipe(capacity int) *Pipe {
+	p := NewPipe(capacity)
+	p.AddReader()
+	p.AddWriter()
+	return p
+}
+
+func TestPipeBasicFlow(t *testing.T) {
+	p := newTestPipe(8)
+	n, broken := p.Write([]byte("hello"))
+	if n != 5 || broken {
+		t.Fatalf("write = %d, %v", n, broken)
+	}
+	buf := make([]byte, 16)
+	n, eof := p.Read(buf)
+	if n != 5 || eof || string(buf[:5]) != "hello" {
+		t.Fatalf("read = %d %v %q", n, eof, buf[:n])
+	}
+}
+
+func TestPipePartialWriteAtCapacity(t *testing.T) {
+	p := newTestPipe(4)
+	n, _ := p.Write([]byte("abcdef"))
+	if n != 4 {
+		t.Fatalf("partial write = %d, want 4", n)
+	}
+	n, _ = p.Write([]byte("xy"))
+	if n != 0 {
+		t.Fatalf("full pipe accepted %d bytes", n)
+	}
+	buf := make([]byte, 2)
+	n, _ = p.Read(buf)
+	if n != 2 || string(buf) != "ab" {
+		t.Fatalf("read = %d %q", n, buf)
+	}
+	n, _ = p.Write([]byte("xy"))
+	if n != 2 {
+		t.Fatalf("after drain write = %d", n)
+	}
+}
+
+func TestPipeEOFOnlyAfterWritersClose(t *testing.T) {
+	p := newTestPipe(8)
+	buf := make([]byte, 4)
+	if n, eof := p.Read(buf); n != 0 || eof {
+		t.Fatalf("empty pipe with writer: n=%d eof=%v (should block, not EOF)", n, eof)
+	}
+	p.Write([]byte("zz"))
+	p.CloseWriter()
+	if n, eof := p.Read(buf); n != 2 || eof {
+		t.Fatalf("buffered data first: n=%d eof=%v", n, eof)
+	}
+	if n, eof := p.Read(buf); n != 0 || !eof {
+		t.Fatalf("then EOF: n=%d eof=%v", n, eof)
+	}
+}
+
+func TestPipeBrokenOnReaderClose(t *testing.T) {
+	p := newTestPipe(8)
+	p.CloseReader()
+	if _, broken := p.Write([]byte("x")); !broken {
+		t.Fatalf("write to readerless pipe should break (EPIPE)")
+	}
+}
+
+func TestPipeSetCapacity(t *testing.T) {
+	p := newTestPipe(4)
+	p.SetCapacity(1 << 16)
+	if n, _ := p.Write(make([]byte, 10_000)); n != 10_000 {
+		t.Errorf("grown pipe accepted %d", n)
+	}
+	p.SetCapacity(0) // ignored
+	if p.Space() <= 0 {
+		t.Errorf("zero capacity applied")
+	}
+}
+
+// Property: bytes come out exactly as they went in, across arbitrary
+// interleavings of writes and drains.
+func TestPipeConservationProperty(t *testing.T) {
+	prop := func(chunks [][]byte, drains []uint8) bool {
+		p := newTestPipe(64)
+		var in, out bytes.Buffer
+		di := 0
+		for _, c := range chunks {
+			rest := c
+			for len(rest) > 0 {
+				n, broken := p.Write(rest)
+				if broken {
+					return false
+				}
+				in.Write(rest[:n])
+				rest = rest[n:]
+				if n == 0 { // full: drain some
+					want := 1
+					if di < len(drains) {
+						want = 1 + int(drains[di])%32
+						di++
+					}
+					buf := make([]byte, want)
+					m, _ := p.Read(buf)
+					out.Write(buf[:m])
+					if m == 0 {
+						return false // full pipe must be readable
+					}
+				}
+			}
+		}
+		p.CloseWriter()
+		for {
+			buf := make([]byte, 17)
+			m, eof := p.Read(buf)
+			out.Write(buf[:m])
+			if eof {
+				break
+			}
+			if m == 0 {
+				return false
+			}
+		}
+		return bytes.Equal(in.Bytes(), out.Bytes())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+// Package hashdeep computes recursive content hashes of filesystem trees,
+// mirroring how §6.1 verifies reproducibility of the bioinformatics and ML
+// outputs: run twice, hashdeep both result trees, compare.
+package hashdeep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/fs"
+)
+
+// Entry is the hash record for one file.
+type Entry struct {
+	Path string
+	Size int64
+	SHA  string
+}
+
+// Report is a hashdeep run over one tree.
+type Report struct {
+	Entries []Entry
+}
+
+// Hash hashes every regular file and symlink in the image, in sorted path
+// order. Directory metadata does not participate — hashdeep hashes content.
+func Hash(im *fs.Image) *Report {
+	r := &Report{}
+	for _, p := range im.Paths() {
+		e := im.Entries[p]
+		switch e.Mode & abi.ModeTypeMask {
+		case abi.ModeRegular:
+			sum := sha256.Sum256(e.Data)
+			r.Entries = append(r.Entries, Entry{Path: p, Size: int64(len(e.Data)), SHA: hex.EncodeToString(sum[:])})
+		case abi.ModeSymlink:
+			sum := sha256.Sum256([]byte("->" + e.Target))
+			r.Entries = append(r.Entries, Entry{Path: p, SHA: hex.EncodeToString(sum[:])})
+		}
+	}
+	return r
+}
+
+// HashSubtree hashes only paths under prefix.
+func HashSubtree(im *fs.Image, prefix string) *Report {
+	full := Hash(im)
+	out := &Report{}
+	for _, e := range full.Entries {
+		if strings.HasPrefix(e.Path, prefix) {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// Total condenses the report into one digest.
+func (r *Report) Total() string {
+	h := sha256.New()
+	for _, e := range r.Entries {
+		fmt.Fprintf(h, "%s %d %s\n", e.Path, e.Size, e.SHA)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Equal reports whether two runs produced identical content, plus the paths
+// that differ (present in either, with different hashes).
+func Equal(a, b *Report) (bool, []string) {
+	am := make(map[string]string, len(a.Entries))
+	for _, e := range a.Entries {
+		am[e.Path] = e.SHA
+	}
+	var diffs []string
+	seen := make(map[string]bool)
+	for _, e := range b.Entries {
+		seen[e.Path] = true
+		if am[e.Path] != e.SHA {
+			diffs = append(diffs, e.Path)
+		}
+	}
+	for _, e := range a.Entries {
+		if !seen[e.Path] {
+			diffs = append(diffs, e.Path)
+		}
+	}
+	sort.Strings(diffs)
+	return len(diffs) == 0, diffs
+}

@@ -1,0 +1,92 @@
+package hashdeep
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fs"
+)
+
+func TestHashEqualTrees(t *testing.T) {
+	a := fs.NewImage()
+	a.AddFile("/x", 0o644, []byte("content"))
+	a.AddSymlink("/ln", "/x")
+	b := a.Clone()
+	eq, diffs := Equal(Hash(a), Hash(b))
+	if !eq || len(diffs) != 0 {
+		t.Errorf("equal trees reported different: %v", diffs)
+	}
+	if Hash(a).Total() != Hash(b).Total() {
+		t.Errorf("totals differ for equal trees")
+	}
+}
+
+func TestHashDetectsChanges(t *testing.T) {
+	a := fs.NewImage()
+	a.AddFile("/x", 0o644, []byte("v1"))
+	b := fs.NewImage()
+	b.AddFile("/x", 0o644, []byte("v2"))
+	eq, diffs := Equal(Hash(a), Hash(b))
+	if eq || len(diffs) != 1 || diffs[0] != "/x" {
+		t.Errorf("eq=%v diffs=%v", eq, diffs)
+	}
+}
+
+func TestHashDetectsMissing(t *testing.T) {
+	a := fs.NewImage()
+	a.AddFile("/x", 0o644, nil)
+	a.AddFile("/y", 0o644, nil)
+	b := fs.NewImage()
+	b.AddFile("/x", 0o644, nil)
+	eq, diffs := Equal(Hash(a), Hash(b))
+	if eq || len(diffs) != 1 || diffs[0] != "/y" {
+		t.Errorf("eq=%v diffs=%v", eq, diffs)
+	}
+}
+
+func TestDirectoriesDoNotParticipate(t *testing.T) {
+	a := fs.NewImage()
+	a.AddDir("/d1", 0o755)
+	b := fs.NewImage()
+	b.AddDir("/d2", 0o700)
+	if eq, _ := Equal(Hash(a), Hash(b)); !eq {
+		t.Errorf("directory-only trees should hash equal (content hashing)")
+	}
+}
+
+func TestHashSubtree(t *testing.T) {
+	im := fs.NewImage()
+	im.AddFile("/data/out/r1", 0o644, []byte("result"))
+	im.AddFile("/tmp/noise", 0o644, []byte("scratch"))
+	rep := HashSubtree(im, "/data/out")
+	if len(rep.Entries) != 1 || rep.Entries[0].Path != "/data/out/r1" {
+		t.Errorf("subtree = %+v", rep.Entries)
+	}
+}
+
+// Property: the total hash is order-insensitive in input construction but
+// sensitive to any content change.
+func TestTotalSensitivityProperty(t *testing.T) {
+	prop := func(blobs [][]byte, flip uint8) bool {
+		if len(blobs) == 0 {
+			return true
+		}
+		build := func(mutate bool) *fs.Image {
+			im := fs.NewImage()
+			for i, b := range blobs {
+				data := append([]byte(nil), b...)
+				if mutate && i == int(flip)%len(blobs) {
+					data = append(data, 0x01)
+				}
+				im.AddFile("/f"+string(rune('a'+i%26))+string(rune('0'+i/26%10)), 0o644, data)
+			}
+			return im
+		}
+		same := Hash(build(false)).Total() == Hash(build(false)).Total()
+		diff := Hash(build(false)).Total() != Hash(build(true)).Total()
+		return same && diff
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,285 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+)
+
+func TestDevNullAndZero(t *testing.T) {
+	mustRun(t, 50, func(p *guest.Proc) int {
+		fd, err := p.Open("/dev/null", abi.ORdwr, 0)
+		if err != abi.OK {
+			return 1
+		}
+		if n, _ := p.Write(fd, []byte("discarded")); n != 9 {
+			return 2
+		}
+		buf := make([]byte, 8)
+		if n, _ := p.Read(fd, buf); n != 0 {
+			return 3 // /dev/null reads EOF
+		}
+		p.Close(fd)
+		zfd, _ := p.Open("/dev/zero", abi.ORdonly, 0)
+		buf = []byte{1, 2, 3, 4}
+		p.Read(zfd, buf)
+		for _, b := range buf {
+			if b != 0 {
+				return 4
+			}
+		}
+		p.Close(zfd)
+		return 0
+	})
+}
+
+func TestUrandomDeviceVariesAcrossBoots(t *testing.T) {
+	grab := func(seed uint64) string {
+		var s string
+		mustRun(t, seed, func(p *guest.Proc) int {
+			fd, _ := p.Open("/dev/urandom", abi.ORdonly, 0)
+			buf := make([]byte, 16)
+			p.Read(fd, buf)
+			p.Close(fd)
+			s = string(buf)
+			return 0
+		})
+		return s
+	}
+	if grab(51) == grab(52) {
+		t.Errorf("host entropy identical across boots")
+	}
+}
+
+func TestProcCpuinfoReflectsHost(t *testing.T) {
+	k := mustRun(t, 53, func(p *guest.Proc) int {
+		data, err := p.ReadFile("/proc/cpuinfo")
+		if err != abi.OK {
+			return 1
+		}
+		p.Printf("%d", strings.Count(string(data), "processor"))
+		return 0
+	})
+	if got := k.Console.Stdout(); got != "40" {
+		t.Errorf("cpuinfo processors = %s, want 40 (c220g5)", got)
+	}
+}
+
+func TestGetdentsChunking(t *testing.T) {
+	mustRun(t, 54, func(p *guest.Proc) int {
+		for i := 0; i < 10; i++ {
+			p.WriteFile("/tmp/f"+string(rune('a'+i)), nil, 0o644)
+		}
+		fd, _ := p.Open("/tmp", abi.ORdonly|abi.ODirectory, 0)
+		defer p.Close(fd)
+		var total int
+		for {
+			ents, err := p.Getdents(fd, 3)
+			if err != abi.OK {
+				return 1
+			}
+			if len(ents) == 0 {
+				break
+			}
+			if len(ents) > 3 {
+				return 2
+			}
+			total += len(ents)
+		}
+		if total != 10 {
+			p.Eprintf("total=%d\n", total)
+			return 3
+		}
+		return 0
+	})
+}
+
+func TestNonblockingPipe(t *testing.T) {
+	mustRun(t, 55, func(p *guest.Proc) int {
+		r, w, _ := p.Pipe()
+		const fSetfl = 4
+		p.Fcntl(r, fSetfl, abi.ONonblock)
+		buf := make([]byte, 4)
+		if _, err := p.Read(r, buf); err != abi.EAGAIN {
+			return 1
+		}
+		p.Fcntl(w, fSetfl, abi.ONonblock)
+		// Fill the pipe: non-blocking writes hit EAGAIN instead of parking.
+		block := make([]byte, 4096)
+		for i := 0; i < 200; i++ {
+			if _, err := p.Write(w, block); err == abi.EAGAIN {
+				return 0
+			}
+		}
+		return 2 // never filled: capacity model broken
+	})
+}
+
+func TestSocketEOFAndReset(t *testing.T) {
+	mustRun(t, 56, func(p *guest.Proc) int {
+		srv, _ := p.Socket()
+		p.Bind(srv, "/tmp/s")
+		p.Listen(srv)
+		pid, _ := p.Fork(func(c *guest.Proc) int {
+			fd, _ := c.Socket()
+			c.Connect(fd, "/tmp/s")
+			c.Send(fd, []byte("bye"))
+			c.Close(fd) // then EOF on the server side
+			return 0
+		})
+		conn, _ := p.Accept(srv)
+		buf := make([]byte, 8)
+		n, _ := p.Recv(conn, buf)
+		if string(buf[:n]) != "bye" {
+			return 1
+		}
+		p.Waitpid(pid, 0)
+		if n, err := p.Recv(conn, buf); n != 0 || err != abi.OK {
+			return 2 // EOF after peer close
+		}
+		if _, err := p.Send(conn, []byte("x")); err != abi.ECONNRESET {
+			return 3
+		}
+		return 0
+	})
+}
+
+func TestConnectRefusedWithoutListener(t *testing.T) {
+	mustRun(t, 57, func(p *guest.Proc) int {
+		fd, _ := p.Socket()
+		if err := p.Connect(fd, "/tmp/nobody"); err != abi.ECONNREFUSE {
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestChrootSyscall(t *testing.T) {
+	k := mustRun(t, 58, func(p *guest.Proc) int {
+		p.MkdirAll("/jail/inner", 0o755)
+		p.WriteFile("/jail/marker", []byte("inside"), 0o644)
+		if err := p.Chroot("/jail"); err != abi.OK {
+			return 1
+		}
+		p.Chdir("/")
+		data, err := p.ReadFile("/marker")
+		if err != abi.OK {
+			return 2
+		}
+		p.Printf("%s", data)
+		if _, err := p.Stat("/jail"); err != abi.ENOENT {
+			return 3 // the old tree must be invisible
+		}
+		return 0
+	})
+	if got := k.Console.Stdout(); got != "inside" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestSetuidAndIdentity(t *testing.T) {
+	mustRun(t, 59, func(p *guest.Proc) int {
+		if err := p.Setuid(0); err != abi.OK {
+			return 1
+		}
+		if p.Getuid() != 0 {
+			return 2
+		}
+		p.WriteFile("/tmp/owned", nil, 0o644)
+		st, _ := p.Stat("/tmp/owned")
+		if st.UID != 0 {
+			return 3
+		}
+		return 0
+	})
+}
+
+func TestEnvInheritanceRules(t *testing.T) {
+	reg := guest.NewRegistry()
+	reg.Register("envprobe", func(p *guest.Proc) int {
+		p.Printf("[%s]", strings.Join(p.Environ(), ","))
+		return 0
+	})
+	init := func(p *guest.Proc) int {
+		p.WriteFile("/bin/child", guest.MakeExe("envprobe", nil), 0o755)
+		// nil env inherits; explicit env replaces.
+		pid, _ := p.Spawn("/bin/child", []string{"c"}, nil)
+		p.Waitpid(pid, 0)
+		pid, _ = p.Spawn("/bin/child", []string{"c"}, []string{"ONLY=this"})
+		p.Waitpid(pid, 0)
+		return 0
+	}
+	reg.Register("init", init)
+	k := newKernel(t, 60, reg)
+	img := &kernel.ExecImage{Path: "/bin/init", Argv: []string{"init"}}
+	k.Start(reg.Bind(init, img), img.Argv, []string{"PATH=/bin"})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := k.Console.Stdout()
+	if !strings.Contains(out, "[PATH=/bin]") || !strings.Contains(out, "[ONLY=this]") {
+		t.Errorf("env propagation: %q", out)
+	}
+}
+
+func TestSetitimerIntervalFiresRepeatedly(t *testing.T) {
+	mustRun(t, 61, func(p *guest.Proc) int {
+		hits := 0
+		p.Signal(abi.SIGVTALRM, func(c *guest.Proc, s abi.Signal) { hits++ })
+		p.Setitimer(1e9, 1e9) // 1s initial, 1s interval
+		for hits < 3 {
+			p.Nanosleep(2e9)
+		}
+		p.Setitimer(0, 0) // disarm
+		return 0
+	})
+}
+
+func TestAlarmCancellation(t *testing.T) {
+	mustRun(t, 62, func(p *guest.Proc) int {
+		fired := false
+		p.Signal(abi.SIGALRM, func(c *guest.Proc, s abi.Signal) { fired = true })
+		p.Alarm(100)
+		p.Alarm(0) // cancel
+		p.Nanosleep(2e9)
+		if fired {
+			return 1
+		}
+		return 0
+	})
+}
+
+func TestTimerInterruptsNanosleep(t *testing.T) {
+	k := mustRun(t, 63, func(p *guest.Proc) int {
+		p.Signal(abi.SIGALRM, func(c *guest.Proc, s abi.Signal) { c.Printf("ding ") })
+		p.Alarm(1)
+		err := p.Nanosleep(3600e9) // a virtual hour, cut short by the alarm
+		p.Printf("sleep=%s", err)
+		return 0
+	})
+	if got := k.Console.Stdout(); got != "ding sleep=EINTR" {
+		t.Errorf("stdout = %q", got)
+	}
+	if k.Now() > 10e9 {
+		t.Errorf("sleep was not interrupted: %d ns elapsed", k.Now())
+	}
+}
+
+func TestSignalHandlerUninstall(t *testing.T) {
+	mustRun(t, 64, func(p *guest.Proc) int {
+		p.Signal(abi.SIGUSR1, func(c *guest.Proc, s abi.Signal) {})
+		p.Signal(abi.SIGUSR1, nil) // back to default: lethal
+		pid, _ := p.Fork(func(c *guest.Proc) int {
+			c.Kill(c.Getpid(), abi.SIGUSR1) // default action terminates
+			return 0
+		})
+		wr, _ := p.Waitpid(pid, 0)
+		if !wr.Status.Signaled() || wr.Status.TermSignal() != abi.SIGUSR1 {
+			return 1
+		}
+		return 0
+	})
+}

@@ -1,0 +1,564 @@
+// Package kernel implements the simulated Linux kernel the whole system runs
+// on: processes and threads, a filesystem view, pipes, signals, timers,
+// futexes, sockets, and an x86-64 syscall interface.
+//
+// # Execution model
+//
+// Guest programs are Go functions that may only interact with the world by
+// yielding actions (system calls, compute bursts, CPU instructions) to the
+// kernel. Guest goroutines run in strict lockstep with the kernel loop: the
+// kernel resumes exactly one guest at a time and waits for its next yield,
+// so guest code is mutually excluded and the simulation is a deterministic
+// function of the kernel's scheduling decisions.
+//
+// Virtual parallelism is modelled in time, not in execution: compute bursts
+// are list-scheduled onto the machine profile's cores, and each thread
+// carries its own virtual clock. The baseline policy orders actions by those
+// clocks with entropy-seeded jitter and tie-breaking — reproducing the
+// scheduling nondeterminism of a real multiprocessor — while DetTrace's
+// policy (internal/core) orders them by its reproducible queues.
+//
+// # Nondeterminism budget
+//
+// Every irreproducibility source from the paper's taxonomy enters here:
+// wall-clock time and file timestamps, inode numbers, getdents order, host
+// PIDs, /dev/urandom, rdtsc/cpuid/rdrand, signal arrival, scheduling races.
+// All of it is a deterministic function of (machine profile, entropy seed,
+// wall epoch), so "two runs of the machine" means two seeds, and DetTrace's
+// claim is checkable: same container inputs, different seeds, same outputs.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/abi"
+	"repro/internal/cpu"
+	"repro/internal/fs"
+	"repro/internal/machine"
+	"repro/internal/prng"
+)
+
+// CostModel holds the virtual-time constants of the simulation, in
+// nanoseconds. The defaults are calibrated so the DetTrace policy reproduces
+// the paper's performance shape (Fig. 5, Fig. 6).
+type CostModel struct {
+	SyscallBase  int64 // kernel entry/exit for any syscall
+	SyscallPerKB int64 // additional cost per KiB moved by read/write
+	SpawnCost    int64 // fork/clone
+	ExecCost     int64 // execve image setup
+	VdsoCost     int64 // user-space vDSO fast path (no kernel entry)
+	InstrCost    int64 // one untrapped special instruction
+	BlockPoll    int64 // re-check interval charged when a blocked call retries
+
+	// ComputeJitterPPM perturbs every compute burst by ±ppm/1e6, drawn from
+	// host entropy: microarchitectural timing noise. It makes racing
+	// processes finish in different orders on different runs.
+	ComputeJitterPPM int64
+}
+
+// DefaultCostModel returns the calibrated constants.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		SyscallBase:      1_500,
+		SyscallPerKB:     250,
+		SpawnCost:        60_000,
+		ExecCost:         120_000,
+		VdsoCost:         40,
+		InstrCost:        15,
+		BlockPoll:        8_000,
+		ComputeJitterPPM: 4_000,
+	}
+}
+
+// Disposition tells the kernel what a policy decided at a syscall entry.
+type Disposition int
+
+// Possible verdicts from Policy.SyscallEnter.
+const (
+	// DispExecute: run the syscall normally.
+	DispExecute Disposition = iota
+	// DispEmulate: the policy filled sc.Ret (and any out buffers) itself;
+	// the kernel skips execution.
+	DispEmulate
+	// DispAbort: reproducible container-level error; the run stops.
+	DispAbort
+)
+
+// EnterResult is returned by Policy.SyscallEnter.
+type EnterResult struct {
+	Disposition Disposition
+	// PreCost/PostCost are tracer-side overhead (handler work) added to the
+	// call, in nanoseconds. When Serialize is set they occupy the single
+	// tracer timeline.
+	PreCost, PostCost int64
+	// LocalCost is tracee-side overhead (the stop's context switches, cache
+	// pollution): it stalls this process but runs on its own core, so
+	// parallel tracees pay it concurrently. This split is why DetTrace
+	// scales at all for process-parallel workloads (Fig. 6).
+	LocalCost int64
+	// Serialize forces the call through the single tracer timeline, which
+	// is what sequentializes system call execution under DetTrace (§5.6).
+	Serialize bool
+	// AbortErr is the container error when Disposition == DispAbort.
+	AbortErr error
+}
+
+// ExitResult is returned by Policy.SyscallExit.
+type ExitResult struct {
+	// Retry re-executes the (possibly adjusted) syscall before the tracee
+	// resumes — the PC-reset trick of Fig. 4. The kernel loops on retries.
+	Retry bool
+	// PostCost is additional tracer time spent in the exit handler.
+	PostCost int64
+}
+
+// Policy is the decision layer above the kernel: the baseline scheduler, the
+// DetTrace container, or the record-and-replay tracer. The kernel owns all
+// mechanism (what syscalls do); the policy owns ordering, interception and
+// rewriting.
+type Policy interface {
+	// Name labels the policy in stats and debug output.
+	Name() string
+
+	// PickNext chooses which pending thread's action to process. The kernel
+	// passes pending sorted by TID for determinism; the policy may instead
+	// return a thread it previously parked (its Blocked queue) to retry.
+	PickNext(k *Kernel, pending []*Thread) *Thread
+
+	// SyscallEnter runs at the pre-syscall stop and may rewrite sc.
+	SyscallEnter(t *Thread, sc *abi.Syscall) EnterResult
+
+	// SyscallExit runs at the post-syscall stop and may rewrite results or
+	// request a retry.
+	SyscallExit(t *Thread, sc *abi.Syscall) ExitResult
+
+	// WouldBlock is consulted when an executed syscall reports it would
+	// block. Returning true parks the thread with the policy (the DetTrace
+	// Blocked queue); returning false lets the kernel use its own blocking
+	// (baseline semantics). The kernel re-executes the call on wake either
+	// way.
+	WouldBlock(t *Thread, sc *abi.Syscall) bool
+
+	// Instr handles a special CPU instruction. If handled is false the
+	// kernel executes it on the hardware model.
+	Instr(t *Thread, req cpu.Request) (res cpu.Result, handled bool, cost int64)
+
+	// OnSpawn and OnExit observe process lifecycle for pid virtualization
+	// and scheduling bookkeeping.
+	OnSpawn(parent, child *Thread)
+	OnExit(t *Thread)
+
+	// OnExec runs after a successful execve — where DetTrace replaces the
+	// vDSO, re-arms instruction traps and maps its scratch page (§5.3,
+	// §5.10).
+	OnExec(t *Thread)
+}
+
+// VdsoProvider is an optional Policy extension: a tracer whose patched vDSO
+// answers timing calls directly in user space (§5.3's planned fast path)
+// implements it to supply the value.
+type VdsoProvider interface {
+	VdsoTime(t *Thread) int64
+}
+
+// Container-level errors a run can end with.
+var (
+	// ErrDeadlock: every live thread is blocked and no timer can fire.
+	ErrDeadlock = errors.New("kernel: deadlock: all threads blocked")
+	// ErrTimeout: the virtual deadline passed (build timeouts in §7.1).
+	ErrTimeout = errors.New("kernel: virtual time limit exceeded")
+	// ErrRunaway: the action budget was exhausted (busy loop safety net).
+	ErrRunaway = errors.New("kernel: action budget exhausted")
+)
+
+// AbortError wraps a policy-raised reproducible container error.
+type AbortError struct{ Err error }
+
+func (e *AbortError) Error() string { return "container aborted: " + e.Err.Error() }
+
+// Unwrap exposes the underlying reason.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// ExecImage is what execve hands to the program resolver: the executable
+// file's bytes plus the new argv/env.
+type ExecImage struct {
+	Path    string
+	Exe     []byte
+	Argv    []string
+	Env     []string
+	Payload []byte // bytes after the interpreter line, for self-inspection
+}
+
+// ProgramFn is a resolved guest program bound to a thread.
+type ProgramFn func(t *Thread) int
+
+// Resolver turns an executable file into a runnable program. It returns
+// ENOEXEC-style errors as errnos.
+type Resolver func(img *ExecImage) (ProgramFn, abi.Errno)
+
+// Config assembles one simulated run.
+type Config struct {
+	Profile  *machine.Profile
+	Seed     uint64    // host entropy seed: "which physical run is this"
+	Epoch    int64     // wall-clock seconds at boot (reprotest varies this)
+	Image    *fs.Image // initial filesystem state
+	Policy   Policy    // nil means the baseline nondeterministic policy
+	Resolver Resolver
+	Cost     CostModel
+
+	// Deadline bounds virtual time (ns); 0 means no limit.
+	Deadline int64
+	// MaxActions bounds processed actions; 0 picks a generous default.
+	MaxActions int64
+	// NumCPU overrides the profile's core count (reprotest varies CPUs).
+	NumCPU int
+}
+
+// Stats aggregates everything a run counted. Weighted counters account for
+// the per-action Weight multiplier (one executed event representing W real
+// events at paper scale).
+type Stats struct {
+	Syscalls       int64 // weighted syscall events
+	SyscallsRaw    int64 // unweighted (actually executed)
+	Spawns         int64 // weighted fork/clone events
+	Execs          int64
+	Instrs         int64 // weighted special instructions issued
+	RdtscTrapped   int64 // weighted rdtsc[p] emulated by the policy
+	CpuidTrapped   int64
+	MemReads       int64 // tracer reads of tracee memory (weighted)
+	MemWrites      int64
+	SchedRequests  int64 // PickNext calls that had a choice to make
+	BlockedReplays int64 // policy-parked retries (DetTrace Blocked queue)
+	ReadRetries    int64 // injected read continuations (Fig. 4)
+	WriteRetries   int64
+	UrandomOpens   int64 // weighted opens of /dev/[u]random
+	TimeCalls      int64
+	SignalsSent    int64
+	VdsoCalls      int64 // time reads served without kernel entry
+	TracerBusy     int64 // ns the serialized tracer timeline was occupied
+	PerSyscall     map[abi.Sysno]int64
+}
+
+// Kernel is one booted machine instance running one process tree.
+type Kernel struct {
+	Profile *machine.Profile
+	Entropy *prng.Host
+	FS      *fs.FS
+	HW      *cpu.HW
+	Cost    CostModel
+	Policy  Policy
+	Stats   Stats
+
+	resolver Resolver
+	epoch    int64 // wall seconds at boot
+	now      int64 // global virtual ns since boot (monotone)
+
+	cores      []int64 // per-core busy-until times
+	tracerBusy int64   // serialized tracer timeline busy-until
+
+	// Logical mirrors of the time structures above, maintained with
+	// nominal costs so deterministic policies can order by them.
+	lnow        int64
+	lcores      []int64
+	ltracerBusy int64
+
+	nextPID  int
+	procs    map[int]*Proc
+	pending  []*Thread // yielded, waiting for their action to be processed
+	kblocked []*Thread // blocked with kernel semantics (baseline)
+	parked   []*Thread // blocked with policy semantics (DetTrace queues)
+
+	deadline   int64
+	maxActions int64
+	actions    int64
+	abortErr   error
+
+	devices       map[string]func() fs.Device // device registry by DevID
+	unixListeners map[string]*socket          // AF_UNIX listeners by path
+
+	// Console captures everything written to stdout/stderr fds, in the
+	// order writes were processed — itself a reproducibility observable.
+	Console *Console
+
+	// timers is the list of armed itimers across all processes.
+	timers []*timer
+
+	// debugf, when non-nil, receives a trace of every processed action.
+	debugf func(format string, args ...any)
+}
+
+// New boots a kernel per the config. The filesystem is populated from the
+// image; no process exists yet — call Start.
+func New(cfg Config) *Kernel {
+	if cfg.Cost == (CostModel{}) {
+		cfg.Cost = DefaultCostModel()
+	}
+	if cfg.MaxActions == 0 {
+		cfg.MaxActions = 200_000_000
+	}
+	entropy := prng.NewHost(cfg.Seed)
+	k := &Kernel{
+		Profile:    cfg.Profile,
+		Entropy:    entropy,
+		Cost:       cfg.Cost,
+		Policy:     cfg.Policy,
+		resolver:   cfg.Resolver,
+		epoch:      cfg.Epoch,
+		nextPID:    1000 + entropy.Intn(30_000), // host PIDs start anywhere
+		procs:      make(map[int]*Proc),
+		deadline:   cfg.Deadline,
+		maxActions: cfg.MaxActions,
+		devices:    make(map[string]func() fs.Device),
+		Console:    &Console{},
+	}
+	k.Stats.PerSyscall = make(map[abi.Sysno]int64)
+	cores := cfg.Profile.Cores
+	if cfg.NumCPU > 0 {
+		cores = cfg.NumCPU
+	}
+	k.cores = make([]int64, cores)
+	k.lcores = make([]int64, cores)
+	k.FS = fs.New(cfg.Profile, k.WallClock, entropy.Fork())
+	if cfg.Image != nil {
+		k.FS.Populate(cfg.Image)
+	}
+	k.HW = cpu.NewHW(cfg.Profile, entropy.Fork(), func() int64 { return k.now })
+	k.registerStandardDevices()
+	k.populateProc()
+	if cfg.Policy == nil {
+		k.Policy = newBaselinePolicy(entropy.Fork())
+	}
+	return k
+}
+
+// SetDebug installs a debug trace sink (the CLI's --debug flag).
+func (k *Kernel) SetDebug(f func(string, ...any)) { k.debugf = f }
+
+// WallClock returns the current wall-clock time in nanoseconds since the
+// Unix epoch: boot epoch plus elapsed virtual time.
+func (k *Kernel) WallClock() int64 { return k.epoch*1e9 + k.now }
+
+// Now returns virtual nanoseconds since boot.
+func (k *Kernel) Now() int64 { return k.now }
+
+// NumCores returns the number of schedulable CPUs in this boot.
+func (k *Kernel) NumCores() int { return len(k.cores) }
+
+// Epoch returns the boot epoch in seconds.
+func (k *Kernel) Epoch() int64 { return k.epoch }
+
+// RegisterDevice maps a DevID to a device constructor; opening a device
+// inode instantiates it.
+func (k *Kernel) RegisterDevice(id string, mk func() fs.Device) { k.devices[id] = mk }
+
+// Start creates the init process (PID namespace root) running fn with the
+// given argv/env, rooted at the filesystem root.
+func (k *Kernel) Start(fn ProgramFn, argv, env []string) *Proc {
+	p := k.newProc(nil)
+	p.Argv = argv
+	p.Env = append([]string(nil), env...)
+	p.Root = k.FS.Root
+	p.Cwd = k.FS.Root
+	t := k.newThread(p, fn)
+	k.startThread(t)
+	return p
+}
+
+// Run drives the simulation until every process has exited, a container
+// error aborts it, or a limit trips. It returns nil on clean completion.
+func (k *Kernel) Run() error {
+	for {
+		if k.abortErr != nil {
+			k.killEverything()
+			return k.abortErr
+		}
+		if len(k.pending) == 0 && len(k.kblocked) == 0 && len(k.parked) == 0 {
+			return nil // everything exited
+		}
+		if len(k.pending) == 0 && len(k.parked) == 0 {
+			// Only kernel-blocked threads remain: time can only advance via
+			// timers (e.g. everyone in nanosleep/alarm).
+			if !k.fireEarliestTimer() {
+				k.killEverything()
+				return ErrDeadlock
+			}
+			k.wakeKernelBlocked()
+			continue
+		}
+		t := k.choose()
+		if t == nil {
+			// The policy had nothing runnable; give timers a chance before
+			// declaring deadlock (DetTrace's Blocked queue may be waiting
+			// on an alarm).
+			if !k.fireEarliestTimer() {
+				k.killEverything()
+				if k.abortErr != nil {
+					return k.abortErr
+				}
+				return ErrDeadlock
+			}
+			k.wakeKernelBlocked()
+			continue
+		}
+		k.processAction(t)
+		k.wakeKernelBlocked()
+		k.checkTimers()
+		k.actions++
+		if k.deadline > 0 && k.now > k.deadline {
+			k.killEverything()
+			return ErrTimeout
+		}
+		if k.actions > k.maxActions {
+			k.killEverything()
+			return ErrRunaway
+		}
+	}
+}
+
+// choose asks the policy for the next thread among the pending set.
+func (k *Kernel) choose() *Thread {
+	if len(k.pending) > 1 || len(k.parked) > 0 {
+		k.Stats.SchedRequests += k.weightOf(nil)
+	}
+	sort.Slice(k.pending, func(i, j int) bool { return k.pending[i].TID < k.pending[j].TID })
+	return k.Policy.PickNext(k, k.pending)
+}
+
+func (k *Kernel) weightOf(t *Thread) int64 {
+	if t != nil && t.Proc.Weight > 1 {
+		return t.Proc.Weight
+	}
+	return 1
+}
+
+// Abort raises a reproducible container-level error; the run stops at the
+// next loop iteration.
+func (k *Kernel) Abort(err error) {
+	if k.abortErr == nil {
+		k.abortErr = &AbortError{Err: err}
+	}
+}
+
+// Aborted reports the pending abort error, if any.
+func (k *Kernel) Aborted() error { return k.abortErr }
+
+// advanceGlobal moves the monotone global clock forward.
+func (k *Kernel) advanceGlobal(t int64) {
+	if t > k.now {
+		k.now = t
+	}
+}
+
+// advanceLogical moves the monotone logical clock forward.
+func (k *Kernel) advanceLogical(t int64) {
+	if t > k.lnow {
+		k.lnow = t
+	}
+}
+
+// removePending drops t from the pending set.
+func (k *Kernel) removePending(t *Thread) {
+	for i, p := range k.pending {
+		if p == t {
+			k.pending = append(k.pending[:i], k.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// killEverything delivers a kill-resume to every live thread so their
+// goroutines unwind; used for aborts, deadlocks and timeouts.
+func (k *Kernel) killEverything() {
+	for _, p := range k.procs {
+		for _, t := range p.Threads {
+			if !t.dead {
+				k.killThread(t)
+			}
+		}
+	}
+	k.pending = nil
+	k.kblocked = nil
+	k.parked = nil
+}
+
+// debug emits one formatted trace line when debugging is enabled.
+func (k *Kernel) debug(format string, args ...any) {
+	if k.debugf != nil {
+		k.debugf(format, args...)
+	}
+}
+
+// Console buffers container stdout/stderr in processing order.
+type Console struct {
+	Out []byte
+	Err []byte
+}
+
+// Stdout returns everything written to fd 1 so far.
+func (c *Console) Stdout() string { return string(c.Out) }
+
+// Stderr returns everything written to fd 2 so far.
+func (c *Console) Stderr() string { return string(c.Err) }
+
+// baselinePolicy is the "no tracer attached" policy: actions are processed
+// in virtual-clock order with entropy tie-breaking, syscalls pass through
+// untouched, blocking uses kernel semantics. This is what a stock Linux box
+// looks like to the workload.
+type baselinePolicy struct {
+	entropy *prng.Host
+}
+
+func newBaselinePolicy(e *prng.Host) *baselinePolicy { return &baselinePolicy{entropy: e} }
+
+func (b *baselinePolicy) Name() string { return "baseline" }
+
+func (b *baselinePolicy) PickNext(k *Kernel, pending []*Thread) *Thread {
+	if len(pending) == 0 {
+		return nil
+	}
+	best := pending[0]
+	ties := 1
+	for _, t := range pending[1:] {
+		switch {
+		case t.Clock < best.Clock:
+			best, ties = t, 1
+		case t.Clock == best.Clock:
+			// Reservoir-sample among equal clocks: scheduler races.
+			ties++
+			if b.entropy.Intn(ties) == 0 {
+				best = t
+			}
+		}
+	}
+	return best
+}
+
+func (b *baselinePolicy) SyscallEnter(t *Thread, sc *abi.Syscall) EnterResult {
+	return EnterResult{Disposition: DispExecute}
+}
+
+func (b *baselinePolicy) SyscallExit(t *Thread, sc *abi.Syscall) ExitResult {
+	return ExitResult{}
+}
+
+func (b *baselinePolicy) WouldBlock(t *Thread, sc *abi.Syscall) bool { return false }
+
+func (b *baselinePolicy) Instr(t *Thread, req cpu.Request) (cpu.Result, bool, int64) {
+	return cpu.Result{}, false, 0
+}
+
+func (b *baselinePolicy) OnSpawn(parent, child *Thread) {}
+func (b *baselinePolicy) OnExit(t *Thread)              {}
+func (b *baselinePolicy) OnExec(t *Thread)              {}
+
+var _ Policy = (*baselinePolicy)(nil)
+
+// errString is a tiny constant-friendly error type for syscall-layer errors.
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// fmtPID formats a pid for debug lines.
+func fmtPID(p *Proc) string { return fmt.Sprintf("pid%d", p.PID) }

@@ -1,0 +1,453 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/abi"
+	"repro/internal/cpu"
+	"repro/internal/fs"
+)
+
+// Proc is one process: a PID, an address-space surrogate (shared futex
+// words), an fd table, credentials, a filesystem view and a set of threads.
+type Proc struct {
+	PID  int
+	PPID int
+
+	Argv []string
+	Env  []string
+	Comm string // executable name, for debugging
+
+	UID, GID uint32
+	Umask    uint32
+
+	Root    *fs.Inode
+	Cwd     *fs.Inode
+	CwdPath string // textual cwd for getcwd and fd-path bookkeeping
+
+	// Address-space surrogates: the program break and mmap region bases are
+	// randomized per exec (ASLR) and occasionally leak into build output.
+	brk, brkBase      int64
+	mmapBase, mmapOff int64
+
+	FDs *FDTable
+
+	Threads  []*Thread
+	parent   *Proc
+	children []*Proc
+	zombies  []*zombie
+
+	// Mem is the process's shared-memory surrogate: futex words and other
+	// cross-thread flags live here. Threads of one process share it; fork
+	// copies it (COW semantics collapsed to a copy at fork time).
+	Mem map[int64]int64
+
+	futexWaiters map[int64][]*Thread
+
+	// Signal state. handlers holds the guest's Go handler functions; the
+	// kernel consults only their presence when deciding disposition.
+	handlers   map[abi.Signal]SignalHandler
+	sigPending []abi.Signal
+
+	// Trap holds the rdtsc/cpuid interception configuration (§5.8).
+	Trap cpu.TrapConfig
+
+	// VdsoReplaced is set when a tracer replaced this process's vDSO with
+	// real system calls (§5.3). Cleared on execve: each new image maps a
+	// fresh vDSO that the tracer must patch again.
+	VdsoReplaced bool
+
+	// VdsoLogical is the §5.3 future-work fast path: the tracer's vDSO
+	// replacement answers timing calls directly (logically) instead of
+	// downgrading them to intercepted system calls.
+	VdsoLogical bool
+
+	// ScratchPage is set once a tracer allocated its per-process page for
+	// injected structs (§5.10).
+	ScratchPage bool
+
+	// Weight scales statistics and virtual-time costs: one executed action
+	// of this process stands for Weight real actions at paper scale.
+	Weight int64
+
+	// nextTimeCall backs DetTrace's logical time: a per-process count of
+	// time queries (§5.3). Stored here so it survives execve the way the
+	// paper's implementation behaves.
+	TimeCallCount int64
+
+	// threadBusyUntil is the serialized-thread execution token: under
+	// policies that serialize threads (§5.7) at most one thread of the
+	// process occupies the CPU at a time. lthreadBusyUntil is its logical
+	// mirror.
+	threadBusyUntil  int64
+	lthreadBusyUntil int64
+
+	exited   bool
+	exitCode int
+}
+
+type zombie struct {
+	pid    int
+	status abi.WaitStatus
+	usage  abi.Rusage
+}
+
+// Thread is one schedulable context within a process.
+type Thread struct {
+	TID  int
+	Proc *Proc
+
+	// Clock is the thread's physical virtual time: it includes the host's
+	// microarchitectural jitter and is what performance results report.
+	Clock int64
+
+	// LClock is the thread's *logical* clock: the same accounting computed
+	// with nominal (jitter-free) costs. It is a pure function of the
+	// container's logical history, so deterministic policies may order
+	// decisions by it — the queue key that lets DetTrace service system
+	// calls in (logical) arrival order without consulting host time.
+	LClock int64
+
+	program     ProgramFn
+	pendingExec ProgramFn
+
+	yieldCh  chan *yieldMsg
+	resumeCh chan resumeMsg
+	act      *yieldMsg // the action currently waiting to be processed
+	dead     bool
+
+	eintr      bool  // current blocked syscall was interrupted by a signal
+	wakeReady  bool  // explicit wake (futex wake, socket event)
+	futexWoken bool  // a FUTEX_WAKE targeted this thread
+	sleepUntil int64 // nanosleep deadline, in virtual ns
+
+	// spinCount counts consecutive pure-compute actions while sibling
+	// threads are starved — the busy-wait signature (§5.9). Maintained by
+	// policies that serialize threads.
+	SpinCount int
+
+	k *Kernel
+}
+
+// Kernel returns the kernel this thread runs on; used by guest wrappers.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+type yieldKind int
+
+const (
+	yieldSyscall yieldKind = iota
+	yieldCompute
+	yieldInstr
+	yieldVdsoTime
+	yieldExit
+	yieldDead // goroutine acknowledged a kill
+)
+
+type yieldMsg struct {
+	kind    yieldKind
+	sc      *abi.Syscall
+	compute int64 // ns of work
+	instr   cpu.Request
+	code    int // exit code
+	weight  int64
+}
+
+type resumeMsg struct {
+	kill   bool
+	exec   bool
+	signal abi.Signal // deliver this signal's handler before returning
+	instr  cpu.Result
+}
+
+// killedPanic unwinds a guest goroutine when its thread is killed.
+type killedPanic struct{}
+
+// execPanic unwinds the old program image after a successful execve.
+type execPanic struct{}
+
+// newProc allocates a process. parent == nil creates the init process.
+func (k *Kernel) newProc(parent *Proc) *Proc {
+	p := &Proc{
+		PID:          k.nextPID,
+		UID:          1000 + uint32(k.Entropy.Intn(100)), // host uid of the invoking user
+		Umask:        0o022,
+		FDs:          newFDTable(),
+		Mem:          make(map[int64]int64),
+		futexWaiters: make(map[int64][]*Thread),
+		Weight:       1,
+	}
+	k.nextPID++
+	if parent != nil {
+		p.PPID = parent.PID
+		p.parent = parent
+		p.UID, p.GID = parent.UID, parent.GID
+		p.Umask = parent.Umask
+		p.Root, p.Cwd = parent.Root, parent.Cwd
+		p.Env = append([]string(nil), parent.Env...)
+		p.Weight = parent.Weight
+		p.Trap = parent.Trap
+		p.VdsoReplaced = parent.VdsoReplaced
+		// fork duplicates the address space, layout included.
+		p.brk, p.brkBase = parent.brk, parent.brkBase
+		p.mmapBase, p.mmapOff = parent.mmapBase, parent.mmapOff
+		parent.children = append(parent.children, p)
+		// fork copies memory and the fd table.
+		for a, v := range parent.Mem {
+			p.Mem[a] = v
+		}
+		p.FDs = parent.FDs.clone()
+	} else {
+		// The init process inherits the host console on 0/1/2 and a
+		// boot-randomized address-space layout.
+		p.FDs.install(0, &FD{kind: fdConsole})
+		p.FDs.install(1, &FD{kind: fdConsole})
+		p.FDs.install(2, &FD{kind: fdConsole, consoleErr: true})
+		p.brkBase = 0x5000_0000 + k.Entropy.Int63n(1<<30)&^4095
+		p.mmapBase = 0x7f00_0000_0000 + k.Entropy.Int63n(1<<36)&^4095
+	}
+	k.procs[p.PID] = p
+	return p
+}
+
+func (k *Kernel) newThread(p *Proc, fn ProgramFn) *Thread {
+	t := &Thread{
+		TID:      p.PID*64 + len(p.Threads), // unique, deterministic per spawn order
+		Proc:     p,
+		program:  fn,
+		yieldCh:  make(chan *yieldMsg),
+		resumeCh: make(chan resumeMsg),
+		k:        k,
+	}
+	if len(p.Threads) > 0 {
+		t.Clock = p.Threads[0].Clock
+		t.LClock = p.Threads[0].LClock
+	}
+	p.Threads = append(p.Threads, t)
+	return t
+}
+
+// startThread launches the guest goroutine and waits for its first yield,
+// preserving the lockstep invariant.
+func (k *Kernel) startThread(t *Thread) {
+	go t.runner()
+	t.act = <-t.yieldCh
+	if t.act.kind == yieldDead {
+		t.dead = true
+		return
+	}
+	k.pending = append(k.pending, t)
+}
+
+// runner is the guest goroutine body: it runs the thread's program, handles
+// execve unwinding, and reports exit.
+func (t *Thread) runner() {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); ok {
+				t.yieldCh <- &yieldMsg{kind: yieldDead}
+				return
+			}
+			panic(r) // real bug in guest code: surface it
+		}
+	}()
+	for {
+		code, execed := t.invoke()
+		if execed {
+			continue
+		}
+		t.yield(&yieldMsg{kind: yieldExit, code: code, weight: t.Proc.Weight})
+		t.yieldCh <- &yieldMsg{kind: yieldDead}
+		return
+	}
+}
+
+// invoke runs the current program image, converting an execve unwind into a
+// normal return.
+func (t *Thread) invoke() (code int, execed bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(execPanic); ok {
+				t.program = t.pendingExec
+				t.pendingExec = nil
+				execed = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return t.program(t), false
+}
+
+// yield hands an action to the kernel and blocks until it has been
+// processed. It is the only place guest goroutines synchronize with the
+// kernel loop.
+func (t *Thread) yield(m *yieldMsg) resumeMsg {
+	if m.weight == 0 {
+		m.weight = t.Proc.Weight
+	}
+	t.yieldCh <- m
+	r := <-t.resumeCh
+	if r.kill {
+		panic(killedPanic{})
+	}
+	if r.exec {
+		panic(execPanic{})
+	}
+	return r
+}
+
+// --- guest-facing action entry points (used by package guest) --------------
+
+// Syscall issues a system call and blocks until it completes. The returned
+// Syscall carries the result in Ret and any out parameters in Buf/Obj.
+func (t *Thread) Syscall(sc *abi.Syscall) *abi.Syscall {
+	r := t.yield(&yieldMsg{kind: yieldSyscall, sc: sc})
+	t.runSignal(r.signal)
+	return sc
+}
+
+// Compute burns d nanoseconds of CPU across the machine's cores.
+func (t *Thread) Compute(d int64) {
+	if d <= 0 {
+		return
+	}
+	r := t.yield(&yieldMsg{kind: yieldCompute, compute: d})
+	t.runSignal(r.signal)
+}
+
+// Instr executes one special CPU instruction.
+func (t *Thread) Instr(req cpu.Request) cpu.Result {
+	r := t.yield(&yieldMsg{kind: yieldInstr, instr: req})
+	t.runSignal(r.signal)
+	return r.instr
+}
+
+// VdsoTime reads the wall clock through the vDSO fast path — *not* a system
+// call, and therefore invisible to ptrace-style interception (§5.3). A
+// tracer may have replaced this process's vDSO: with a stub that downgrades
+// to a real clock_gettime system call, or (the fast variant) one that
+// answers logically in user space.
+func (t *Thread) VdsoTime() int64 {
+	if t.Proc.VdsoReplaced && !t.Proc.VdsoLogical {
+		var ts abi.Timespec
+		sc := &abi.Syscall{Num: abi.SysClockGettime, Obj: &ts}
+		t.Syscall(sc)
+		return ts.Nanos()
+	}
+	r := t.yield(&yieldMsg{kind: yieldVdsoTime})
+	t.runSignal(r.signal)
+	return int64(r.instr.Value)
+}
+
+var _ = fmt.Sprintf // fmt is used by debug helpers below
+
+// SignalHandler is a guest-side signal handler function. The kernel tracks
+// only that a handler is registered; the function itself runs on the guest
+// goroutine when the kernel requests delivery.
+type SignalHandler func(t *Thread, sig abi.Signal)
+
+// SetHandler registers a guest signal handler (the guest side of
+// rt_sigaction; the kernel side tracks only that a handler exists).
+func (t *Thread) SetHandler(sig abi.Signal, fn SignalHandler) {
+	p := t.Proc
+	if p.handlers == nil {
+		p.handlers = make(map[abi.Signal]SignalHandler)
+	}
+	if fn == nil {
+		delete(p.handlers, sig)
+	} else {
+		p.handlers[sig] = fn
+	}
+}
+
+// runSignal invokes the guest handler for sig, if the resume asked for one.
+func (t *Thread) runSignal(sig abi.Signal) {
+	if sig == 0 {
+		return
+	}
+	if fn := t.Proc.handlers[sig]; fn != nil {
+		fn(t, sig)
+	}
+}
+
+// killThread delivers the kill resume and waits for the goroutine to unwind.
+// Callers must know the thread has yielded (the lockstep invariant makes
+// this true whenever kernel code runs).
+func (k *Kernel) killThread(t *Thread) {
+	if t.dead {
+		return
+	}
+	t.dead = true
+	t.resumeCh <- resumeMsg{kill: true}
+	<-t.yieldCh // yieldDead acknowledgement
+}
+
+// --- process teardown -------------------------------------------------------
+
+// finishThread handles a thread's exit action. When the last thread exits,
+// the process dies: fds close, children are reparented to init, the parent
+// gets a zombie and a SIGCHLD.
+func (k *Kernel) finishThread(t *Thread, code int) {
+	t.dead = true
+	k.removePending(t)
+	p := t.Proc
+	live := 0
+	for _, th := range p.Threads {
+		if !th.dead {
+			live++
+		}
+	}
+	k.Policy.OnExit(t)
+	if live > 0 {
+		t.resumeCh <- resumeMsg{}
+		<-t.yieldCh
+		return
+	}
+	p.exited = true
+	p.exitCode = code
+	p.FDs.closeAll(k)
+	// Reparent children to init (pid of the first process).
+	for _, c := range p.children {
+		if !c.exited {
+			c.parent = nil
+		}
+	}
+	if parent := p.parent; parent != nil && !parent.exited {
+		parent.zombies = append(parent.zombies, &zombie{
+			pid:    p.PID,
+			status: abi.ExitStatus(code),
+			usage:  abi.Rusage{UserNanos: t.Clock},
+		})
+		k.postSignal(parent, abi.SIGCHLD)
+	}
+	delete(k.procs, p.PID)
+	t.resumeCh <- resumeMsg{}
+	<-t.yieldCh // yieldDead
+}
+
+// exitGroup kills every other thread in the process, then exits this one.
+func (k *Kernel) exitGroup(t *Thread, code int) {
+	for _, th := range t.Proc.Threads {
+		if th != t && !th.dead {
+			k.removePending(th)
+			k.removeBlocked(th)
+			k.killThread(th)
+		}
+	}
+	k.finishThread(t, code)
+}
+
+func (k *Kernel) removeBlocked(t *Thread) {
+	for i, b := range k.kblocked {
+		if b == t {
+			k.kblocked = append(k.kblocked[:i], k.kblocked[i+1:]...)
+			return
+		}
+	}
+	for i, b := range k.parked {
+		if b == t {
+			k.parked = append(k.parked[:i], k.parked[i+1:]...)
+			return
+		}
+	}
+}

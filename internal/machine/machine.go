@@ -1,0 +1,205 @@
+// Package machine defines hardware/OS profiles for the simulated hosts the
+// evaluation runs on. A Profile captures exactly the machine details the
+// paper shows leaking into guest-visible state: cpuid contents, core counts,
+// kernel version strings, TSX/rdrand availability, cpuid-faulting support
+// (Ivy Bridge and newer, Linux >= 4.12), filesystem directory-size
+// formulas, and TSC frequency.
+//
+// Portability (§7.3) is evaluated by running the same container image on two
+// different Profiles and requiring bitwise-identical output.
+package machine
+
+import "fmt"
+
+// Profile describes one host machine: microarchitecture plus OS build.
+type Profile struct {
+	Name      string
+	Microarch string // "skylake", "haswell", "broadwell", "sandybridge"
+	CPUModel  string // cpuid brand string
+
+	Cores int // logical CPUs visible to the scheduler
+	RAMMB int
+	TSCHz uint64 // rdtsc increments per second
+
+	KernelRelease string // uname -r, e.g. "4.15.0-45-generic"
+	KernelVersion string // uname -v build banner (host-specific)
+	Hostname      string
+
+	// Capability bits that gate DetTrace mechanisms.
+	HasCpuidFaulting  bool // Ivy Bridge+ hardware AND kernel >= 4.12
+	HasTSX            bool
+	HasRDRAND         bool
+	SeccompSingleStop bool // kernel >= 4.8 combined ptrace/seccomp event
+
+	// CacheKB is the L3 size reported through cpuid; it differs across
+	// microarchitectures and is one of the portability leaks DetTrace masks.
+	CacheKB int
+
+	// DirSizeSlope/DirSizeBase parameterize how the host filesystem reports
+	// st_size for directories: size = base + slope*ceil(entries/perBlock).
+	// The paper found this to vary across machines even for identical
+	// directory contents, which broke portability until DetTrace virtualized
+	// directory sizes.
+	DirSizeBase        int64
+	DirSizeSlope       int64
+	DirEntriesPerBlock int
+}
+
+// DirSize returns the st_size this machine's filesystem reports for a
+// directory with n entries (excluding "." and "..").
+func (p *Profile) DirSize(n int) int64 {
+	blocks := int64(1)
+	if p.DirEntriesPerBlock > 0 {
+		blocks = int64((n + p.DirEntriesPerBlock - 1) / p.DirEntriesPerBlock)
+		if blocks == 0 {
+			blocks = 1
+		}
+	}
+	return p.DirSizeBase + p.DirSizeSlope*blocks
+}
+
+// CPUIDLeaf is the raw result of one cpuid leaf as the hardware reports it.
+type CPUIDLeaf struct {
+	EAX, EBX, ECX, EDX uint32
+}
+
+// Feature bits within cpuid leaf 1 ECX and leaf 7 EBX that the paper's
+// taxonomy cares about.
+const (
+	Leaf1ECXRdrand uint32 = 1 << 30
+	Leaf7EBXTSX    uint32 = 1 << 11 // RTM
+	Leaf7EBXRdseed uint32 = 1 << 18
+)
+
+// CPUID returns the hardware cpuid leaf for this profile. Leaf 0 reports the
+// vendor, leaf 1 the family/model plus feature bits, leaf 4 the cache
+// geometry, and leaf 0x16 the base frequency. Anything else returns zeros.
+func (p *Profile) CPUID(leaf uint32) CPUIDLeaf {
+	switch leaf {
+	case 0:
+		return CPUIDLeaf{EAX: 0x16, EBX: 0x756e6547, ECX: 0x6c65746e, EDX: 0x49656e69} // "GenuineIntel"
+	case 1:
+		var ecx uint32
+		if p.HasRDRAND {
+			ecx |= Leaf1ECXRdrand
+		}
+		return CPUIDLeaf{EAX: p.modelSignature(), EBX: uint32(p.Cores) << 16, ECX: ecx}
+	case 4:
+		return CPUIDLeaf{EAX: uint32(p.Cores-1) << 26, EBX: uint32(p.CacheKB)}
+	case 7:
+		var ebx uint32
+		if p.HasTSX {
+			ebx |= Leaf7EBXTSX
+		}
+		if p.HasRDRAND { // rdseed ships alongside rdrand on these parts
+			ebx |= Leaf7EBXRdseed
+		}
+		return CPUIDLeaf{EBX: ebx}
+	case 0x16:
+		return CPUIDLeaf{EAX: uint32(p.TSCHz / 1e6)}
+	default:
+		return CPUIDLeaf{}
+	}
+}
+
+func (p *Profile) modelSignature() uint32 {
+	switch p.Microarch {
+	case "skylake":
+		return 0x00050654
+	case "broadwell":
+		return 0x000406f1
+	case "haswell":
+		return 0x000306f2
+	case "ivybridge":
+		return 0x000306a9
+	case "sandybridge":
+		return 0x000206a7
+	default:
+		return 0x000106a5
+	}
+}
+
+// String identifies the profile for logs and experiment records.
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s (%s, %d cores, linux %s)", p.Name, p.Microarch, p.Cores, p.KernelRelease)
+}
+
+// kernelAtLeast reports whether the release string begins with a version
+// >= major.minor. Releases are well-formed in this package, so parsing is
+// simple.
+func kernelAtLeast(release string, major, minor int) bool {
+	var a, b int
+	fmt.Sscanf(release, "%d.%d", &a, &b)
+	return a > major || (a == major && b >= minor)
+}
+
+// SupportsCpuidInterception reports whether DetTrace can hide cpuid on this
+// host: Ivy Bridge or newer silicon and a kernel that exports the faulting
+// control (>= 4.12).
+func (p *Profile) SupportsCpuidInterception() bool {
+	return p.HasCpuidFaulting && kernelAtLeast(p.KernelRelease, 4, 12)
+}
+
+// CloudLabC220G5 is the package-build machine from §6: two Xeon Silver 4114
+// (Skylake) packages, Ubuntu 18.04, Linux 4.15.
+func CloudLabC220G5() *Profile {
+	return &Profile{
+		Name: "cloudlab-c220g5", Microarch: "skylake",
+		CPUModel: "Intel(R) Xeon(R) Silver 4114 CPU @ 2.20GHz",
+		Cores:    40, RAMMB: 192 * 1024, TSCHz: 2_200_000_000,
+		KernelRelease: "4.15.0-45-generic",
+		KernelVersion: "#48-Ubuntu SMP", Hostname: "clnode241",
+		HasCpuidFaulting: true, HasTSX: true, HasRDRAND: true,
+		SeccompSingleStop: true, CacheKB: 14080,
+		DirSizeBase: 0, DirSizeSlope: 4096, DirEntriesPerBlock: 85,
+	}
+}
+
+// BioHaswell is the bioinformatics/ML machine from §6: two Xeon E5-2618Lv3
+// (Haswell) packages, Ubuntu 18.10, Linux 4.18.
+func BioHaswell() *Profile {
+	return &Profile{
+		Name: "bio-haswell", Microarch: "haswell",
+		CPUModel: "Intel(R) Xeon(R) CPU E5-2618L v3 @ 2.30GHz",
+		Cores:    32, RAMMB: 128 * 1024, TSCHz: 2_300_000_000,
+		KernelRelease: "4.18.0-13-generic",
+		KernelVersion: "#14-Ubuntu SMP", Hostname: "bioserver",
+		HasCpuidFaulting: true, HasTSX: false, HasRDRAND: true,
+		SeccompSingleStop: true, CacheKB: 20480,
+		DirSizeBase: 0, DirSizeSlope: 4096, DirEntriesPerBlock: 85,
+	}
+}
+
+// PortabilityBroadwell is the second machine of the §7.3 portability study:
+// Xeon E5-2620 v4 (Broadwell), Ubuntu 18.10, Linux 4.18. Its filesystem
+// reports different directory sizes than the c220g5's, which is the leak
+// §7.3 discovered.
+func PortabilityBroadwell() *Profile {
+	return &Profile{
+		Name: "portability-broadwell", Microarch: "broadwell",
+		CPUModel: "Intel(R) Xeon(R) CPU E5-2620 v4 @ 2.10GHz",
+		Cores:    32, RAMMB: 64 * 1024, TSCHz: 2_100_000_000,
+		KernelRelease: "4.18.0-10-generic",
+		KernelVersion: "#11-Ubuntu SMP", Hostname: "bwnode07",
+		HasCpuidFaulting: true, HasTSX: true, HasRDRAND: true,
+		SeccompSingleStop: true, CacheKB: 20480,
+		DirSizeBase: 24, DirSizeSlope: 4096, DirEntriesPerBlock: 96,
+	}
+}
+
+// LegacySandyBridge models the pre-Ivy-Bridge fallback discussed in §5.8:
+// no cpuid faulting, but also no TSX or rdrand, so DetTrace still runs with
+// a smaller portability equivalence class. Its old kernel also lacks the
+// combined seccomp/ptrace stop (§5.11).
+func LegacySandyBridge() *Profile {
+	return &Profile{
+		Name: "legacy-sandybridge", Microarch: "sandybridge",
+		CPUModel: "Intel(R) Xeon(R) CPU E5-2670 0 @ 2.60GHz",
+		Cores:    16, RAMMB: 32 * 1024, TSCHz: 2_600_000_000,
+		KernelRelease: "4.4.0-142-generic",
+		KernelVersion: "#168-Ubuntu SMP", Hostname: "oldnode",
+		HasCpuidFaulting: false, HasTSX: false, HasRDRAND: false,
+		SeccompSingleStop: false, CacheKB: 20480,
+		DirSizeBase: 0, DirSizeSlope: 4096, DirEntriesPerBlock: 85,
+	}
+}

@@ -1,0 +1,94 @@
+package machine
+
+import "testing"
+
+func TestProfilesDiffer(t *testing.T) {
+	a, b := CloudLabC220G5(), PortabilityBroadwell()
+	if a.CPUID(1) == b.CPUID(1) {
+		t.Errorf("cpuid leaf 1 identical across microarchitectures")
+	}
+	if a.KernelRelease == b.KernelRelease {
+		t.Errorf("kernel releases identical")
+	}
+}
+
+func TestDirSizeFormulaVariesAcrossMachines(t *testing.T) {
+	a, b := CloudLabC220G5(), PortabilityBroadwell()
+	diffs := 0
+	for n := 0; n < 500; n += 25 {
+		if a.DirSize(n) != b.DirSize(n) {
+			diffs++
+		}
+	}
+	if diffs == 0 {
+		t.Errorf("directory size formulas coincide everywhere — the §7.3 leak is unmodelled")
+	}
+	// And is monotone non-decreasing in the entry count.
+	prev := int64(0)
+	for n := 0; n < 1000; n += 10 {
+		s := a.DirSize(n)
+		if s < prev {
+			t.Fatalf("DirSize not monotone at %d entries", n)
+		}
+		prev = s
+	}
+}
+
+func TestCPUIDFeatureBits(t *testing.T) {
+	sky := CloudLabC220G5()
+	if sky.CPUID(1).ECX&Leaf1ECXRdrand == 0 {
+		t.Errorf("Skylake should advertise rdrand")
+	}
+	if sky.CPUID(7).EBX&Leaf7EBXTSX == 0 {
+		t.Errorf("Skylake c220g5 should advertise TSX")
+	}
+	old := LegacySandyBridge()
+	if old.CPUID(1).ECX&Leaf1ECXRdrand != 0 {
+		t.Errorf("Sandy Bridge should not advertise rdrand")
+	}
+	if old.CPUID(7).EBX&Leaf7EBXTSX != 0 {
+		t.Errorf("Sandy Bridge should not advertise TSX")
+	}
+	// Vendor string is GenuineIntel on every profile.
+	for _, p := range []*Profile{sky, old, BioHaswell(), PortabilityBroadwell()} {
+		l0 := p.CPUID(0)
+		if l0.EBX != 0x756e6547 || l0.EDX != 0x49656e69 || l0.ECX != 0x6c65746e {
+			t.Errorf("%s: bad vendor string", p.Name)
+		}
+	}
+}
+
+func TestCpuidInterceptionSupport(t *testing.T) {
+	if !CloudLabC220G5().SupportsCpuidInterception() {
+		t.Errorf("Skylake + 4.15 must support cpuid interception")
+	}
+	if LegacySandyBridge().SupportsCpuidInterception() {
+		t.Errorf("Sandy Bridge must not (no hardware faulting)")
+	}
+	// Hardware support but an old kernel is not enough (§5.8: >= 4.12).
+	p := *BioHaswell()
+	p.KernelRelease = "4.4.0-generic"
+	if p.SupportsCpuidInterception() {
+		t.Errorf("kernel 4.4 must not support user-space cpuid faulting")
+	}
+	p.KernelRelease = "5.1.0"
+	if !p.SupportsCpuidInterception() {
+		t.Errorf("kernel 5.1 should support it")
+	}
+}
+
+func TestSeccompSingleStopFlags(t *testing.T) {
+	if !CloudLabC220G5().SeccompSingleStop {
+		t.Errorf("4.15 kernel has the combined stop (>= 4.8)")
+	}
+	if LegacySandyBridge().SeccompSingleStop {
+		t.Errorf("the legacy profile models the pre-4.8 fallback (§5.11)")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := CloudLabC220G5().String()
+	if s == "" {
+		t.Errorf("empty description")
+	}
+}

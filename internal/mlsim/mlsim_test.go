@@ -1,0 +1,56 @@
+package mlsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTensorFlowSlowdownShape(t *testing.T) {
+	for _, r := range RunStudy(31) {
+		t.Logf("%s: vsParallel=%.2fx vsSerial=%.2fx (par=%.0fs ser=%.0fs dt=%.0fs)",
+			r.Model, r.VsParallel, r.VsSerial,
+			float64(r.NativeParallel)/1e9, float64(r.NativeSerial)/1e9, float64(r.DetTrace)/1e9)
+		// Thread serialization costs roughly the parallel speedup.
+		if r.VsParallel < 8 || r.VsParallel > 25 {
+			t.Errorf("%s: DT vs parallel native = %.2fx, want ~10-18x", r.Model, r.VsParallel)
+		}
+		// Against serialized native the price is small.
+		if r.VsSerial < 1.0 || r.VsSerial > 2.2 {
+			t.Errorf("%s: DT vs serial native = %.2fx, want ~1.1-1.6x", r.Model, r.VsSerial)
+		}
+	}
+	// alexnet is more syscall-intensive than cifar10, so it pays more.
+	rs := RunStudy(32)
+	if !(rs[0].VsSerial > rs[1].VsSerial) {
+		t.Errorf("alexnet (%.2f) should pay more than cifar10 (%.2f)", rs[0].VsSerial, rs[1].VsSerial)
+	}
+}
+
+func TestLossTraceReproducibility(t *testing.T) {
+	// Natively irreproducible even serialized (§7.6).
+	_, a := RunNative(Alexnet, 1, 100)
+	_, b := RunNative(Alexnet, 1, 200)
+	if a == b {
+		t.Errorf("native loss traces identical across runs — randomness model broken")
+	}
+	// Serialized-vs-parallel native also differ (different seed draw order
+	// is not even needed; the seed itself differs per run).
+	_, dt1, err1 := RunDetTrace(Cifar10, 300)
+	_, dt2, err2 := RunDetTrace(Cifar10, 400)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("dettrace runs failed: %v %v", err1, err2)
+	}
+	if dt1 != dt2 {
+		t.Errorf("DetTrace loss traces differ across hosts:\n%s\nvs\n%s", head(dt1), head(dt2))
+	}
+	if !strings.Contains(dt1, "1,") {
+		t.Errorf("loss trace malformed: %q", head(dt1))
+	}
+}
+
+func head(s string) string {
+	if len(s) > 120 {
+		return s[:120]
+	}
+	return s
+}

@@ -1,0 +1,127 @@
+// Package prng provides the two random sources the system needs:
+//
+//   - LFSR: the simple linear-feedback shift register DetTrace uses to
+//     service getrandom and /dev/urandom inside the container (§5.2). Its
+//     stream is a pure function of the container seed, which is exactly the
+//     property the paper relies on: "true randomness" enters only through
+//     the seed, in a controlled way.
+//
+//   - Host: the simulated machine's entropy pool. The baseline kernel draws
+//     boot-time entropy (inode allocation offsets, ASLR bases, clock jitter,
+//     scheduling tie-breaks, /dev/urandom contents) from it. Different Host
+//     seeds model different physical runs of the same machine; reproducing
+//     output across Host seeds is the whole game.
+package prng
+
+// LFSR is a 64-bit Galois linear-feedback shift register. The zero state is
+// invalid, so the constructor maps seed 0 to a fixed nonzero value.
+type LFSR struct {
+	state uint64
+}
+
+// NewLFSR returns an LFSR seeded with the given value. The seed is
+// scrambled first so that adjacent seeds (1, 2, 3...) do not produce
+// correlated early output — users pick small seeds.
+func NewLFSR(seed uint64) *LFSR {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x1d872b41c0de5eed
+	}
+	return &LFSR{state: z}
+}
+
+// taps for a maximal-length 64-bit LFSR (x^64 + x^63 + x^61 + x^60 + 1).
+const lfsrTaps = 0xd800000000000000
+
+// NextBit advances the register one step and returns the output bit.
+func (l *LFSR) NextBit() uint64 {
+	out := l.state & 1
+	l.state >>= 1
+	if out == 1 {
+		l.state ^= lfsrTaps
+	}
+	return out
+}
+
+// NextByte returns the next 8 output bits.
+func (l *LFSR) NextByte() byte {
+	var b byte
+	for i := 0; i < 8; i++ {
+		b = b<<1 | byte(l.NextBit())
+	}
+	return b
+}
+
+// Fill writes pseudo-random bytes over the whole buffer.
+func (l *LFSR) Fill(p []byte) {
+	for i := range p {
+		p[i] = l.NextByte()
+	}
+}
+
+// Uint64 returns the next 64 bits of the stream.
+func (l *LFSR) Uint64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(l.NextByte())
+	}
+	return v
+}
+
+// Host is the machine entropy pool, a splitmix64 sequence. It is
+// deliberately a different generator family from LFSR so container
+// randomness can never accidentally correlate with host randomness.
+type Host struct {
+	state uint64
+}
+
+// NewHost returns a host entropy pool for one simulated physical run.
+func NewHost(seed uint64) *Host { return &Host{state: seed} }
+
+// Uint64 returns the next value of the pool.
+func (h *Host) Uint64() uint64 {
+	h.state += 0x9e3779b97f4a7c15
+	z := h.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). n must be positive.
+func (h *Host) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(h.Uint64() % uint64(n))
+}
+
+// Int63n returns a value in [0, n). n must be positive.
+func (h *Host) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("prng: Int63n with non-positive n")
+	}
+	return int64(h.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (h *Host) Float64() float64 {
+	return float64(h.Uint64()>>11) / (1 << 53)
+}
+
+// Fill writes entropy over the whole buffer.
+func (h *Host) Fill(p []byte) {
+	var v uint64
+	for i := range p {
+		if i%8 == 0 {
+			v = h.Uint64()
+		}
+		p[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// Fork derives an independent child pool; the parent advances one step.
+func (h *Host) Fork() *Host { return NewHost(h.Uint64()) }

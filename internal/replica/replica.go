@@ -1,0 +1,236 @@
+// Package replica demonstrates the paper's §1–§2 distributed-systems
+// motivation: "In distributed systems, reproducibility ensures that all
+// replicas behave the same way, accelerating consensus and enabling
+// transparent fault recovery."
+//
+// A Cluster runs N copies of the same container — same image, same command
+// log, same container seed — on N *different* simulated hosts. Because a
+// DetTrace computation is a pure function of its inputs, every replica
+// reaches a bitwise-identical state with no coordination protocol at all,
+// and a crashed replica is recovered by simply re-executing the log
+// (deterministic state machine replication, Schneider-style, without
+// runtime agreement on nondeterministic choices).
+package replica
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/baseimg"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/hashdeep"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+)
+
+// Host is one replica's physical placement: everything about it must be
+// invisible in the replica's state.
+type Host struct {
+	Name    string
+	Profile *machine.Profile
+	Seed    uint64
+	Epoch   int64
+	NumCPU  int
+}
+
+// DefaultHosts returns a deliberately heterogeneous three-node cluster.
+func DefaultHosts() []Host {
+	return []Host{
+		{Name: "node-a", Profile: machine.CloudLabC220G5(), Seed: 0xA11CE, Epoch: 1_520_000_000, NumCPU: 0},
+		{Name: "node-b", Profile: machine.PortabilityBroadwell(), Seed: 0xB0B, Epoch: 1_555_555_555, NumCPU: 8},
+		{Name: "node-c", Profile: machine.BioHaswell(), Seed: 0xCAFE, Epoch: 1_590_000_000, NumCPU: 16},
+	}
+}
+
+// Result is one replica's outcome.
+type Result struct {
+	Host      string
+	StateHash string // hash of /data after applying the log
+	Output    string
+	Err       error
+}
+
+// Cluster executes a command log on a replicated bank state machine.
+type Cluster struct {
+	Hosts []Host
+	// Seed is the container PRNG seed — a declared input, shared by every
+	// replica (transaction ids derive from it, identically everywhere).
+	Seed uint64
+}
+
+// image builds the replica's container image with the command log baked in.
+func image(log []string) *fs.Image {
+	im := baseimg.Minimal()
+	im.AddDir("/data", 0o755)
+	im.AddFile("/data/log", 0o644, []byte(strings.Join(log, "\n")+"\n"))
+	im.AddFile("/bin/bank", 0o755, guest.MakeExe("bank", nil))
+	return im
+}
+
+func registry() *guest.Registry {
+	reg := guest.NewRegistry()
+	reg.Register("bank", bankMain)
+	return reg
+}
+
+// Execute runs the log on every host, under DetTrace.
+func (c *Cluster) Execute(log []string) []Result {
+	out := make([]Result, 0, len(c.Hosts))
+	for _, h := range c.Hosts {
+		cont := core.New(core.Config{
+			Image:    image(log),
+			Profile:  h.Profile,
+			HostSeed: h.Seed,
+			Epoch:    h.Epoch,
+			NumCPU:   h.NumCPU,
+			PRNGSeed: c.Seed,
+		})
+		res := cont.Run(registry(), "/bin/bank", []string{"bank"}, nil)
+		out = append(out, Result{
+			Host:      h.Name,
+			StateHash: hashdeep.HashSubtree(res.FS, "/data/state").Total(),
+			Output:    res.Stdout,
+			Err:       res.Err,
+		})
+	}
+	return out
+}
+
+// ExecuteNative runs the same log without DetTrace — the control showing why
+// naive replication diverges.
+func (c *Cluster) ExecuteNative(log []string) []Result {
+	out := make([]Result, 0, len(c.Hosts))
+	for _, h := range c.Hosts {
+		reg := registry()
+		k := kernel.New(kernel.Config{
+			Profile:  h.Profile,
+			Seed:     h.Seed,
+			Epoch:    h.Epoch,
+			NumCPU:   h.NumCPU,
+			Image:    image(log),
+			Resolver: reg.Resolver(),
+		})
+		prog, _ := reg.Lookup("bank")
+		img := &kernel.ExecImage{Path: "/bin/bank", Argv: []string{"bank"}}
+		k.Start(reg.Bind(prog, img), img.Argv, nil)
+		err := k.Run()
+		out = append(out, Result{
+			Host:      h.Name,
+			StateHash: hashdeep.HashSubtree(k.FS.SnapshotImage(k.FS.Root), "/data/state").Total(),
+			Output:    k.Console.Stdout(),
+			Err:       err,
+		})
+	}
+	return out
+}
+
+// Agree reports whether every replica reached the same state.
+func Agree(results []Result) bool {
+	for _, r := range results {
+		if r.Err != nil || r.StateHash != results[0].StateHash {
+			return false
+		}
+	}
+	return true
+}
+
+// Recover rebuilds a crashed replica on a fresh host by re-executing the
+// log, and reports whether it rejoined the cluster's state.
+func (c *Cluster) Recover(log []string, fresh Host) (Result, bool) {
+	healthy := c.Execute(log)
+	replacement := Cluster{Hosts: []Host{fresh}, Seed: c.Seed}
+	got := replacement.Execute(log)[0]
+	return got, got.Err == nil && len(healthy) > 0 && got.StateHash == healthy[0].StateHash
+}
+
+// --- the replicated state machine -------------------------------------------------
+
+// bankMain applies /data/log to an account store under /data/state. It is
+// deliberately sloppy in the ways real services are: every applied command
+// gets a transaction id from OS randomness and an audit timestamp from the
+// clock, and "interest" compounds based on the current time — all fine
+// under DetTrace, all divergence bombs natively.
+func bankMain(p *guest.Proc) int {
+	raw, err := p.ReadFile("/data/log")
+	if err != abi.OK {
+		p.Eprintf("bank: no log: %s\n", err)
+		return 1
+	}
+	p.MkdirAll("/data/state", 0o755)
+	accounts := map[string]int64{}
+	var audit strings.Builder
+
+	apply := func(line string) {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return
+		}
+		txid := make([]byte, 4)
+		p.GetRandom(txid)
+		switch fields[0] {
+		case "deposit":
+			accounts[fields[1]] += atoi64(fields[2])
+		case "withdraw":
+			accounts[fields[1]] -= atoi64(fields[2])
+		case "transfer":
+			amt := atoi64(fields[3])
+			accounts[fields[1]] -= amt
+			accounts[fields[2]] += amt
+		case "interest":
+			// Rate scaled by "days since epoch" — reads the clock.
+			days := p.Time() / 86_400
+			for a := range accounts {
+				accounts[a] += accounts[a] * (days % 7) / 1000
+			}
+		}
+		fmt.Fprintf(&audit, "tx=%x at=%d %s\n", txid, p.Time(), line)
+		p.Work(400_000) // applying a command costs real work
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		apply(line)
+	}
+
+	// Persist: one file per account plus the audit trail.
+	names := sortedKeys(accounts)
+	for _, a := range names {
+		p.WriteFile("/data/state/"+a, []byte(fmt.Sprintf("%d\n", accounts[a])), 0o644)
+	}
+	p.WriteFile("/data/state/audit.log", []byte(audit.String()), 0o644)
+	p.Printf("applied %d commands to %d accounts\n", strings.Count(string(raw), "\n"), len(names))
+	return 0
+}
+
+func atoi64(s string) int64 {
+	var v int64
+	neg := false
+	for i, r := range s {
+		if i == 0 && r == '-' {
+			neg = true
+			continue
+		}
+		if r < '0' || r > '9' {
+			break
+		}
+		v = v*10 + int64(r-'0')
+	}
+	if neg {
+		return -v
+	}
+	return v
+}
+
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package reprotest models the Debian Reproducible Builds reprotest tool as
+// configured in §6.1: build a package twice while varying everything the
+// paper lists — environment variables, build path, ASLR, number of CPUs,
+// wall-clock time, user/group, home directory and locale-ish variables —
+// then compare the artifacts bitwise. Per the paper's methodology the first
+// build of every package uses one consistent variation and the second build
+// another, so baseline and DetTrace face identical perturbations.
+package reprotest
+
+import "repro/internal/prng"
+
+// Variation is one build's perturbed host condition set.
+type Variation struct {
+	// Env is the invoking environment (reprotest varies USER, HOME,
+	// DEB_BUILD_OPTIONS, locale and timezone).
+	Env []string
+	// BuildRoot is where the source tree is unpacked (build path
+	// variation).
+	BuildRoot string
+	// Epoch is the wall-clock second at boot (time variation).
+	Epoch int64
+	// NumCPU is the visible core count.
+	NumCPU int
+	// HostSeed selects the physical run: ASLR bases, inode numbering,
+	// scheduling jitter.
+	HostSeed uint64
+}
+
+// Pair returns the two consistent variations used for all first and all
+// second builds respectively.
+func Pair(seed uint64) (first, second Variation) {
+	rng := prng.NewHost(seed ^ 0x9e77)
+	first = Variation{
+		Env: []string{
+			"PATH=/bin",
+			"USER=builder",
+			"HOME=/root",
+			"DEB_BUILD_OPTIONS=",
+			"LANG=C",
+			"TZ=UTC",
+		},
+		BuildRoot: "/build",
+		Epoch:     1_367_107_200, // 2013-04-28, a Wheezy-era build day
+		NumCPU:    20,
+		HostSeed:  rng.Uint64(),
+	}
+	second = Variation{
+		Env: []string{
+			"PATH=/bin",
+			"USER=user42",
+			"HOME=/home/user42",
+			"DEB_BUILD_OPTIONS=parallel=16",
+			"LANG=fr_CH.UTF-8",
+			"TZ=Europe/Zurich",
+			"CAPTURE_ENVIRONMENT=1",
+		},
+		BuildRoot: "/build/second/nested",
+		Epoch:     1_399_248_000, // just over a year later
+		NumCPU:    16,
+		HostSeed:  rng.Uint64(),
+	}
+	return first, second
+}
+
+// PortabilityHost derives a variation for re-running the *same* build on a
+// different machine (§7.3): same nominal conditions, different physical run.
+func PortabilityHost(v Variation, seed uint64) Variation {
+	v.HostSeed = prng.NewHost(seed ^ 0x707).Uint64()
+	return v
+}

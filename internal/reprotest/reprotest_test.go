@@ -1,0 +1,68 @@
+package reprotest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPairDeterministic(t *testing.T) {
+	a1, a2 := Pair(5)
+	b1, b2 := Pair(5)
+	if a1.HostSeed != b1.HostSeed || a2.HostSeed != b2.HostSeed {
+		t.Errorf("Pair not deterministic")
+	}
+}
+
+func TestPairVariesEverythingThePaperLists(t *testing.T) {
+	v1, v2 := Pair(1)
+	if v1.BuildRoot == v2.BuildRoot {
+		t.Errorf("build path not varied")
+	}
+	if v1.Epoch == v2.Epoch {
+		t.Errorf("time not varied")
+	}
+	if v1.NumCPU == v2.NumCPU {
+		t.Errorf("CPU count not varied")
+	}
+	if v1.HostSeed == v2.HostSeed {
+		t.Errorf("host accidents not varied")
+	}
+	env1 := strings.Join(v1.Env, ";")
+	env2 := strings.Join(v2.Env, ";")
+	for _, key := range []string{"USER=", "HOME=", "DEB_BUILD_OPTIONS=", "LANG=", "TZ="} {
+		e1 := valueOf(v1.Env, key)
+		e2 := valueOf(v2.Env, key)
+		if e1 == e2 {
+			t.Errorf("%s not varied (%q in both)", key, e1)
+		}
+	}
+	_ = env1
+	_ = env2
+}
+
+func TestPathStaysExecutable(t *testing.T) {
+	v1, v2 := Pair(1)
+	if valueOf(v1.Env, "PATH=") != "/bin" || valueOf(v2.Env, "PATH=") != "/bin" {
+		t.Errorf("PATH must stay sane or nothing builds")
+	}
+}
+
+func TestPortabilityHostChangesOnlyTheSeed(t *testing.T) {
+	v, _ := Pair(2)
+	p := PortabilityHost(v, 99)
+	if p.HostSeed == v.HostSeed {
+		t.Errorf("portability host should be a different physical run")
+	}
+	if p.Epoch != v.Epoch || p.BuildRoot != v.BuildRoot || p.NumCPU != v.NumCPU {
+		t.Errorf("portability reruns keep nominal conditions")
+	}
+}
+
+func valueOf(env []string, prefix string) string {
+	for _, kv := range env {
+		if strings.HasPrefix(kv, prefix) {
+			return kv[len(prefix):]
+		}
+	}
+	return ""
+}

@@ -1,0 +1,294 @@
+// Package sched implements DetTrace's reproducible scheduler (§5.6, Fig. 3).
+//
+// The scheduler's one job is to make every ordering decision a pure function
+// of the container's logical history — never of host time, host PIDs, or
+// physical arrival order. It does so by assigning each thread a virtual TID
+// in spawn order and driving three queues:
+//
+//   - Parallel: threads currently between system calls (compute, special
+//     instructions). These run concurrently on the physical machine; the
+//     scheduler merely processes their bookkeeping in vTID order.
+//   - Runnable: threads stopped at a system call, serviced strictly FIFO —
+//     this is the sequentialization of system call execution.
+//   - Blocked: threads whose call would block, revisited fairly (front,
+//     then rotate) so any call unblocked by another process's progress
+//     eventually runs.
+//
+// It also owns the two §5.7/§5.9 thread rules: threads within a process are
+// serialized via an execution token that changes hands only at system
+// calls, thread creation and exit; and a token holder that spins in pure
+// compute while siblings starve is detected as a busy-waiter.
+package sched
+
+import (
+	"errors"
+
+	"repro/internal/kernel"
+)
+
+// ErrBusyWait is raised when a thread busy-waits: the serialized-thread
+// scheduler would never switch away from it, so the container cannot make
+// progress (the Java-build failure class of §7.1.1).
+var ErrBusyWait = errors.New("sched: busy-waiting thread detected (unsupported under serialized threads)")
+
+// DefaultSpinLimit is how many consecutive syscall-free actions a token
+// holder may take while a sibling thread is starved before the scheduler
+// declares a busy-wait.
+const DefaultSpinLimit = 4096
+
+// Scheduler is the reproducible policy's ordering engine.
+type Scheduler struct {
+	vtid     map[*kernel.Thread]int
+	nextVTID int
+
+	// runnable holds threads stopped at a system call, ordered by logical
+	// arrival time (the jitter-free LClock when the stop was first seen,
+	// with vTID breaking ties). Servicing in logical-arrival order keeps
+	// the tracer from idling on a stop that is still far in the future
+	// while already-stopped processes wait — and stays a pure function of
+	// logical history, so it is reproducible.
+	runnable []arrival
+	// inRunnable tracks membership so re-offered threads aren't re-queued.
+	inRunnable map[*kernel.Thread]bool
+
+	// blockedRotor remembers where the fair Blocked-queue scan left off.
+	blockedRotor int
+
+	// turn alternates servicing between parallel work and the Runnable
+	// queue so neither starves the other.
+	turn int64
+
+	// token maps a process (by its vPID owner thread set) to the thread
+	// currently holding the execution token.
+	token map[*kernel.Proc]*kernel.Thread
+
+	SpinLimit int
+
+	// Err is set when the scheduler detects an unsupported condition; the
+	// policy turns it into a container abort.
+	Err error
+
+	// Requests counts scheduling decisions, for Table 2.
+	Requests int64
+}
+
+// arrival is one queued syscall stop.
+type arrival struct {
+	t   *kernel.Thread
+	key int64 // LClock at enqueue
+}
+
+// New returns an empty scheduler.
+func New() *Scheduler {
+	return &Scheduler{
+		vtid:       make(map[*kernel.Thread]int),
+		inRunnable: make(map[*kernel.Thread]bool),
+		token:      make(map[*kernel.Proc]*kernel.Thread),
+		SpinLimit:  DefaultSpinLimit,
+	}
+}
+
+// Register assigns a vTID at spawn; idempotent.
+func (s *Scheduler) Register(t *kernel.Thread) {
+	if _, ok := s.vtid[t]; !ok {
+		s.vtid[t] = s.nextVTID
+		s.nextVTID++
+	}
+}
+
+// VTID returns the thread's virtual TID.
+func (s *Scheduler) VTID(t *kernel.Thread) int { return s.vtid[t] }
+
+// Unregister drops a thread at exit and releases its token. The vTID entry
+// is removed too: a dead thread must never be eligible for the token again.
+func (s *Scheduler) Unregister(t *kernel.Thread) {
+	if s.token[t.Proc] == t {
+		s.ReleaseToken(t)
+		if s.token[t.Proc] == t {
+			delete(s.token, t.Proc)
+		}
+	}
+	delete(s.vtid, t)
+	delete(s.inRunnable, t)
+	for i, r := range s.runnable {
+		if r.t == t {
+			s.runnable = append(s.runnable[:i], s.runnable[i+1:]...)
+			break
+		}
+	}
+}
+
+// holdsToken reports whether t may run under the serialized-thread rule and
+// claims the token when free.
+func (s *Scheduler) holdsToken(t *kernel.Thread) bool {
+	p := t.Proc
+	if len(p.Threads) <= 1 {
+		return true
+	}
+	cur, ok := s.token[p]
+	if !ok || cur == nil || cur.Proc != p || cur.Dead() {
+		s.token[p] = t
+		return true
+	}
+	return cur == t
+}
+
+// ReleaseToken passes the token to the next live sibling in vTID order —
+// called by the policy at system calls, thread spawn and exit (§5.9's
+// context-switch points).
+func (s *Scheduler) ReleaseToken(t *kernel.Thread) {
+	p := t.Proc
+	if s.token[p] != t {
+		return
+	}
+	t.SpinCount = 0
+	// Hand off to the next sibling after t in vTID order, wrapping.
+	var best, first *kernel.Thread
+	myV := s.vtid[t]
+	bestV, firstV := int(^uint(0)>>1), int(^uint(0)>>1)
+	for _, sib := range p.Threads {
+		if sib == t || sib.Dead() {
+			continue
+		}
+		v, ok := s.vtid[sib]
+		if !ok {
+			continue
+		}
+		if v > myV && v < bestV {
+			best, bestV = sib, v
+		}
+		if v < firstV {
+			first, firstV = sib, v
+		}
+	}
+	switch {
+	case best != nil:
+		s.token[p] = best
+	case first != nil:
+		s.token[p] = first
+	default:
+		delete(s.token, p)
+	}
+}
+
+// Pick selects the next pending or parked thread to process. The kernel
+// supplies pending in arbitrary host order; parked is the policy's Blocked
+// queue in park order. Decisions depend only on vTIDs and queue history.
+func (s *Scheduler) Pick(k *kernel.Kernel, pending []*kernel.Thread) *kernel.Thread {
+	s.Requests++
+	for _, t := range pending {
+		s.Register(t) // init thread is never OnSpawn'd
+	}
+
+	// 1. Find the best parallel candidate: the lowest-vTID non-syscall
+	// action whose thread holds its process token.
+	var parallel *kernel.Thread
+	parV := int(^uint(0) >> 1)
+	for _, t := range pending {
+		if t.ActionIsSyscall() {
+			continue
+		}
+		if !s.holdsToken(t) {
+			continue
+		}
+		if v := s.vtid[t]; v < parV {
+			parallel, parV = t, v
+		}
+	}
+
+	// 2. Enqueue newly arrived syscall stops into Runnable at their logical
+	// arrival position.
+	for _, t := range pending {
+		if t.ActionIsSyscall() && !s.inRunnable[t] && s.holdsToken(t) {
+			s.insertRunnable(arrival{t: t, key: t.LClock})
+			s.inRunnable[t] = true
+		}
+	}
+
+	// 3. Alternate between parallel bookkeeping and the Runnable front so a
+	// compute-bound thread cannot starve system call servicing (and vice
+	// versa). The alternation is a turn counter — logical history only.
+	s.turn++
+	if parallel != nil && (len(s.runnable) == 0 || s.turn%2 == 0) {
+		return s.pickParallel(parallel, pending, k)
+	}
+	if len(s.runnable) > 0 {
+		t := s.runnable[0].t
+		s.runnable = s.runnable[1:]
+		delete(s.inRunnable, t)
+		return t
+	}
+	if parallel != nil {
+		return s.pickParallel(parallel, pending, k)
+	}
+
+	// 4. Nothing runnable: revisit the Blocked queue fairly. Each visit
+	// replays the front call in non-blocking form; if the whole container
+	// is otherwise idle and nothing can complete, give up so the kernel can
+	// fire timers or declare deadlock.
+	parked := k.Parked()
+	if len(parked) > 0 {
+		anyReady := false
+		for _, t := range parked {
+			if k.ParkedReady(t) {
+				anyReady = true
+				break
+			}
+		}
+		if !anyReady && len(pending) == 0 {
+			return nil
+		}
+		i := s.blockedRotor % len(parked)
+		s.blockedRotor++
+		return parked[i]
+	}
+	return nil
+}
+
+// pickParallel returns the parallel candidate after running the busy-wait
+// check: a token holder making syscall-free progress while a sibling is
+// waiting for the token is a spinner the serialized-thread scheduler will
+// never preempt (§5.9).
+func (s *Scheduler) pickParallel(t *kernel.Thread, pending []*kernel.Thread, k *kernel.Kernel) *kernel.Thread {
+	if s.siblingStarved(t, pending, k.Parked()) {
+		t.SpinCount++
+		if t.SpinCount > s.SpinLimit {
+			s.Err = ErrBusyWait
+			return nil
+		}
+	} else {
+		t.SpinCount = 0
+	}
+	return t
+}
+
+// siblingStarved reports whether another thread of t's process is waiting
+// to run (pending or parked) while t holds the token.
+func (s *Scheduler) siblingStarved(t *kernel.Thread, pending, parked []*kernel.Thread) bool {
+	for _, o := range pending {
+		if o != t && o.Proc == t.Proc {
+			return true
+		}
+	}
+	for _, o := range parked {
+		if o != t && o.Proc == t.Proc {
+			return true
+		}
+	}
+	return false
+}
+
+// insertRunnable places a at its (key, vTID) position, stable.
+func (s *Scheduler) insertRunnable(a arrival) {
+	i := len(s.runnable)
+	for i > 0 {
+		prev := s.runnable[i-1]
+		if prev.key < a.key || (prev.key == a.key && s.vtid[prev.t] <= s.vtid[a.t]) {
+			break
+		}
+		i--
+	}
+	s.runnable = append(s.runnable, arrival{})
+	copy(s.runnable[i+1:], s.runnable[i:])
+	s.runnable[i] = a
+}

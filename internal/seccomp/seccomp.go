@@ -1,0 +1,103 @@
+// Package seccomp models the seccomp-bpf selective-interception layer of
+// §5.11: a filter program decides, per system call number, whether the call
+// traps to the tracer or executes natively. Calls that are naturally
+// reproducible inside the container (getcwd, close, lseek, ...) are allowed
+// through, eliminating their ptrace stop overhead entirely.
+package seccomp
+
+import "repro/internal/abi"
+
+// Action is the filter verdict for one system call.
+type Action int
+
+// Filter verdicts.
+const (
+	// Allow executes the call with no tracer involvement.
+	Allow Action = iota
+	// Trace stops the call at the tracer.
+	Trace
+)
+
+// Filter is an installed seccomp-bpf program: a per-syscall verdict table
+// with a default.
+type Filter struct {
+	verdicts map[abi.Sysno]Action
+	def      Action
+}
+
+// New returns a filter with the given default action.
+func New(def Action) *Filter {
+	return &Filter{verdicts: make(map[abi.Sysno]Action), def: def}
+}
+
+// Set assigns a verdict to the listed syscalls.
+func (f *Filter) Set(a Action, nrs ...abi.Sysno) *Filter {
+	for _, nr := range nrs {
+		f.verdicts[nr] = a
+	}
+	return f
+}
+
+// Decide returns the verdict for nr.
+func (f *Filter) Decide(nr abi.Sysno) Action {
+	if a, ok := f.verdicts[nr]; ok {
+		return a
+	}
+	return f.def
+}
+
+// TraceAll is the no-seccomp fallback: every call stops twice at the tracer
+// (pre-4.8 kernels, or DetTrace's --no-seccomp debugging mode).
+func TraceAll() *Filter { return New(Trace) }
+
+// DetTrace returns the filter the DetTrace container installs: default
+// Trace, with the naturally-reproducible set allowed through.
+//
+// A call may be allowed only if, in a container whose execution order is
+// already determinized by the scheduler, its result cannot depend on the
+// host: pure fd bookkeeping, path mutation with deterministic errnos, and
+// address-space management whose values DetTrace does not promise to hide.
+// Everything touching time, identity, randomness, metadata (inodes,
+// timestamps, sizes), directory order, blocking, or process lifecycle must
+// trap.
+func DetTrace() *Filter {
+	f := New(Trace)
+	f.Set(Allow,
+		abi.SysClose,
+		abi.SysLseek,
+		abi.SysDup2,
+		abi.SysGetcwd,
+		abi.SysChdir,
+		abi.SysAccess,
+		abi.SysMkdir,
+		abi.SysRmdir,
+		abi.SysUnlink,
+		abi.SysUnlinkat,
+		abi.SysRename,
+		abi.SysLink,
+		abi.SysSymlink,
+		abi.SysReadlink,
+		abi.SysChmod,
+		abi.SysChown,
+		abi.SysTruncate,
+		abi.SysFtruncate,
+		abi.SysBrk,
+		abi.SysMmap,
+		abi.SysUmask,
+		abi.SysFcntl,
+		abi.SysSync,
+		abi.SysSchedYield,
+		abi.SysSchedAffinity,
+		abi.SysRtSigaction,
+		abi.SysPrctl,
+		abi.SysArchPrctl,
+		abi.SysIoctl,
+		abi.SysPipe,
+		abi.SysPipe2,
+		abi.SysSetuid,
+		abi.SysGetuid,
+		abi.SysGetgid,
+		abi.SysChroot,
+	)
+	return f
+}

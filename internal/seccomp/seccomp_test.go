@@ -1,0 +1,74 @@
+package seccomp
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+func TestDefaultAction(t *testing.T) {
+	f := New(Trace)
+	if f.Decide(abi.SysRead) != Trace {
+		t.Errorf("default should apply to unlisted syscalls")
+	}
+	f.Set(Allow, abi.SysRead)
+	if f.Decide(abi.SysRead) != Allow {
+		t.Errorf("explicit verdict ignored")
+	}
+	if f.Decide(abi.SysWrite) != Trace {
+		t.Errorf("verdict leaked to other syscalls")
+	}
+}
+
+func TestTraceAll(t *testing.T) {
+	f := TraceAll()
+	for _, nr := range []abi.Sysno{abi.SysRead, abi.SysGetcwd, abi.SysClose, abi.SysTime} {
+		if f.Decide(nr) != Trace {
+			t.Errorf("%v not traced under TraceAll", nr)
+		}
+	}
+}
+
+// The DetTrace filter's invariant: every syscall whose result can depend on
+// the host MUST trap. The paper's taxonomy (§4, §5) enumerates them.
+func TestDetTraceFilterTrapsEverythingIrreproducible(t *testing.T) {
+	f := DetTrace()
+	mustTrace := []abi.Sysno{
+		// time and clocks (§5.3)
+		abi.SysTime, abi.SysGettimeofday, abi.SysClockGettime, abi.SysNanosleep,
+		// timers and signals (§5.4)
+		abi.SysAlarm, abi.SysSetitimer, abi.SysPause, abi.SysKill,
+		// randomness (§5.2)
+		abi.SysGetrandom,
+		// filesystem metadata (§5.5)
+		abi.SysOpen, abi.SysStat, abi.SysLstat, abi.SysFstat,
+		abi.SysGetdents, abi.SysUtimes, abi.SysUtimensat,
+		// partial IO (§5.5)
+		abi.SysRead, abi.SysWrite,
+		// identity (§5.1) and machine (§5.8)
+		abi.SysGetpid, abi.SysGetppid, abi.SysUname, abi.SysSysinfo,
+		// process lifecycle and blocking (§5.6)
+		abi.SysFork, abi.SysClone, abi.SysExecve, abi.SysWait4, abi.SysFutex,
+		// unsupported classes must reach the tracer to raise the container
+		// error (§5.9)
+		abi.SysSocket, abi.SysConnect, abi.SysMount, abi.SysPersonality,
+	}
+	for _, nr := range mustTrace {
+		if f.Decide(nr) != Trace {
+			t.Errorf("%v must be traced", nr)
+		}
+	}
+}
+
+func TestDetTraceFilterAllowsTheCheapSet(t *testing.T) {
+	f := DetTrace()
+	allowed := []abi.Sysno{
+		abi.SysClose, abi.SysLseek, abi.SysDup2, abi.SysGetcwd,
+		abi.SysSchedYield, abi.SysBrk, abi.SysUmask, abi.SysSync,
+	}
+	for _, nr := range allowed {
+		if f.Decide(nr) != Allow {
+			t.Errorf("%v should pass through without stops (§5.11)", nr)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Errorf("geomean with zero should bail")
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{5, 4, 3, 2, 1}
+	if got := Correlation(xs, up); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect positive = %v", got)
+	}
+	if got := Correlation(xs, down); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect negative = %v", got)
+	}
+	if Correlation(xs, []float64{7, 7, 7, 7, 7}) != 0 {
+		t.Errorf("constant series should correlate 0")
+	}
+	if Correlation(xs, xs[:2]) != 0 {
+		t.Errorf("length mismatch should yield 0")
+	}
+}
+
+// Property: correlation is always in [-1, 1] and symmetric.
+func TestCorrelationBoundsProperty(t *testing.T) {
+	prop := func(pairs []struct{ X, Y int16 }) bool {
+		if len(pairs) < 2 {
+			return true
+		}
+		xs := make([]float64, len(pairs))
+		ys := make([]float64, len(pairs))
+		for i, p := range pairs {
+			xs[i], ys[i] = float64(p.X), float64(p.Y)
+		}
+		c := Correlation(xs, ys)
+		return c >= -1.0000001 && c <= 1.0000001 &&
+			math.Abs(c-Correlation(ys, xs)) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Quantile(xs, 0) != 10 || Quantile(xs, 1) != 40 {
+		t.Errorf("extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 25 {
+		t.Errorf("median = %v", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Errorf("empty quantile")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	prop := func(raw []int16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		qa, qb := float64(a)/255, float64(b)/255
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		lo, hi := MinMax(xs)
+		va, vb := Quantile(xs, qa), Quantile(xs, qb)
+		return va <= vb && va >= lo && vb <= hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.Row("x", 1)
+	tab.Row("longer-name", 3.14159)
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "3.14") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	// Columns align: every row at least as wide as the header separator.
+	if len(lines[2]) > len(lines[3])+2 {
+		t.Errorf("alignment off:\n%s", out)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1912, 11958); got != "15.99% (1912)" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0, 0); got != "0% (0)" {
+		t.Errorf("Pct zero = %q", got)
+	}
+}

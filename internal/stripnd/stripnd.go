@@ -1,0 +1,65 @@
+// Package stripnd reimplements Debian's strip-nondeterminism: it clamps the
+// timestamps embedded in archive members (tar headers, gzip headers) to a
+// fixed value so a *baseline* bitwise comparison is not drowned out by tar
+// mtimes. §6.1 applies this workaround to the stock builds only — without
+// it, zero packages compare equal; DetTrace output needs no stripping.
+package stripnd
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/artar"
+)
+
+// Strip returns data with every embedded timestamp clamped. Archives are
+// processed recursively; gzip-style headers are rewritten; anything else is
+// returned unchanged.
+func Strip(data []byte) []byte {
+	if artar.IsArchive(data) {
+		ar, err := artar.Unpack(data)
+		if err != nil {
+			return data
+		}
+		for i := range ar.Members {
+			ar.Members[i].Mtime = 0
+			ar.Members[i].Data = Strip(ar.Members[i].Data)
+		}
+		return ar.Pack()
+	}
+	if bytes.HasPrefix(data, []byte("GZIP1 mtime=")) {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return data
+		}
+		header := string(data[:nl])
+		rest := data[nl:]
+		fields := strings.Fields(header)
+		for i, f := range fields {
+			if strings.HasPrefix(f, "mtime=") {
+				fields[i] = "mtime=0"
+			}
+		}
+		return append([]byte(strings.Join(fields, " ")), rest...)
+	}
+	return data
+}
+
+// Describe reports what Strip would change, for debug output.
+func Describe(data []byte) string {
+	if !artar.IsArchive(data) {
+		return "not an archive"
+	}
+	ar, err := artar.Unpack(data)
+	if err != nil {
+		return err.Error()
+	}
+	n := 0
+	for _, m := range ar.Members {
+		if m.Mtime != 0 {
+			n++
+		}
+	}
+	return fmt.Sprintf("%d members with embedded timestamps", n)
+}

@@ -1,0 +1,140 @@
+package stripnd
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/artar"
+)
+
+func archiveWithTimes(times ...int64) []byte {
+	ar := &artar.Archive{}
+	for i, mt := range times {
+		ar.Add(artar.Member{Name: string(rune('a' + i)), Mtime: mt, Data: []byte("data")})
+	}
+	return ar.Pack()
+}
+
+func TestStripClampsMtimes(t *testing.T) {
+	out, err := artar.Unpack(Strip(archiveWithTimes(100, 200, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range out.Members {
+		if m.Mtime != 0 {
+			t.Errorf("member %s mtime = %d", m.Name, m.Mtime)
+		}
+	}
+}
+
+func TestStripRecursesIntoNestedArchives(t *testing.T) {
+	inner := archiveWithTimes(42)
+	outer := &artar.Archive{}
+	outer.Add(artar.Member{Name: "data.tar", Mtime: 77, Data: inner})
+	stripped, err := artar.Unpack(Strip(outer.Pack()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripped.Members[0].Mtime != 0 {
+		t.Errorf("outer mtime survived")
+	}
+	in, err := artar.Unpack(stripped.Members[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Members[0].Mtime != 0 {
+		t.Errorf("nested mtime survived")
+	}
+}
+
+func TestStripGzipHeader(t *testing.T) {
+	gz := []byte("GZIP1 mtime=1234567 orig=\"f\"\ncrc=aa len=3\nxyz")
+	out := Strip(gz)
+	if bytes.Contains(out, []byte("1234567")) {
+		t.Errorf("gzip timestamp survived: %s", out)
+	}
+	if !bytes.HasSuffix(out, []byte("xyz")) {
+		t.Errorf("gzip body damaged: %s", out)
+	}
+}
+
+func TestStripLeavesPlainDataAlone(t *testing.T) {
+	plain := []byte("just some bytes \x00\x01")
+	if !bytes.Equal(Strip(plain), plain) {
+		t.Errorf("plain data modified")
+	}
+}
+
+func TestTwoBuildsEqualAfterStrip(t *testing.T) {
+	// The §6.1 scenario: identical content, different tar timestamps.
+	a := archiveWithTimes(1000, 1001)
+	b := archiveWithTimes(2000, 2002)
+	if bytes.Equal(a, b) {
+		t.Fatal("archives should differ before stripping")
+	}
+	if !bytes.Equal(Strip(a), Strip(b)) {
+		t.Errorf("archives still differ after stripping")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	if got := Describe(archiveWithTimes(5, 0, 9)); got != "2 members with embedded timestamps" {
+		t.Errorf("Describe = %q", got)
+	}
+	if got := Describe([]byte("nope")); got != "not an archive" {
+		t.Errorf("Describe plain = %q", got)
+	}
+}
+
+// Property: Strip is idempotent.
+func TestStripIdempotentProperty(t *testing.T) {
+	prop := func(times []int64, blobs [][]byte) bool {
+		ar := &artar.Archive{}
+		for i, mt := range times {
+			var data []byte
+			if i < len(blobs) {
+				data = blobs[i]
+			}
+			ar.Add(artar.Member{Name: string(rune('a' + i%26)), Mtime: mt, Data: data})
+		}
+		once := Strip(ar.Pack())
+		return bytes.Equal(once, Strip(once))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Strip never changes member names, order or data.
+func TestStripPreservesContentProperty(t *testing.T) {
+	prop := func(times []int64, blobs [][]byte) bool {
+		ar := &artar.Archive{}
+		for i := range blobs {
+			var mt int64
+			if i < len(times) {
+				mt = times[i]
+			}
+			// Avoid nested-archive payloads: those are stripped by design.
+			data := blobs[i]
+			if artar.IsArchive(data) {
+				data = append([]byte("x"), data...)
+			}
+			ar.Add(artar.Member{Name: string(rune('a' + i%26)), Mtime: mt, Data: data})
+		}
+		out, err := artar.Unpack(Strip(ar.Pack()))
+		if err != nil || len(out.Members) != len(ar.Members) {
+			return false
+		}
+		for i := range ar.Members {
+			if out.Members[i].Name != ar.Members[i].Name ||
+				!bytes.Equal(out.Members[i].Data, ar.Members[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

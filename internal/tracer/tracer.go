@@ -1,0 +1,144 @@
+// Package tracer provides the ptrace-session plumbing shared by every
+// interception layer (DetTrace in internal/core, record-and-replay in
+// internal/rr): stop-cost accounting, tracee memory access counting, and
+// /proc-based fd introspection.
+//
+// The cost constants model what a real ptrace round trip spends: two
+// context switches per stop, handler work in the tracer, and per-operation
+// costs for PTRACE_PEEKDATA-style memory access. They are calibrated so the
+// DetTrace policy reproduces the paper's measured relationship between
+// system call rate and slowdown (Fig. 5; the paper's aggregate 3.49× at
+// ~840k syscalls per ~100 s build implies roughly 0.3 ms of tracer service
+// per intercepted call).
+package tracer
+
+import (
+	"repro/internal/abi"
+)
+
+// Costs holds the virtual-time constants of one tracer implementation, in
+// nanoseconds.
+type Costs struct {
+	// Stop is one ptrace stop as the *tracee* experiences it: two context
+	// switches, TLB/cache pollution, the stall until resume. It is
+	// tracee-side (parallel across processes); the Handler* costs below are
+	// tracer-side (serialized).
+	Stop int64
+	// HandlerLight/Medium/Heavy are per-call tracer service times by
+	// handler complexity class (see ClassOf).
+	HandlerLight  int64
+	HandlerMedium int64
+	HandlerHeavy  int64
+	// MemOp is one read or write of tracee memory.
+	MemOp int64
+	// ProcRead is one /proc/<pid>/... lookup (fd→inode resolution, §5.5).
+	ProcRead int64
+}
+
+// DefaultCosts returns the calibrated constants.
+func DefaultCosts() Costs {
+	return Costs{
+		Stop:          120_000,
+		HandlerLight:  60_000,
+		HandlerMedium: 200_000,
+		HandlerHeavy:  500_000,
+		MemOp:         5_000,
+		ProcRead:      30_000,
+	}
+}
+
+// Class buckets syscalls by how much tracer work their handler does.
+type Class int
+
+// Handler complexity classes.
+const (
+	ClassLight Class = iota
+	ClassMedium
+	ClassHeavy
+)
+
+// ClassOf reports the handler class for a syscall under DetTrace-style
+// interception. Stat-family and open calls are heavy (path reads, /proc
+// lookups, struct rewrites); time/randomness emulation is medium; data
+// movement is light.
+func ClassOf(nr abi.Sysno) Class {
+	switch nr {
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat, abi.SysStat, abi.SysLstat,
+		abi.SysFstat, abi.SysGetdents, abi.SysExecve, abi.SysUtimes,
+		abi.SysUtimensat, abi.SysFork, abi.SysClone, abi.SysWait4:
+		return ClassHeavy
+	case abi.SysTime, abi.SysGettimeofday, abi.SysClockGettime,
+		abi.SysGetrandom, abi.SysUname, abi.SysSysinfo, abi.SysAlarm,
+		abi.SysSetitimer, abi.SysNanosleep, abi.SysGetpid, abi.SysGetppid,
+		abi.SysGetTid, abi.SysKill:
+		return ClassMedium
+	default:
+		return ClassLight
+	}
+}
+
+// Session tracks one attached tracer's accounting.
+type Session struct {
+	Costs Costs
+
+	// SingleStop is the kernel >= 4.8 optimization: seccomp delivers one
+	// combined event instead of separate pre-syscall and seccomp stops
+	// (§5.11).
+	SingleStop bool
+
+	// Counters.
+	MemReads  int64
+	MemWrites int64
+	ProcReads int64
+	Stops     int64
+}
+
+// NewSession returns a session with default costs.
+func NewSession(singleStop bool) *Session {
+	return &Session{Costs: DefaultCosts(), SingleStop: singleStop}
+}
+
+// InterceptCost returns the stop overhead for one intercepted syscall event
+// of the given weight: either the combined event or the classic entry+exit
+// pair, scaled because an event of weight w stands for w real stops.
+func (s *Session) InterceptCost(weight int64) int64 {
+	stops := int64(2)
+	if s.SingleStop {
+		stops = 1
+	}
+	s.Stops += stops * weight
+	return stops * s.Costs.Stop * weight
+}
+
+// HandlerCost returns the service cost for nr's handler class at the given
+// event weight.
+func (s *Session) HandlerCost(nr abi.Sysno, weight int64) int64 {
+	var c int64
+	switch ClassOf(nr) {
+	case ClassHeavy:
+		c = s.Costs.HandlerHeavy
+	case ClassMedium:
+		c = s.Costs.HandlerMedium
+	default:
+		c = s.Costs.HandlerLight
+	}
+	return c * weight
+}
+
+// ReadMem records n reads of tracee memory and returns their cost.
+func (s *Session) ReadMem(weight int64, n int64) int64 {
+	s.MemReads += n * weight
+	return n * s.Costs.MemOp * weight
+}
+
+// WriteMem records n writes of tracee memory and returns their cost.
+func (s *Session) WriteMem(weight int64, n int64) int64 {
+	s.MemWrites += n * weight
+	return n * s.Costs.MemOp * weight
+}
+
+// ReadProc records one /proc lookup and returns its cost.
+func (s *Session) ReadProc(weight int64) int64 {
+	s.ProcReads += weight
+	return s.Costs.ProcRead * weight
+}

@@ -1,0 +1,215 @@
+package workload
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/guest"
+)
+
+// dpkgBuildpackageMain orchestrates a package build, mirroring
+// dpkg-buildpackage -b: it runs in the package directory, reads
+// debian/rules, executes each step with its stdout captured through a pipe
+// (as a real driver does), and leaves the .deb in /build/out.
+//
+// Like the real tool it builds with a sanitized environment: locale and
+// timezone pinned, but USER/HOME/DEB_BUILD_OPTIONS passed through — the
+// holes reprotest's variations exploit.
+func dpkgBuildpackageMain(p *guest.Proc) int {
+	rules, err := p.ReadFile("debian/rules")
+	if err != abi.OK {
+		p.Eprintf("dpkg-buildpackage: no debian/rules\n")
+		return 2
+	}
+	env := []string{
+		"PATH=/bin",
+		"LC_ALL=C",
+		"TZ=UTC",
+		"USER=" + p.Getenv("USER"),
+		"HOME=" + p.Getenv("HOME"),
+		"DEB_BUILD_OPTIONS=" + p.Getenv("DEB_BUILD_OPTIONS"),
+	}
+	var artifacts []string
+	for _, line := range strings.Split(string(rules), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "weight":
+			p.SetWeight(int64(atoiDefault(fields[1], 1)))
+		case "export":
+			env = append(env, fields[1])
+		case "artifact":
+			artifacts = append(artifacts, fields[1])
+		case "step":
+			if code := runStep(p, fields[1:], env, artifacts); code != 0 {
+				p.Eprintf("dpkg-buildpackage: step %q failed (%d)\n", strings.Join(fields[1:], " "), code)
+				return code
+			}
+		}
+	}
+	return 0
+}
+
+// runStep dispatches one rules step.
+func runStep(p *guest.Proc, step, env, artifacts []string) int {
+	switch step[0] {
+	case "configure":
+		return runTool(p, "/bin/configure", []string{"configure"}, env)
+	case "make":
+		argv := []string{"make"}
+		for _, a := range step[1:] {
+			argv = append(argv, strings.ReplaceAll(a, "%NPROC%", itoa(p.Sysinfo().NumCPU)))
+		}
+		return runTool(p, "/bin/make", argv, env)
+	case "test":
+		// Test harnesses stream their output through a pipe to the driver,
+		// the pattern behind DetTrace's read/write retries (Fig. 4).
+		return runPiped(p, "build/prog", []string{"prog", "--selftest"}, env)
+	case "tty-check":
+		// isatty(3): harmless everywhere except under recorders that lack
+		// an ioctl model.
+		p.T.Syscall(&abi.Syscall{Num: abi.SysIoctl, Arg: [6]int64{1, 0x5413 /* TIOCGWINSZ */}})
+		return 0
+	case "special-socket":
+		return specialSocket(p)
+	case "special-signal":
+		return specialSignal(p)
+	case "special-misc":
+		return specialMisc(p)
+	case "pack":
+		return packStep(p, artifacts, env)
+	default:
+		p.Eprintf("dpkg-buildpackage: unknown step %q\n", step[0])
+		return 2
+	}
+}
+
+// runTool spawns a child with stdout redirected into the build log file —
+// how dpkg-buildpackage actually wires its children (fd inheritance, not
+// pipes).
+func runTool(p *guest.Proc, path string, argv, env []string) int {
+	pid, serr := p.Fork(func(c *guest.Proc) int {
+		log, err := c.Open("build-step.log", abi.OCreat|abi.OWronly|abi.OAppend, 0o644)
+		if err == abi.OK {
+			c.Dup2(log, 1)
+			c.Close(log)
+		}
+		if err := c.Exec(path, argv, env); err != abi.OK {
+			c.Eprintf("exec %s: %s\n", path, err)
+			return 127
+		}
+		return 127
+	})
+	if serr != abi.OK {
+		return 2
+	}
+	wr, werr := p.Waitpid(pid, 0)
+	if werr != abi.OK {
+		return 2
+	}
+	if !wr.Status.Exited() {
+		return 128 + int(wr.Status.TermSignal())
+	}
+	return wr.Status.ExitCode()
+}
+
+// runPiped spawns a child whose stdout streams through a pipe back to the
+// driver. The odd read size and small pipe produce the partial reads and
+// writes that exercise DetTrace's retry machinery.
+func runPiped(p *guest.Proc, path string, argv, env []string) int {
+	r, w, perr := p.Pipe()
+	if perr != abi.OK {
+		return 2
+	}
+	pid, serr := p.Fork(func(c *guest.Proc) int {
+		c.Dup2(w, 1)
+		c.Close(r)
+		c.Close(w)
+		if err := c.Exec(path, argv, env); err != abi.OK {
+			c.Eprintf("exec %s: %s\n", path, err)
+			return 127
+		}
+		return 127
+	})
+	if serr != abi.OK {
+		return 2
+	}
+	p.Close(w)
+	buf := make([]byte, 113)
+	var out strings.Builder
+	for {
+		n, rerr := p.Read(r, buf)
+		if rerr == abi.EINTR {
+			continue
+		}
+		if rerr != abi.OK || n == 0 {
+			break
+		}
+		out.Write(buf[:n])
+	}
+	p.Close(r)
+	if out.Len() > 0 {
+		p.AppendFile("build-step.log", []byte(out.String()), 0o644)
+	}
+	wr, werr := p.Waitpid(pid, 0)
+	if werr != abi.OK {
+		return 2
+	}
+	if !wr.Status.Exited() {
+		return 128 + int(wr.Status.TermSignal())
+	}
+	return wr.Status.ExitCode()
+}
+
+// packStep assembles the install root and spawns dpkg-deb.
+func packStep(p *guest.Proc, artifacts, env []string) int {
+	name, version := pkgIdentity(p)
+	p.MkdirAll("debian/pkgroot/DEBIAN", 0o755)
+	p.MkdirAll("debian/pkgroot/root/usr/bin", 0o755)
+	p.MkdirAll("debian/pkgroot/root/usr/share/doc/"+name, 0o755)
+
+	control, _ := p.ReadFile("debian/control")
+	if werr := p.WriteFile("debian/pkgroot/DEBIAN/control", control, 0o644); werr != abi.OK {
+		return 1
+	}
+	if p.Access("build/prog") == abi.OK {
+		if code := runTool(p, "/bin/install", []string{"install", "build/prog", "debian/pkgroot/root/usr/bin/" + name}, env); code != 0 {
+			return code
+		}
+	}
+	p.WriteFile("debian/pkgroot/root/usr/share/doc/"+name+"/copyright", []byte("GPL-2+\n"), 0o644)
+	for _, a := range artifacts {
+		base := a[strings.LastIndex(a, "/")+1:]
+		data, rerr := p.ReadFile(a)
+		if rerr != abi.OK {
+			continue
+		}
+		p.WriteFile("debian/pkgroot/root/usr/share/doc/"+name+"/"+base, data, 0o644)
+	}
+	p.MkdirAll("/build/out", 0o755)
+	deb := "/build/out/" + name + "_" + version + "_amd64.deb"
+	return runTool(p, "/bin/dpkg-deb", []string{"dpkg-deb", "--build", "debian/pkgroot", deb}, env)
+}
+
+// pkgIdentity parses Package/Version from debian/control.
+func pkgIdentity(p *guest.Proc) (name, version string) {
+	name, version = "unknown", "0"
+	data, err := p.ReadFile("debian/control")
+	if err != abi.OK {
+		return
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, "Package: "); ok {
+			name = v
+		}
+		if v, ok := strings.CutPrefix(line, "Version: "); ok {
+			version = v
+		}
+	}
+	return
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/guest"
+)
+
+// cbinMain is the generic "compiled binary": the program every ld-produced
+// executable resolves to. Its behaviour is a pure function of the payload
+// the linker embedded, which is how a binary built under DetTrace can be
+// validated to behave identically to a natively built one (§7.2).
+//
+// Supported modes:
+//
+//	prog --selftest    run the embedded test suite, print a summary
+//	prog               print a banner derived from the payload
+func cbinMain(p *guest.Proc) int {
+	payload := string(p.Image.Payload)
+	selftest := len(p.Argv()) > 1 && p.Argv()[1] == "--selftest"
+
+	// Parse embedded metadata: the compiler forwards `@tests:N[:XF[:US]]@`
+	// directives as "meta:tests:N:XF:US" lines.
+	tests, xfail, unsupported := 0, 0, 0
+	codeLines := 0
+	for _, line := range strings.Split(payload, "\n") {
+		switch {
+		case strings.HasPrefix(line, "meta:tests:"):
+			parts := strings.Split(strings.TrimPrefix(line, "meta:tests:"), ":")
+			if len(parts) > 0 {
+				tests = atoiDefault(parts[0], 0)
+			}
+			if len(parts) > 1 {
+				xfail = atoiDefault(parts[1], 0)
+			}
+			if len(parts) > 2 {
+				unsupported = atoiDefault(parts[2], 0)
+			}
+		case strings.HasPrefix(line, "code:"):
+			codeLines++
+		}
+	}
+
+	if !selftest {
+		p.Printf("%s: %d code units linked\n", p.Argv()[0], codeLines)
+		return 0
+	}
+	if tests == 0 {
+		tests = codeLines
+	}
+	// Run the suite: outcomes are a pure function of the linked payload.
+	// The report is accumulated and written in one burst, like a buffered
+	// stdio stream at exit; large reports overflow the pipe to the driver
+	// and exercise DetTrace's partial-write retries.
+	p.Work(int64(tests) * 2_000)
+	pass := tests - xfail - unsupported
+	var report strings.Builder
+	if tests >= 100 {
+		groups := tests / 3
+		if groups > 150 {
+			groups = 150
+		}
+		for g := 0; g < groups; g++ {
+			fmt.Fprintf(&report, "group %04d ok\n", g)
+		}
+	}
+	fmt.Fprintf(&report, "Testing: %d tests\n", tests)
+	fmt.Fprintf(&report, "  Expected Passes    : %d\n", pass)
+	fmt.Fprintf(&report, "  Expected Failures  : %d\n", xfail)
+	fmt.Fprintf(&report, "  Unsupported Tests  : %d\n", unsupported)
+	p.WriteString(1, report.String())
+	return 0
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/guest"
+)
+
+// The small coreutils the artifact appendix demos (`dettrace ls -ahl`,
+// `dettrace stat foo.txt`): enough surface to show file metadata exactly the
+// way the paper's examples print it.
+
+// lsMain lists a directory: ls [-l] [path].
+func lsMain(p *guest.Proc) int {
+	long := false
+	path := "."
+	for _, a := range p.Argv()[1:] {
+		if strings.HasPrefix(a, "-") {
+			if strings.Contains(a, "l") {
+				long = true
+			}
+			continue
+		}
+		path = a
+	}
+	ents, err := p.ReadDir(path)
+	if err != abi.OK {
+		p.Eprintf("ls: %s: %s\n", path, err)
+		return 2
+	}
+	for _, e := range ents {
+		if !long {
+			p.Printf("%s\n", e.Name)
+			continue
+		}
+		st, serr := p.Stat(path + "/" + e.Name)
+		if serr != abi.OK {
+			continue
+		}
+		p.Printf("%s %2d %4d %4d %8d %s %s\n",
+			modeString(st.Mode), st.Nlink, st.UID, st.GID, st.Size,
+			shortDate(st.Mtime.Sec), e.Name)
+	}
+	return 0
+}
+
+// statMain prints file metadata in GNU stat's layout — the appendix's
+// virtualized-metadata demo.
+func statMain(p *guest.Proc) int {
+	if len(p.Argv()) < 2 {
+		p.Eprintf("stat: missing operand\n")
+		return 2
+	}
+	path := p.Argv()[len(p.Argv())-1]
+	st, err := p.Stat(path)
+	if err != abi.OK {
+		p.Eprintf("stat: cannot stat '%s': %s\n", path, err)
+		return 1
+	}
+	p.Printf("  File: %s\n", path)
+	p.Printf("  Size: %-10d Blocks: %-10d IO Block: %d\n", st.Size, st.Blocks, st.Blksize)
+	p.Printf("Device: %xh/%dd Inode: %-8d Links: %d\n", st.Dev, st.Dev, st.Ino, st.Nlink)
+	p.Printf("Access: (%04o/%s) Uid: %d Gid: %d\n", st.Mode&abi.ModePermMask, modeString(st.Mode), st.UID, st.GID)
+	p.Printf("Access: %s\n", fullDate(st.Atime.Sec))
+	p.Printf("Modify: %s\n", fullDate(st.Mtime.Sec))
+	p.Printf("Change: %s\n", fullDate(st.Ctime.Sec))
+	return 0
+}
+
+// touchMain creates files or bumps their times to "now".
+func touchMain(p *guest.Proc) int {
+	for _, path := range p.Argv()[1:] {
+		fd, err := p.Open(path, abi.OCreat|abi.OWronly, 0o644)
+		if err != abi.OK {
+			p.Eprintf("touch: %s: %s\n", path, err)
+			return 1
+		}
+		p.Close(fd)
+		p.UtimesNow(path)
+	}
+	return 0
+}
+
+// pwdMain prints the working directory.
+func pwdMain(p *guest.Proc) int {
+	cwd, err := p.Getcwd()
+	if err != abi.OK {
+		return 1
+	}
+	p.Printf("%s\n", cwd)
+	return 0
+}
+
+// echoMain prints its arguments.
+func echoMain(p *guest.Proc) int {
+	p.Printf("%s\n", strings.Join(p.Argv()[1:], " "))
+	return 0
+}
+
+func modeString(mode uint32) string {
+	var b strings.Builder
+	switch mode & abi.ModeTypeMask {
+	case abi.ModeDir:
+		b.WriteByte('d')
+	case abi.ModeSymlink:
+		b.WriteByte('l')
+	case abi.ModeCharDev:
+		b.WriteByte('c')
+	case abi.ModeFIFO:
+		b.WriteByte('p')
+	default:
+		b.WriteByte('-')
+	}
+	bits := "rwxrwxrwx"
+	for i := 0; i < 9; i++ {
+		if mode&(1<<(8-i)) != 0 {
+			b.WriteByte(bits[i])
+		} else {
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+func shortDate(secs int64) string {
+	full := formatUTC(secs)
+	// "Thu Jan  1 00:00:00 UTC 1970" -> "Jan  1  1970"
+	return full[4:10] + " " + full[len(full)-4:]
+}
+
+func fullDate(secs int64) string {
+	days := secs / 86400
+	rem := secs % 86400
+	y, mo, d := civilFromDays(days)
+	return fmt.Sprintf("%04d-%02d-%02d %02d:%02d:%02d.000000000 +0000",
+		y, mo, d, rem/3600, rem%3600/60, rem%60)
+}
+
+// civilFromDays converts days since 1970-01-01 to a civil date.
+func civilFromDays(days int64) (y, m, d int64) {
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	yy := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d = doy - (153*mp+2)/5 + 1
+	m = mp + 3
+	if mp >= 10 {
+		m = mp - 9
+	}
+	if m <= 2 {
+		yy++
+	}
+	return yy, m, d
+}

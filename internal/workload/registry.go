@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+)
+
+// Names of every toolchain program, as installed under /bin in the images.
+var Names = []string{
+	"cc", "ld", "tar", "gzip", "dpkg-deb", "install",
+	"configure", "make", "dpkg-buildpackage", "cbin", "date", "wget",
+	"ls", "stat", "touch", "pwd", "echo",
+}
+
+// Register installs the whole toolchain into a guest program registry.
+func Register(reg *guest.Registry) {
+	reg.Register("cc", ccMain)
+	reg.Register("ld", ldMain)
+	reg.Register("tar", tarMain)
+	reg.Register("gzip", gzipMain)
+	reg.Register("dpkg-deb", dpkgDebMain)
+	reg.Register("install", installMain)
+	reg.Register("configure", configureMain)
+	reg.Register("make", makeMain)
+	reg.Register("dpkg-buildpackage", dpkgBuildpackageMain)
+	reg.Register("cbin", cbinMain)
+	reg.Register("date", dateMain)
+	reg.Register("wget", wgetMain)
+	reg.Register("ls", lsMain)
+	reg.Register("stat", statMain)
+	reg.Register("touch", touchMain)
+	reg.Register("pwd", pwdMain)
+	reg.Register("echo", echoMain)
+}
+
+// wgetMain fetches a declared external file: wget <url> <out>. Under
+// DetTrace the fetch is served from the container's checksummed download
+// set (§3); natively there is no network and the fetch fails.
+func wgetMain(p *guest.Proc) int {
+	argv := p.Argv()
+	if len(argv) < 3 {
+		p.Eprintf("wget: usage: wget url out\n")
+		return 2
+	}
+	data, err := p.Fetch(argv[1])
+	if err != 0 {
+		p.Eprintf("wget: %s: %s\n", argv[1], err)
+		return 4
+	}
+	if werr := p.WriteFile(argv[2], data, 0o644); werr != 0 {
+		p.Eprintf("wget: %s: %s\n", argv[2], werr)
+		return 1
+	}
+	p.Printf("saved %s (%d bytes)\n", argv[2], len(data))
+	return 0
+}
+
+// dateMain mirrors the artifact appendix's `dettrace date` demo: it prints
+// the wall clock as the stock date utility would.
+func dateMain(p *guest.Proc) int {
+	secs := p.Time()
+	p.Printf("%s\n", formatUTC(secs))
+	return 0
+}
+
+// formatUTC renders a Unix timestamp like `date -u` does, without using the
+// host's time package on guest-visible paths (guests must not observe host
+// state except through syscalls).
+func formatUTC(secs int64) string {
+	days := secs / 86400
+	rem := secs % 86400
+	if rem < 0 {
+		rem += 86400
+		days--
+	}
+	h, m, s := rem/3600, rem%3600/60, rem%60
+
+	// Civil date from days since 1970-01-01 (Howard Hinnant's algorithm).
+	z := days + 719468
+	era := z / 146097
+	if z < 0 {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365
+	y := yoe + era*400
+	doy := doe - (365*yoe + yoe/4 - yoe/100)
+	mp := (5*doy + 2) / 153
+	d := doy - (153*mp+2)/5 + 1
+	mo := mp + 3
+	if mp >= 10 {
+		mo = mp - 9
+	}
+	if mo <= 2 {
+		y++
+	}
+	dow := (days%7 + 7 + 4) % 7 // 1970-01-01 was a Thursday
+	weekdays := []string{"Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"}
+	months := []string{"", "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+		"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+	return fmt.Sprintf("%s %s %2d %02d:%02d:%02d UTC %d",
+		weekdays[dow], months[mo], d, h, m, s, y)
+}

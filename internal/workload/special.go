@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"repro/internal/abi"
+	"repro/internal/guest"
+)
+
+// The "special" steps reproduce the three unsupported-operation classes of
+// §7.1.1 beyond busy-waiting: socket use, cross-process signals, and the
+// long tail of miscellaneous system calls. Each is a perfectly ordinary
+// build-system pattern that works natively and trips a reproducible
+// DetTrace container error.
+
+// specialSocket models a build that talks to a local daemon over an AF_UNIX
+// socket (license servers, test coordinators, compiler caches).
+func specialSocket(p *guest.Proc) int {
+	srv, err := p.Socket()
+	if err != abi.OK {
+		p.Eprintf("socketd: socket: %s\n", err)
+		return 1
+	}
+	if err := p.Bind(srv, "/tmp/.build-daemon"); err != abi.OK {
+		return 1
+	}
+	if err := p.Listen(srv); err != abi.OK {
+		return 1
+	}
+	pid, ferr := p.Fork(func(c *guest.Proc) int {
+		fd, err := c.Socket()
+		if err != abi.OK {
+			return 1
+		}
+		if err := c.Connect(fd, "/tmp/.build-daemon"); err != abi.OK {
+			return 1
+		}
+		c.Send(fd, []byte("BUILD-QUERY"))
+		buf := make([]byte, 32)
+		n, _ := c.Recv(fd, buf)
+		c.Close(fd)
+		if string(buf[:n]) != "OK" {
+			return 1
+		}
+		return 0
+	})
+	if ferr != abi.OK {
+		return 1
+	}
+	conn, aerr := p.Accept(srv)
+	if aerr != abi.OK {
+		return 1
+	}
+	buf := make([]byte, 32)
+	p.Recv(conn, buf)
+	p.Send(conn, []byte("OK"))
+	p.Close(conn)
+	p.Close(srv)
+	wr, _ := p.Waitpid(pid, 0)
+	return wr.Status.ExitCode()
+}
+
+// specialSignal models a watchdog pattern: spawn a helper, later kill it.
+// Cross-process signalling is unsupported under DetTrace (§5.4).
+func specialSignal(p *guest.Proc) int {
+	pid, err := p.Fork(func(c *guest.Proc) int {
+		c.Pause() // wait to be killed
+		return 0
+	})
+	if err != abi.OK {
+		return 1
+	}
+	p.Work(1_000_000)
+	if err := p.Kill(pid, abi.SIGTERM); err != abi.OK {
+		return 1
+	}
+	wr, _ := p.Waitpid(pid, 0)
+	if !wr.Status.Signaled() {
+		return 1
+	}
+	return 0
+}
+
+// specialMisc pokes a syscall from the miscellaneous tail (personality, as
+// old JVMs and qemu-ish tools do). The native kernel answers ENOSYS, which
+// the build tolerates; DetTrace has no determinization story for it and
+// aborts.
+func specialMisc(p *guest.Proc) int {
+	sc := &abi.Syscall{Num: abi.SysPersonality}
+	p.T.Syscall(sc)
+	// ENOSYS is fine; the probe is advisory.
+	return 0
+}

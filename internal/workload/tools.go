@@ -1,0 +1,229 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/abi"
+	"repro/internal/artar"
+	"repro/internal/guest"
+)
+
+// ldMain is the linker: ld -o <out> <obj>...
+//
+// It concatenates objects into the payload of a runnable "binary" (the cbin
+// program) and, like real binutils, reads rdtsc for its internal profiling
+// counters (§7.4) — values that stay internal.
+func ldMain(p *guest.Proc) int {
+	out, ins := parseOutArgs(p.Argv())
+	if out == "" || len(ins) == 0 {
+		p.Eprintf("ld: usage: ld -o out obj...\n")
+		return 2
+	}
+	var payload strings.Builder
+	for _, in := range ins {
+		start := p.Rdtsc()
+		data, err := p.ReadFile(in)
+		if err != abi.OK {
+			p.Eprintf("ld: %s: %s\n", in, err)
+			return 1
+		}
+		p.Work(int64(len(data)) * 60)
+		mid := p.Rdtsc()
+		p.Work(int64(len(data)) * 60)
+		payload.Write(data)
+		_, _ = p.Rdtsc()-start, mid
+	}
+	// Roughly half of all binaries get a unique build-id salted from
+	// /dev/urandom — gcc's unique-symbol behaviour from §7.4. The salt does
+	// not reach the artifact; only the read happens.
+	if lineHash(payload.String())%2 == 0 {
+		if fd, err := p.Open("/dev/urandom", abi.ORdonly, 0); err == abi.OK {
+			salt := make([]byte, 16)
+			p.Read(fd, salt)
+			p.Close(fd)
+		}
+	}
+	exe := guest.MakeExe("cbin", []byte(payload.String()))
+	if err := p.WriteFile(out, exe, 0o755); err != abi.OK {
+		p.Eprintf("ld: %s: %s\n", out, err)
+		return 1
+	}
+	return 0
+}
+
+// tarMain archives a directory: tar -cf <out> <dir>.
+//
+// Member order is getdents order (host hash order natively, sorted under
+// DetTrace) and each header records the file's mtime from stat — the two
+// filesystem leaks that make zero stock packages bitwise-reproducible
+// (§6.1).
+func tarMain(p *guest.Proc) int {
+	argv := p.Argv()
+	var out, dir string
+	rootOwner := false
+	for i := 1; i < len(argv); i++ {
+		switch {
+		case argv[i] == "-cf" && i+1 < len(argv):
+			out = argv[i+1]
+			i++
+		case argv[i] == "--owner=0":
+			rootOwner = true
+		case !strings.HasPrefix(argv[i], "-"):
+			dir = argv[i]
+		}
+	}
+	if out == "" || dir == "" {
+		p.Eprintf("tar: usage: tar -cf out dir\n")
+		return 2
+	}
+	ar := &artar.Archive{}
+	if code := tarWalk(p, ar, dir, "", rootOwner); code != 0 {
+		return code
+	}
+	if err := p.WriteFile(out, ar.Pack(), 0o644); err != abi.OK {
+		p.Eprintf("tar: %s: %s\n", out, err)
+		return 1
+	}
+	return 0
+}
+
+func tarWalk(p *guest.Proc, ar *artar.Archive, root, rel string, rootOwner bool) int {
+	dir := root
+	if rel != "" {
+		dir = root + "/" + rel
+	}
+	ents, err := p.ReadDir(dir)
+	if err != abi.OK {
+		p.Eprintf("tar: %s: %s\n", dir, err)
+		return 1
+	}
+	for _, e := range ents {
+		name := e.Name
+		if rel != "" {
+			name = rel + "/" + e.Name
+		}
+		full := root + "/" + name
+		st, serr := p.Stat(full)
+		if serr != abi.OK {
+			continue
+		}
+		uid, gid := st.UID, st.GID
+		if rootOwner {
+			uid, gid = 0, 0
+		}
+		switch {
+		case st.IsDir():
+			ar.Add(artar.Member{Name: name + "/", Mode: st.Mode, UID: uid, GID: gid, Mtime: st.Mtime.Sec})
+			if code := tarWalk(p, ar, root, name, rootOwner); code != 0 {
+				return code
+			}
+		case st.IsRegular():
+			data, rerr := p.ReadFile(full)
+			if rerr != abi.OK {
+				continue
+			}
+			ar.Add(artar.Member{Name: name, Mode: st.Mode, UID: uid, GID: gid, Mtime: st.Mtime.Sec, Data: data})
+		}
+	}
+	return 0
+}
+
+// gzipMain compresses one file in place (file -> file.gz), embedding the
+// current time in the header the way RFC 1952 gzip does — a classic
+// reproducibility bug.
+func gzipMain(p *guest.Proc) int {
+	argv := p.Argv()
+	if len(argv) < 2 {
+		p.Eprintf("gzip: usage: gzip file\n")
+		return 2
+	}
+	in := argv[len(argv)-1]
+	data, err := p.ReadFile(in)
+	if err != abi.OK {
+		p.Eprintf("gzip: %s: %s\n", in, err)
+		return 1
+	}
+	p.Work(int64(len(data)) * 60)
+	header := fmt.Sprintf("GZIP1 mtime=%d orig=%q\n", p.Time(), in)
+	// "Compression": a stable digest plus the original (we archive, not
+	// shrink; bitwise identity is what matters).
+	body := fmt.Sprintf("crc=%08x len=%d\n", lineHash(string(data)), len(data))
+	outData := append([]byte(header+body), data...)
+	if werr := p.WriteFile(in+".gz", outData, 0o644); werr != abi.OK {
+		return 1
+	}
+	p.Unlink(in)
+	return 0
+}
+
+// dpkgDebMain builds a .deb: dpkg-deb --build <pkgroot> <out.deb>.
+// The data member is produced by spawning the real tar program.
+func dpkgDebMain(p *guest.Proc) int {
+	argv := p.Argv()
+	var root, out string
+	for i := 1; i < len(argv); i++ {
+		if strings.HasPrefix(argv[i], "--") {
+			continue
+		}
+		if root == "" {
+			root = argv[i]
+		} else {
+			out = argv[i]
+		}
+	}
+	if root == "" || out == "" {
+		p.Eprintf("dpkg-deb: usage: dpkg-deb --build root out.deb\n")
+		return 2
+	}
+	control, err := p.ReadFile(root + "/DEBIAN/control")
+	if err != abi.OK {
+		p.Eprintf("dpkg-deb: no control file in %s\n", root)
+		return 1
+	}
+	dataTar := "/tmp/data.tar"
+	pid, serr := p.Spawn("/bin/tar", []string{"tar", "--owner=0", "-cf", dataTar, root + "/root"}, nil)
+	if serr != abi.OK {
+		p.Eprintf("dpkg-deb: spawn tar: %s\n", serr)
+		return 1
+	}
+	wr, _ := p.Waitpid(pid, 0)
+	if !wr.Status.Exited() || wr.Status.ExitCode() != 0 {
+		p.Eprintf("dpkg-deb: tar failed\n")
+		return 1
+	}
+	data, _ := p.ReadFile(dataTar)
+	p.Unlink(dataTar)
+
+	st, _ := p.Stat(root + "/DEBIAN/control")
+	deb := &artar.Archive{}
+	deb.Add(artar.Member{Name: "debian-binary", Mode: 0o644, Mtime: st.Mtime.Sec, Data: []byte("2.0\n")})
+	deb.Add(artar.Member{Name: "control.tar", Mode: 0o644, Mtime: st.Mtime.Sec, Data: control})
+	deb.Add(artar.Member{Name: "data.tar", Mode: 0o644, Mtime: st.Mtime.Sec, Data: data})
+	if werr := p.WriteFile(out, deb.Pack(), 0o644); werr != abi.OK {
+		p.Eprintf("dpkg-deb: %s: %s\n", out, werr)
+		return 1
+	}
+	return 0
+}
+
+// installMain copies a file: install <src> <dst>.
+func installMain(p *guest.Proc) int {
+	argv := p.Argv()
+	if len(argv) < 3 {
+		p.Eprintf("install: usage: install src dst\n")
+		return 2
+	}
+	src, dst := argv[1], argv[2]
+	data, err := p.ReadFile(src)
+	if err != abi.OK {
+		p.Eprintf("install: %s: %s\n", src, err)
+		return 1
+	}
+	st, _ := p.Stat(src)
+	if werr := p.WriteFile(dst, data, st.Mode&abi.ModePermMask); werr != abi.OK {
+		p.Eprintf("install: %s: %s\n", dst, werr)
+		return 1
+	}
+	return 0
+}

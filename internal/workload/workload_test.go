@@ -1,0 +1,253 @@
+package workload_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/artar"
+	"repro/internal/baseimg"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/workload"
+)
+
+// boot runs a driver program with the full toolchain installed.
+func boot(t *testing.T, seed uint64, files map[string]string, driver guest.Program) *kernel.Kernel {
+	t.Helper()
+	reg := guest.NewRegistry()
+	workload.Register(reg)
+	reg.Register("driver", driver)
+	im := baseimg.WithBinaries(workload.Names...)
+	im.AddFile("/bin/driver", 0o755, guest.MakeExe("driver", nil))
+	for p, data := range files {
+		im.AddFile(p, 0o644, []byte(data))
+	}
+	k := kernel.New(kernel.Config{
+		Profile: machine.CloudLabC220G5(), Seed: seed, Epoch: 1_500_000_000,
+		Image: im, Resolver: reg.Resolver(),
+		Deadline: 3_600_000_000_000,
+	})
+	img := &kernel.ExecImage{Path: "/bin/driver", Argv: []string{"driver"}}
+	k.Start(reg.Bind(driver, img), img.Argv, []string{"PATH=/bin", "CCFACTOR=1"})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return k
+}
+
+// spawnTool runs a toolchain program to completion from within a driver.
+func spawnTool(p *guest.Proc, path string, argv ...string) int {
+	pid, err := p.Spawn(path, argv, nil)
+	if err != abi.OK {
+		return 126
+	}
+	wr, _ := p.Waitpid(pid, 0)
+	return wr.Status.ExitCode()
+}
+
+func readFile(t *testing.T, k *kernel.Kernel, path string) []byte {
+	t.Helper()
+	e, ok := k.FS.SnapshotImage(k.FS.Root).Entries[path]
+	if !ok {
+		t.Fatalf("missing %s", path)
+	}
+	return e.Data
+}
+
+func TestCCCompilesDirectivesAndCode(t *testing.T) {
+	src := "#include <h000.h>\n@embed-timestamp@\n@embed-buildpath@\nint f(void){return 1;}\n"
+	k := boot(t, 1, map[string]string{
+		"/tmp/unit.c":         src,
+		"/usr/include/h000.h": "#define H 1\n",
+	}, func(p *guest.Proc) int {
+		p.Chdir("/tmp")
+		return spawnTool(p, "/bin/cc", "cc", "-o", "unit.o", "unit.c")
+	})
+	obj := string(readFile(t, k, "/tmp/unit.o"))
+	if !strings.Contains(obj, "ts:") || !strings.Contains(obj, "path:/tmp") {
+		t.Errorf("directives not embedded:\n%s", obj)
+	}
+	if !strings.Contains(obj, "code:") {
+		t.Errorf("code lines missing:\n%s", obj)
+	}
+}
+
+func TestCCSyntaxErrorFails(t *testing.T) {
+	k := boot(t, 2, map[string]string{
+		"/tmp/bad.c": "@@SYNTAX ERROR@@\n",
+	}, func(p *guest.Proc) int {
+		p.Chdir("/tmp")
+		code := spawnTool(p, "/bin/cc", "cc", "-o", "bad.o", "bad.c")
+		p.Printf("cc=%d", code)
+		return 0
+	})
+	if got := k.Console.Stdout(); got != "cc=1" {
+		t.Errorf("stdout = %q", got)
+	}
+}
+
+func TestTarRecordsMtimesAndHostOrder(t *testing.T) {
+	k := boot(t, 3, map[string]string{
+		"/tmp/tree/zebra": "z",
+		"/tmp/tree/apple": "a",
+		"/tmp/tree/mango": "m",
+	}, func(p *guest.Proc) int {
+		return spawnTool(p, "/bin/tar", "tar", "-cf", "/tmp/out.tar", "/tmp/tree")
+	})
+	ar, err := artar.Unpack(readFile(t, k, "/tmp/out.tar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Members) != 3 {
+		t.Fatalf("members = %d", len(ar.Members))
+	}
+	var names []string
+	for _, m := range ar.Members {
+		names = append(names, m.Name)
+		if m.Mtime == 0 {
+			t.Errorf("member %s has no timestamp — tar must record mtimes", m.Name)
+		}
+	}
+	if names[0] == "apple" && names[1] == "mango" && names[2] == "zebra" {
+		t.Errorf("member order is sorted; native tar must use host readdir order: %v", names)
+	}
+}
+
+func TestTarRootOwnerFlag(t *testing.T) {
+	k := boot(t, 4, map[string]string{"/tmp/tree/f": "x"}, func(p *guest.Proc) int {
+		p.Chown("/tmp/tree/f", 1234, 1234)
+		return spawnTool(p, "/bin/tar", "tar", "--owner=0", "-cf", "/tmp/out.tar", "/tmp/tree")
+	})
+	ar, _ := artar.Unpack(readFile(t, k, "/tmp/out.tar"))
+	for _, m := range ar.Members {
+		if m.UID != 0 || m.GID != 0 {
+			t.Errorf("--owner=0 ignored for %s: uid=%d", m.Name, m.UID)
+		}
+	}
+}
+
+func TestGzipEmbedsTimestamp(t *testing.T) {
+	k := boot(t, 5, map[string]string{"/tmp/doc.txt": "hello docs"}, func(p *guest.Proc) int {
+		return spawnTool(p, "/bin/gzip", "gzip", "/tmp/doc.txt")
+	})
+	im := k.FS.SnapshotImage(k.FS.Root)
+	if _, ok := im.Entries["/tmp/doc.txt"]; ok {
+		t.Errorf("gzip should remove the original")
+	}
+	gz := string(im.Entries["/tmp/doc.txt.gz"].Data)
+	if !strings.HasPrefix(gz, "GZIP1 mtime=") || strings.HasPrefix(gz, "GZIP1 mtime=0 ") {
+		t.Errorf("gzip header missing wall-clock mtime: %q", gz[:40])
+	}
+}
+
+func TestConfigureClockSkewError(t *testing.T) {
+	// A reference file with an mtime in the future trips the check.
+	k := boot(t, 6, map[string]string{"/tmp/pkg/debian/control": "Package: x\n"}, func(p *guest.Proc) int {
+		p.Chdir("/tmp/pkg")
+		future := abi.Timespec{Sec: 99_999_999_999}
+		p.Utimes("debian/control", future, future)
+		p.WriteFile("configure.ac", []byte("AC_INIT\n"), 0o644)
+		code := spawnTool(p, "/bin/configure", "configure")
+		p.Printf("configure=%d", code)
+		return 0
+	})
+	if got := k.Console.Stdout(); got != "configure=1" {
+		t.Errorf("stdout = %q (stderr %q)", got, k.Console.Stderr())
+	}
+	if !strings.Contains(k.Console.Stderr(), "clock") {
+		t.Errorf("no clock-skew message: %q", k.Console.Stderr())
+	}
+}
+
+func TestLdLinksAndBinaryRuns(t *testing.T) {
+	k := boot(t, 7, map[string]string{
+		"/tmp/a.o": "OBJ1\ncode:1111\nmeta:tests:5:1:0\n",
+		"/tmp/b.o": "OBJ1\ncode:2222\n",
+	}, func(p *guest.Proc) int {
+		if code := spawnTool(p, "/bin/ld", "ld", "-o", "/tmp/prog", "/tmp/a.o", "/tmp/b.o"); code != 0 {
+			return code
+		}
+		return spawnTool(p, "/tmp/prog", "prog", "--selftest")
+	})
+	out := k.Console.Stdout()
+	if !strings.Contains(out, "Testing: 5 tests") || !strings.Contains(out, "Expected Passes    : 4") {
+		t.Errorf("selftest output = %q", out)
+	}
+}
+
+func TestDateMatchesArtifactDemoUnderLogicalEpoch(t *testing.T) {
+	// formatUTC is exercised through the date program elsewhere; here check
+	// the civil-date math against known values.
+	k := boot(t, 8, nil, func(p *guest.Proc) int {
+		return spawnTool(p, "/bin/date", "date")
+	})
+	out := k.Console.Stdout()
+	// Native date under epoch 1_500_000_000 (2017-07-14).
+	if !strings.Contains(out, "2017") || !strings.Contains(out, "Jul") {
+		t.Errorf("date output = %q", out)
+	}
+}
+
+func TestMakeBuildsPackageTree(t *testing.T) {
+	k := boot(t, 9, map[string]string{
+		"/tmp/pkg/Makefile":    "compiler=cc\nsrcdir=src\nbuilddir=build\noutput=build/prog\n",
+		"/tmp/pkg/src/unit0.c": "int a(void){return 0;}\n",
+		"/tmp/pkg/src/unit1.c": "int b(void){return 1;}\n",
+	}, func(p *guest.Proc) int {
+		p.Chdir("/tmp/pkg")
+		code := spawnTool(p, "/bin/make", "make", "-j2")
+		p.Printf("make=%d", code)
+		return 0
+	})
+	if got := k.Console.Stdout(); !strings.Contains(got, "make=0") {
+		t.Fatalf("stdout = %q stderr = %q", got, k.Console.Stderr())
+	}
+	im := k.FS.SnapshotImage(k.FS.Root)
+	if _, ok := im.Entries["/tmp/pkg/build/prog"]; !ok {
+		t.Errorf("linked output missing")
+	}
+	if _, ok := im.Entries["/tmp/pkg/build/unit0.o"]; !ok {
+		t.Errorf("objects missing")
+	}
+}
+
+func TestCoreutilsStatDemo(t *testing.T) {
+	// The artifact appendix demo: touch a file, stat it; under DetTrace the
+	// metadata virtualizes (covered by internal/core) — natively it shows
+	// real values.
+	k := boot(t, 10, nil, func(p *guest.Proc) int {
+		if code := spawnTool(p, "/bin/touch", "touch", "/tmp/foo.txt"); code != 0 {
+			return code
+		}
+		return spawnTool(p, "/bin/stat", "stat", "/tmp/foo.txt")
+	})
+	out := k.Console.Stdout()
+	for _, want := range []string{"File: /tmp/foo.txt", "Inode:", "Access: (0644/-rw-r--r--)", "Modify: 2017-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stat output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoreutilsLsLong(t *testing.T) {
+	k := boot(t, 11, map[string]string{"/tmp/dir/a": "x", "/tmp/dir/b": "yy"}, func(p *guest.Proc) int {
+		return spawnTool(p, "/bin/ls", "ls", "-l", "/tmp/dir")
+	})
+	out := k.Console.Stdout()
+	if !strings.Contains(out, "-rw-r--r--") || !strings.Contains(out, " a\n") {
+		t.Errorf("ls -l output:\n%s", out)
+	}
+}
+
+func TestCoreutilsPwdEcho(t *testing.T) {
+	k := boot(t, 12, nil, func(p *guest.Proc) int {
+		p.Chdir("/tmp")
+		spawnTool(p, "/bin/pwd", "pwd")
+		return spawnTool(p, "/bin/echo", "echo", "hello", "world")
+	})
+	if got := k.Console.Stdout(); got != "/tmp\nhello world\n" {
+		t.Errorf("stdout = %q", got)
+	}
+}

@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+// TestFacadeQuickstart is the README example, verified.
+func TestFacadeQuickstart(t *testing.T) {
+	reg := repro.NewRegistry()
+	reg.Register("hello", func(p *repro.GuestProc) int {
+		p.Printf("the time is %d\n", p.Time())
+		return 0
+	})
+	run := func(hostSeed uint64, prof *repro.MachineProfile) string {
+		img := repro.MinimalImage()
+		img.AddFile("/bin/hello", 0o755, repro.MakeExe("hello", nil))
+		c := repro.New(repro.Config{Image: img, Profile: prof, HostSeed: hostSeed, Epoch: 1_700_000_000})
+		res := c.Run(reg, "/bin/hello", []string{"hello"}, nil)
+		if res.Err != nil {
+			t.Fatalf("run: %v", res.Err)
+		}
+		return res.Stdout
+	}
+	a := run(42, repro.CloudLabC220G5())
+	b := run(1<<60, repro.PortabilityBroadwell())
+	if a != b {
+		t.Errorf("facade runs differ: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "744847200") {
+		t.Errorf("logical time missing: %q", a)
+	}
+}
+
+func TestFacadeToolchainBuild(t *testing.T) {
+	img := repro.ToolchainImage()
+	img.AddDir("/build/p-1", 0o755)
+	img.AddDir("/build/p-1/debian", 0o755)
+	img.AddDir("/build/p-1/src", 0o755)
+	img.AddFile("/build/p-1/debian/control", 0o644, []byte("Package: p\nVersion: 1\n"))
+	img.AddFile("/build/p-1/debian/rules", 0o755, []byte("weight 1\nstep make -j1\nstep pack\n"))
+	img.AddFile("/build/p-1/Makefile", 0o644, []byte("compiler=cc\nsrcdir=src\nbuilddir=build\noutput=build/prog\n"))
+	img.AddFile("/build/p-1/src/u.c", 0o644, []byte("@embed-timestamp@\nint main(void){return 0;}\n"))
+
+	reg := repro.NewRegistry()
+	repro.RegisterToolchain(reg)
+	c := repro.New(repro.Config{Image: img, HostSeed: 3, Epoch: 1_600_000_000, WorkingDir: "/build/p-1"})
+	res := c.Run(reg, "/bin/dpkg-buildpackage", []string{"dpkg-buildpackage", "-b"},
+		[]string{"PATH=/bin", "USER=root", "HOME=/root"})
+	if res.Err != nil || res.ExitCode != 0 {
+		t.Fatalf("build failed: err=%v code=%d stderr=%s", res.Err, res.ExitCode, res.Stderr)
+	}
+	if _, ok := res.FS.Entries["/build/out/p_1_amd64.deb"]; !ok {
+		t.Errorf("no .deb in output tree")
+	}
+}
+
+func TestFacadeUnsupportedDetection(t *testing.T) {
+	reg := repro.NewRegistry()
+	reg.Register("netted", func(p *repro.GuestProc) int {
+		p.Socket()
+		return 0
+	})
+	img := repro.MinimalImage()
+	img.AddFile("/bin/netted", 0o755, repro.MakeExe("netted", nil))
+	c := repro.New(repro.Config{Image: img, HostSeed: 1})
+	res := c.Run(reg, "/bin/netted", []string{"netted"}, nil)
+	if op, ok := res.Unsupported(); !ok || op != "socket" {
+		t.Errorf("Unsupported() = %q, %v", op, ok)
+	}
+}
+
+func TestFacadeImageHelpers(t *testing.T) {
+	a := repro.NewImage()
+	a.AddFile("/x", 0o644, []byte("1"))
+	b := repro.NewImage()
+	b.AddFile("/x", 0o644, []byte("2"))
+	if repro.HashImage(a) == repro.HashImage(b) {
+		t.Errorf("hashes of different trees coincide")
+	}
+	diffs := repro.CompareImages(a, b)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "/x") {
+		t.Errorf("CompareImages = %v", diffs)
+	}
+}
