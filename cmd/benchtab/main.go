@@ -12,6 +12,7 @@
 //	benchtab -baseline          §6.1 stock-Wheezy numbers
 //	benchtab -unsupported       §7.1.1 unsupported breakdown
 //	benchtab -biorepro          §6.1 bio/ML reproducibility verdicts
+//	benchtab -rescue            §5.9/§5.4 ablation: experimental sockets+signals
 //	benchtab -all               everything
 //
 // The package universe defaults to a deterministic 1,200-package sample
@@ -60,7 +61,7 @@ func main() {
 		fmt.Printf("== building %d packages (4 builds each) ==\n", len(specs))
 		start := time.Now()
 		outs := o.BuildAll(specs, progress)
-		fmt.Printf("\n   done in %s\n\n", time.Since(start).Round(time.Second))
+		fmt.Printf("   done in %s\n\n", time.Since(start).Round(time.Second))
 		report = buildsim.Aggregate(outs)
 	}
 
@@ -156,9 +157,15 @@ func section(title string) {
 	fmt.Printf("==== %s ====\n", title)
 }
 
+// progress redraws an in-place counter every 100 packages and always leaves
+// a complete, newline-terminated line once the last package finishes, so the
+// next section never starts on a dangling \r line.
 func progress(done, total int) {
 	if done%100 == 0 || done == total {
 		fmt.Printf("\r   %d/%d packages", done, total)
+	}
+	if done == total {
+		fmt.Println()
 	}
 }
 

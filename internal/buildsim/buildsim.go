@@ -1,0 +1,437 @@
+// Package buildsim is the evaluation driver: the parallel build farm that
+// runs the paper's §6.1 protocol over the debpkg universe. For every package
+// it performs the reprotest double build twice — natively under adversarial
+// environment perturbation, and inside the DetTrace container — compares the
+// .debs bitwise with diffoscope/stripnd semantics, and classifies the result
+// into the Table 1 cells. The aggregate layer (report.go) produces Table 1,
+// Table 2, the §7.1.1 breakdown and the Figure 5 data; studies.go holds the
+// §6.1 stock baseline, §7.1.3 rr, §7.2 LLVM and §7.3 portability studies.
+//
+// The farm itself obeys the discipline it measures: BuildAll fans packages
+// across a Jobs-sized worker pool, and its output is bitwise-independent of
+// Jobs. Every package's randomness derives from Options.Seed and the spec
+// alone (never from scheduling), results land in spec order, and progress
+// callbacks are serialized.
+package buildsim
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/abi"
+	"repro/internal/baseimg"
+	"repro/internal/core"
+	"repro/internal/debpkg"
+	"repro/internal/fs"
+	"repro/internal/guest"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/reprotest"
+	"repro/internal/stripnd"
+	"repro/internal/workload"
+)
+
+// Virtual build deadlines from §6.1: 30 minutes for the native baseline,
+// 2 hours under DetTrace.
+const (
+	BLDeadline = 30 * 60 * 1e9  // ns of virtual time
+	DTDeadline = 2 * 3600 * 1e9 // ns of virtual time
+)
+
+// Verdict classifies one double build, named like Table 1's cells.
+type Verdict string
+
+// The five outcomes of the build-twice protocol.
+const (
+	Reproducible   Verdict = "reproducible"
+	Irreproducible Verdict = "irreproducible"
+	Unsupported    Verdict = "unsupported"
+	Timeout        Verdict = "timeout"
+	Fail           Verdict = "fail"
+)
+
+// Options configures a build farm.
+type Options struct {
+	// Seed selects the adversarial environments; per-package seeds derive
+	// from it and the spec, never from scheduling.
+	Seed uint64
+	// Jobs is the worker pool size (0 = GOMAXPROCS). It must not affect
+	// results — only wall-clock time.
+	Jobs int
+	// Experimental enables the §5.9/§5.4 extensions (container-internal
+	// sockets and scheduler-ordered signals) in the DetTrace runs.
+	Experimental bool
+}
+
+// Out is the full record of one package's evaluation.
+type Out struct {
+	Spec  *debpkg.Spec
+	Index int // position in the BuildAll input
+
+	BL Verdict // baseline double-build verdict
+	DT Verdict // DetTrace verdict; "" when the baseline failed or timed out
+
+	// UnsupReason is the container's UnsupportedError operation when DT ==
+	// Unsupported ("busy-wait", "socket", "cross-process signal",
+	// "syscall:<name>").
+	UnsupReason string
+
+	BLTime      int64   // virtual ns of the first baseline build
+	DTTime      int64   // virtual ns of the first DetTrace build
+	SyscallRate float64 // weighted syscalls per second of baseline time
+	Slowdown    float64 // DTTime/BLTime, set when DT completed
+	Threaded    bool    // javac-style threaded build (Fig. 5's open circles)
+
+	// Events are the DetTrace run's weighted tracer counters (Table 2).
+	Events Events
+}
+
+// Events is the per-package slice of Table 2: weighted tracer event counts
+// from the DetTrace build.
+type Events struct {
+	Syscalls     int64
+	MemReads     int64
+	Rdtsc        int64
+	Sched        int64
+	Replays      int64
+	Spawns       int64
+	ReadRetries  int64
+	WriteRetries int64
+	UrandomOpens int64
+}
+
+func eventsFrom(st kernel.Stats) Events {
+	return Events{
+		Syscalls:     st.Syscalls,
+		MemReads:     st.MemReads,
+		Rdtsc:        st.RdtscTrapped,
+		Sched:        st.SchedRequests,
+		Replays:      st.BlockedReplays,
+		Spawns:       st.Spawns,
+		ReadRetries:  st.ReadRetries,
+		WriteRetries: st.WriteRetries,
+		UrandomOpens: st.UrandomOpens,
+	}
+}
+
+// BuildPackage runs one package through the full protocol: a native double
+// build under the two reprotest variations, then (when the baseline built at
+// all) a DetTrace double build varying only host accidents.
+func (o *Options) BuildPackage(spec *debpkg.Spec) Out {
+	return o.build(spec, 0)
+}
+
+// BuildAll evaluates every spec across the worker pool. The returned slice
+// is ordered by spec index and bitwise-independent of Jobs; progress, when
+// non-nil, is called serially with strictly increasing done counts.
+func (o *Options) BuildAll(specs []*debpkg.Spec, progress func(done, total int)) []Out {
+	outs := make([]Out, len(specs))
+	var mu sync.Mutex
+	done := 0
+	o.forEach(len(specs), func(i int) {
+		outs[i] = o.build(specs[i], i)
+		mu.Lock()
+		done++
+		if progress != nil {
+			progress(done, len(specs))
+		}
+		mu.Unlock()
+	})
+	return outs
+}
+
+// forEach runs fn(0..n-1) across the option's worker pool. fn must write
+// only to its own index's state.
+func (o *Options) forEach(n int, fn func(i int)) {
+	jobs := o.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// pkgSeed derives the package's environment seed from the farm seed and the
+// spec identity — a pure function, so results cannot depend on which worker
+// or in which order a package is built.
+func pkgSeed(seed uint64, spec *debpkg.Spec) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range []byte(spec.Name + "/" + spec.Version) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h ^ (seed * 0x9E3779B97F4A7C15)
+}
+
+// build is the per-package protocol.
+func (o *Options) build(spec *debpkg.Spec, idx int) Out {
+	seed := pkgSeed(o.Seed, spec)
+	v1, v2 := reprotest.Pair(seed)
+	out := Out{Spec: spec, Index: idx, Threaded: spec.Compiler == "javac"}
+
+	// Baseline: build twice natively, each under its reprotest variation
+	// (environment, build path, epoch, CPUs, host seed all vary). The §6.1
+	// toolchain includes strip-nondeterminism, so the baseline verdict
+	// compares the stripped .debs.
+	b1 := buildNative(spec, v1, BLDeadline)
+	out.BLTime = b1.wall
+	if secs := float64(b1.wall) / 1e9; secs > 0 {
+		out.SyscallRate = float64(b1.syscalls) / secs
+	}
+	if v := b1.verdict(); v != "" {
+		out.BL = v
+		return out
+	}
+	b2 := buildNative(spec, v2, BLDeadline)
+	if v := b2.verdict(); v != "" {
+		out.BL = v
+		return out
+	}
+	if bytes.Equal(stripnd.Strip(b1.deb), stripnd.Strip(b2.deb)) {
+		out.BL = Reproducible
+	} else {
+		out.BL = Irreproducible
+	}
+
+	// DetTrace: build twice in the container under the same perturbations —
+	// but the container pins the build path, environment and PRNG seed as
+	// inputs, so only the host accidents (entropy, epoch, core count)
+	// actually vary. That is the property being measured.
+	d1 := o.buildDT(spec, seed, v1, nil)
+	out.DTTime = d1.wall
+	out.Events = d1.events
+	if v, reason := d1.verdict(); v != "" {
+		out.DT = v
+		out.UnsupReason = reason
+		return out
+	}
+	d2 := o.buildDT(spec, seed, v2, nil)
+	if v, reason := d2.verdict(); v != "" {
+		out.DT = v
+		out.UnsupReason = reason
+		return out
+	}
+	if out.BLTime > 0 {
+		out.Slowdown = float64(out.DTTime) / float64(out.BLTime)
+	}
+	// DetTrace's outputs are already canonical: no strip pass.
+	if bytes.Equal(d1.deb, d2.deb) {
+		out.DT = Reproducible
+	} else {
+		out.DT = Irreproducible
+	}
+	return out
+}
+
+// registry is the shared toolchain program registry: read-only after
+// construction, safe for concurrent kernels.
+var (
+	regOnce sync.Once
+	reg     *guest.Registry
+)
+
+func registry() *guest.Registry {
+	regOnce.Do(func() {
+		reg = guest.NewRegistry()
+		workload.Register(reg)
+	})
+	return reg
+}
+
+// toolchainImage builds the pristine control chroot and unpacks the package
+// source under dir, returning (image, pkgdir).
+func toolchainImage(spec *debpkg.Spec, dir string) (*fs.Image, string) {
+	img := baseimg.WithBinaries(workload.Names...)
+	return img, spec.Materialize(img, dir)
+}
+
+func debPath(spec *debpkg.Spec) string {
+	return "/build/out/" + spec.Name + "_" + spec.Version + "_amd64.deb"
+}
+
+// nativeRun is one baseline build's observables.
+type nativeRun struct {
+	deb      []byte
+	log      []byte
+	prog     []byte // the built binary, for post-build selftests (§7.2)
+	exit     int
+	wall     int64
+	syscalls int64 // weighted
+	timeout  bool
+	err      error
+}
+
+// verdict maps a failed run to its Table 1 cell ("" means the build
+// completed and produced a .deb).
+func (r nativeRun) verdict() Verdict {
+	switch {
+	case r.timeout:
+		return Timeout
+	case r.err != nil || r.exit != 0 || r.deb == nil:
+		return Fail
+	}
+	return ""
+}
+
+// buildNative runs dpkg-buildpackage on the simulated host under one
+// reprotest variation, with the kernel's baseline (nondeterministic) policy.
+func buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline int64) nativeRun {
+	img, pkgdir := toolchainImage(spec, v.BuildRoot)
+	k := kernel.New(kernel.Config{
+		Profile:  machine.CloudLabC220G5(),
+		Seed:     v.HostSeed,
+		Epoch:    v.Epoch,
+		NumCPU:   v.NumCPU,
+		Image:    img,
+		Resolver: registry().Resolver(),
+		Deadline: deadline,
+	})
+	argv := []string{"dpkg-buildpackage", "-b"}
+	init := func(t *kernel.Thread) int {
+		p := &guest.Proc{T: t}
+		if err := p.Exec("/bin/dpkg-buildpackage", argv, v.Env); err != abi.OK {
+			return 127
+		}
+		return 127 // unreachable
+	}
+	proc := k.Start(init, argv, v.Env)
+	if n, err := k.ResolveInode(proc, pkgdir, true); err == abi.OK && n.IsDir() {
+		proc.Cwd, proc.CwdPath = n, pkgdir
+	}
+	runErr := k.Run()
+	r := nativeRun{exit: proc.ExitCode(), wall: k.Now(), syscalls: k.Stats.Syscalls}
+	if runErr != nil {
+		if errors.Is(runErr, kernel.ErrTimeout) {
+			r.timeout = true
+		} else {
+			r.err = runErr
+		}
+		return r
+	}
+	r.deb = inodeData(k, proc, debPath(spec))
+	r.log = inodeData(k, proc, pkgdir+"/build-step.log")
+	r.prog = inodeData(k, proc, pkgdir+"/build/prog")
+	return r
+}
+
+func inodeData(k *kernel.Kernel, p *kernel.Proc, path string) []byte {
+	n, err := k.ResolveInode(p, path, true)
+	if err != abi.OK || n == nil || n.IsDir() {
+		return nil
+	}
+	return append([]byte(nil), n.Data...)
+}
+
+// dtRun is one DetTrace build's observables.
+type dtRun struct {
+	deb     []byte
+	log     []byte
+	prog    []byte // the built binary, for post-build selftests (§7.2)
+	exit    int
+	wall    int64
+	timeout bool
+	unsup   string
+	err     error
+	events  Events
+}
+
+func (r dtRun) verdict() (Verdict, string) {
+	switch {
+	case r.unsup != "":
+		return Unsupported, r.unsup
+	case r.timeout:
+		return Timeout, ""
+	case r.err != nil || r.exit != 0 || r.deb == nil:
+		return Fail, ""
+	}
+	return "", ""
+}
+
+// containerEnv is the canonical build environment: inside DetTrace the
+// environment is a container input, fixed regardless of the invoking shell.
+var containerEnv = []string{
+	"PATH=/bin",
+	"USER=root",
+	"HOME=/root",
+	"DEB_BUILD_OPTIONS=",
+	"LC_ALL=C",
+	"TZ=UTC",
+}
+
+// buildDT runs the package inside the DetTrace container. The variation
+// contributes only host accidents — the build path, environment and PRNG
+// seed are container inputs and stay fixed. mod, when non-nil, adjusts the
+// container config (machine profile, ablations) before the run.
+func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation, mod func(*core.Config)) dtRun {
+	img, pkgdir := toolchainImage(spec, "/build")
+	cfg := core.Config{
+		Image:               img,
+		Profile:             machine.CloudLabC220G5(),
+		HostSeed:            v.HostSeed,
+		Epoch:               v.Epoch,
+		NumCPU:              v.NumCPU,
+		PRNGSeed:            seed ^ 0xD7,
+		WorkingDir:          pkgdir,
+		Deadline:            DTDeadline,
+		ExperimentalSockets: o.Experimental,
+		ExperimentalSignals: o.Experimental,
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	res := core.New(cfg).Run(registry(), "/bin/dpkg-buildpackage",
+		[]string{"dpkg-buildpackage", "-b"}, containerEnv)
+	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats)}
+	if op, ok := res.Unsupported(); ok {
+		r.unsup = op
+		return r
+	}
+	if res.TimedOut() {
+		r.timeout = true
+		return r
+	}
+	if res.Err != nil {
+		r.err = res.Err
+		return r
+	}
+	r.deb = imageData(res.FS, debPath(spec))
+	r.log = imageData(res.FS, pkgdir+"/build-step.log")
+	r.prog = imageData(res.FS, pkgdir+"/build/prog")
+	return r
+}
+
+func imageData(im *fs.Image, path string) []byte {
+	if im == nil {
+		return nil
+	}
+	e, ok := im.Entries[path]
+	if !ok || e.Mode&abi.ModeTypeMask != abi.ModeRegular {
+		return nil
+	}
+	return append([]byte(nil), e.Data...)
+}

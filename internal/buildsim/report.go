@@ -1,0 +1,241 @@
+// Report aggregation: Table 1 (top and bottom), the §7.1.1 unsupported
+// breakdown, Table 2's per-package tracer event averages, and the Figure 5
+// slowdown-vs-rate data.
+package buildsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Table2 holds the per-package average tracer event counts of DT-completed
+// builds, at paper scale (weighted).
+type Table2 struct {
+	Syscalls     float64
+	MemReads     float64
+	Rdtsc        float64
+	Sched        float64
+	Replays      float64
+	Spawns       float64
+	ReadRetries  float64
+	WriteRetries float64
+	UrandomOpens float64
+}
+
+// Fig5Point is one package on Figure 5: baseline syscall rate against
+// DetTrace slowdown, threaded builds marked.
+type Fig5Point struct {
+	Rate     float64
+	Slowdown float64
+	Threaded bool
+}
+
+// Report is the aggregate of one BuildAll pass.
+type Report struct {
+	Packages int
+
+	// Cells is the Table 1 joint distribution: Cells[BL verdict][DT verdict]
+	// over the packages whose baseline completed the double build.
+	Cells map[string]map[string]int
+
+	BLRepro   int // baseline-reproducible (with strip-nondeterminism)
+	BLIrrepro int
+	BLFail    int
+	BLTimeout int
+
+	// Unsup counts the §7.1.1 classes among DT-unsupported packages.
+	Unsup map[string]int
+
+	Table2 Table2
+	Fig5   []Fig5Point
+
+	// AggregateSlowdown is total DT time over total baseline time across
+	// DT-completed builds — the paper's 3.49x headline.
+	AggregateSlowdown float64
+	// RateSlowdownCorr is the Figure 5 correlation between baseline syscall
+	// rate and slowdown.
+	RateSlowdownCorr float64
+}
+
+// unsupClasses fixes the §7.1.1 display order.
+var unsupClasses = []string{
+	"busy-waiting", "socket operations", "cross-process signals", "miscellaneous syscalls",
+}
+
+// unsupClass maps a container UnsupportedError op to its §7.1.1 class.
+func unsupClass(op string) string {
+	switch op {
+	case "busy-wait":
+		return "busy-waiting"
+	case "socket":
+		return "socket operations"
+	case "cross-process signal":
+		return "cross-process signals"
+	default:
+		return "miscellaneous syscalls"
+	}
+}
+
+// Aggregate folds per-package outcomes into the report. Every input package
+// lands in exactly one bucket: BLFail, BLTimeout, or a Cells[bl][dt] cell.
+func Aggregate(outs []Out) *Report {
+	r := &Report{
+		Packages: len(outs),
+		Cells: map[string]map[string]int{
+			string(Reproducible):   {},
+			string(Irreproducible): {},
+		},
+		Unsup: map[string]int{},
+	}
+	var (
+		ev           Events
+		completed    int64
+		blSum, dtSum int64
+		rates, slows []float64
+	)
+	for _, o := range outs {
+		switch o.BL {
+		case Fail:
+			r.BLFail++
+			continue
+		case Timeout:
+			r.BLTimeout++
+			continue
+		case Reproducible:
+			r.BLRepro++
+		case Irreproducible:
+			r.BLIrrepro++
+		default:
+			r.BLFail++
+			continue
+		}
+		r.Cells[string(o.BL)][string(o.DT)]++
+		if o.DT == Unsupported {
+			r.Unsup[unsupClass(o.UnsupReason)]++
+		}
+		if o.DT == Reproducible || o.DT == Irreproducible {
+			ev.Syscalls += o.Events.Syscalls
+			ev.MemReads += o.Events.MemReads
+			ev.Rdtsc += o.Events.Rdtsc
+			ev.Sched += o.Events.Sched
+			ev.Replays += o.Events.Replays
+			ev.Spawns += o.Events.Spawns
+			ev.ReadRetries += o.Events.ReadRetries
+			ev.WriteRetries += o.Events.WriteRetries
+			ev.UrandomOpens += o.Events.UrandomOpens
+			completed++
+			blSum += o.BLTime
+			dtSum += o.DTTime
+			r.Fig5 = append(r.Fig5, Fig5Point{Rate: o.SyscallRate, Slowdown: o.Slowdown, Threaded: o.Threaded})
+			rates = append(rates, o.SyscallRate)
+			slows = append(slows, o.Slowdown)
+		}
+	}
+	if completed > 0 {
+		n := float64(completed)
+		r.Table2 = Table2{
+			Syscalls:     float64(ev.Syscalls) / n,
+			MemReads:     float64(ev.MemReads) / n,
+			Rdtsc:        float64(ev.Rdtsc) / n,
+			Sched:        float64(ev.Sched) / n,
+			Replays:      float64(ev.Replays) / n,
+			Spawns:       float64(ev.Spawns) / n,
+			ReadRetries:  float64(ev.ReadRetries) / n,
+			WriteRetries: float64(ev.WriteRetries) / n,
+			UrandomOpens: float64(ev.UrandomOpens) / n,
+		}
+	}
+	if blSum > 0 {
+		r.AggregateSlowdown = float64(dtSum) / float64(blSum)
+	}
+	if len(rates) > 1 {
+		r.RateSlowdownCorr = stats.Correlation(rates, slows)
+	}
+	return r
+}
+
+func rowTotal(row map[string]int) int {
+	n := 0
+	for _, v := range row {
+		n += v
+	}
+	return n
+}
+
+// Table1Top renders the top half of Table 1: for each baseline verdict, how
+// the same packages fared under DetTrace.
+func (r *Report) Table1Top() string {
+	t := stats.NewTable("baseline \\ dettrace", "reproducible", "irreproducible", "unsupported", "timeout")
+	for _, bl := range []Verdict{Irreproducible, Reproducible} {
+		row := r.Cells[string(bl)]
+		n := rowTotal(row)
+		t.Row(fmt.Sprintf("%s (%d)", bl, n),
+			stats.Pct(row[string(Reproducible)], n),
+			stats.Pct(row[string(Irreproducible)], n),
+			stats.Pct(row[string(Unsupported)], n),
+			stats.Pct(row[string(Timeout)], n))
+	}
+	return t.String() + fmt.Sprintf("(plus %d baseline build failures and %d baseline timeouts, excluded above)\n",
+		r.BLFail, r.BLTimeout)
+}
+
+// Table1Bottom renders the bottom half: each DetTrace outcome's share of the
+// built packages, split by baseline verdict. Per DESIGN.md §3 the paper's
+// printed bottom "DetTrace Unsupported" row (708) is inconsistent with its
+// own top half (the unsupported cells sum to 2,049), so this table is
+// *derived from the measured joint distribution*, not transcribed.
+func (r *Report) Table1Bottom() string {
+	t := stats.NewTable("dettrace outcome", "of built packages", "bl-reproducible", "bl-irreproducible")
+	built := r.BLRepro + r.BLIrrepro
+	for _, dt := range []Verdict{Reproducible, Irreproducible, Unsupported, Timeout} {
+		nR := r.Cells[string(Reproducible)][string(dt)]
+		nI := r.Cells[string(Irreproducible)][string(dt)]
+		t.Row(string(dt), stats.Pct(nR+nI, built), nR, nI)
+	}
+	return t.String() +
+		"(derived from the joint distribution; the paper's bottom unsupported row\n" +
+		" disagrees with its own top half — see DESIGN.md §3)\n"
+}
+
+// UnsupportedBreakdown renders the §7.1.1 classes of DT-unsupported builds.
+func (r *Report) UnsupportedBreakdown() string {
+	total := 0
+	for _, n := range r.Unsup {
+		total += n
+	}
+	t := stats.NewTable("unsupported operation class", "share of unsupported")
+	for _, c := range unsupClasses {
+		t.Row(c, stats.Pct(r.Unsup[c], total))
+	}
+	return t.String()
+}
+
+// Table2String renders the per-package tracer event averages.
+func (r *Report) Table2String() string {
+	t := stats.NewTable("tracer event", "per-package average")
+	row := func(name string, v float64) { t.Row(name, fmt.Sprintf("%.0f", v)) }
+	row("system calls", r.Table2.Syscalls)
+	row("tracee memory reads", r.Table2.MemReads)
+	row("rdtsc/rdtscp traps", r.Table2.Rdtsc)
+	row("scheduling decisions", r.Table2.Sched)
+	row("blocked-call replays", r.Table2.Replays)
+	row("process spawns", r.Table2.Spawns)
+	row("read retries", r.Table2.ReadRetries)
+	row("write retries", r.Table2.WriteRetries)
+	row("/dev/[u]random opens", r.Table2.UrandomOpens)
+	return t.String()
+}
+
+// Fig5Summary renders the Figure 5 data as CSV with a summary header line.
+func (r *Report) Fig5Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %d builds; aggregate slowdown %.2fx; corr(rate, slowdown) = %.2f\n",
+		len(r.Fig5), r.AggregateSlowdown, r.RateSlowdownCorr)
+	b.WriteString("syscalls_per_sec,slowdown,threaded\n")
+	for _, p := range r.Fig5 {
+		fmt.Fprintf(&b, "%.0f,%.2f,%v\n", p.Rate, p.Slowdown, p.Threaded)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

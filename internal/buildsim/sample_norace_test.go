@@ -1,0 +1,7 @@
+//go:build !race
+
+package buildsim
+
+// aggSample sizes the Table-1 marginals sample: the full default benchtab
+// sample when the race detector is off.
+const aggSample = 1200

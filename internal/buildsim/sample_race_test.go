@@ -1,0 +1,9 @@
+//go:build race
+
+package buildsim
+
+// aggSample sizes the Table-1 marginals sample. Under the race detector
+// every build is several times slower, so the sample scales down; the class
+// sequence interleaves deterministically, so any prefix keeps the universe
+// proportions (debpkg.Universe).
+const aggSample = 300
