@@ -1,0 +1,104 @@
+// Machine-readable benchmark report (-json): a snapshot of the performance
+// headline numbers — syscall dispatch throughput with the in-tracee buffer on
+// and off, and the Fig. 5 aggregate slowdown under both configurations — for
+// CI artifact upload and regression tracking.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/buildsim"
+	"repro/internal/debpkg"
+)
+
+// syscallBench is one wall-clock microbenchmark run: a single-process guest
+// looping on an intercepted time() call.
+type syscallBench struct {
+	Calls       int     `json:"calls"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	CallsPerSec float64 `json:"calls_per_sec"`
+	Stops       int64   `json:"ptrace_stops"`
+	Buffered    int64   `json:"buffered_calls"`
+	Flushes     int64   `json:"buffer_flushes"`
+}
+
+// benchReport is the BENCH_<date>.json schema.
+type benchReport struct {
+	Date     string `json:"date"`
+	Seed     uint64 `json:"seed"`
+	Packages int    `json:"packages"`
+
+	Buffered   syscallBench `json:"syscall_buffered"`
+	Unbuffered syscallBench `json:"syscall_unbuffered"`
+
+	AggregateSlowdown           float64 `json:"aggregate_slowdown"`
+	AggregateSlowdownUnbuffered float64 `json:"aggregate_slowdown_unbuffered"`
+	BitwiseIdentical            int     `json:"bitwise_identical"`
+}
+
+// runSyscallBench times `calls` intercepted time() calls end to end inside a
+// fresh container and reads the tracer counters back out.
+func runSyscallBench(calls int, disableBuf bool) (syscallBench, error) {
+	reg := repro.NewRegistry()
+	reg.Register("loop", func(p *repro.GuestProc) int {
+		for i := 0; i < calls; i++ {
+			p.Time()
+		}
+		return 0
+	})
+	img := repro.MinimalImage()
+	img.AddFile("/bin/loop", 0o755, repro.MakeExe("loop", nil))
+	c := repro.New(repro.Config{Image: img, HostSeed: 1, DisableSyscallBuf: disableBuf})
+	start := time.Now()
+	res := c.Run(reg, "/bin/loop", []string{"loop"}, nil)
+	elapsed := float64(time.Since(start).Nanoseconds())
+	if res.Err != nil {
+		return syscallBench{}, res.Err
+	}
+	ns := elapsed / float64(calls)
+	return syscallBench{
+		Calls:       calls,
+		NsPerOp:     ns,
+		CallsPerSec: 1e9 / ns,
+		Stops:       res.Tracer.Stops,
+		Buffered:    res.Tracer.BufferedCalls,
+		Flushes:     res.Tracer.Flushes,
+	}, nil
+}
+
+// writeBenchJSON produces BENCH_<date>.json in the working directory. The
+// aggregate slowdowns come from the buffering ablation over an n-package
+// sample, so one file carries both the microbenchmark and the modeled
+// macro numbers.
+func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
+	const calls = 200_000
+	rep := benchReport{Date: time.Now().Format("2006-01-02"), Seed: seed}
+	var err error
+	if rep.Buffered, err = runSyscallBench(calls, false); err != nil {
+		return err
+	}
+	if rep.Unbuffered, err = runSyscallBench(calls, true); err != nil {
+		return err
+	}
+	st := o.RunBufferStudy(debpkg.Universe(seed, n))
+	rep.Packages = st.Packages
+	rep.AggregateSlowdown = st.WithBuf
+	rep.AggregateSlowdownUnbuffered = st.WithoutBuf
+	rep.BitwiseIdentical = st.Identical
+	name := fmt.Sprintf("BENCH_%s.json", rep.Date)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx)\n",
+		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
+		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered)
+	return nil
+}

@@ -13,7 +13,9 @@
 //	benchtab -unsupported       §7.1.1 unsupported breakdown
 //	benchtab -biorepro          §6.1 bio/ML reproducibility verdicts
 //	benchtab -rescue            §5.9/§5.4 ablation: experimental sockets+signals
-//	benchtab -all               everything
+//	benchtab -buffering         syscall-buffer ablation (Fig. 5 with/without)
+//	benchtab -json              machine-readable BENCH_<date>.json report
+//	benchtab -all               everything (except -json, which writes a file)
 //
 // The package universe defaults to a deterministic 1,200-package sample
 // (proportions preserved); -n 0 runs all 17,145 packages like the paper.
@@ -33,23 +35,25 @@ import (
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "universe + environment seed")
-		n      = flag.Int("n", 1200, "package sample size (0 = full 17,145 universe)")
-		jobs   = flag.Int("jobs", 0, "parallel build workers (0 = GOMAXPROCS)")
-		nport  = flag.Int("nport", 100, "portability study size (paper: 1,000)")
-		table1 = flag.Bool("table1", false, "")
-		table2 = flag.Bool("table2", false, "")
-		fig5   = flag.Bool("fig5", false, "")
-		fig6   = flag.Bool("fig6", false, "")
-		tf     = flag.Bool("tensorflow", false, "")
-		rrFlag = flag.Bool("rr", false, "")
-		port   = flag.Bool("portability", false, "")
-		llvm   = flag.Bool("llvm", false, "")
-		stock  = flag.Bool("baseline", false, "")
-		unsup  = flag.Bool("unsupported", false, "")
-		biorep = flag.Bool("biorepro", false, "")
-		rescue = flag.Bool("rescue", false, "")
-		all    = flag.Bool("all", false, "")
+		seed    = flag.Uint64("seed", 1, "universe + environment seed")
+		n       = flag.Int("n", 1200, "package sample size (0 = full 17,145 universe)")
+		jobs    = flag.Int("jobs", 0, "parallel build workers (0 = GOMAXPROCS)")
+		nport   = flag.Int("nport", 100, "portability study size (paper: 1,000)")
+		table1  = flag.Bool("table1", false, "")
+		table2  = flag.Bool("table2", false, "")
+		fig5    = flag.Bool("fig5", false, "")
+		fig6    = flag.Bool("fig6", false, "")
+		tf      = flag.Bool("tensorflow", false, "")
+		rrFlag  = flag.Bool("rr", false, "")
+		port    = flag.Bool("portability", false, "")
+		llvm    = flag.Bool("llvm", false, "")
+		stock   = flag.Bool("baseline", false, "")
+		unsup   = flag.Bool("unsupported", false, "")
+		biorep  = flag.Bool("biorepro", false, "")
+		rescue  = flag.Bool("rescue", false, "")
+		bufStud = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
+		jsonOut = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
+		all     = flag.Bool("all", false, "")
 	)
 	flag.Parse()
 	o := &buildsim.Options{Seed: *seed, Jobs: *jobs}
@@ -143,6 +147,16 @@ func main() {
 		}
 		fmt.Printf("socket/signal-class packages sampled: %d; reproducible with experimental modes: %d\n\n",
 			len(specs), rescued)
+	}
+	if *all || *bufStud {
+		section("syscall-buffer ablation: Fig. 5 with and without the in-tracee buffer")
+		fmt.Println(o.RunBufferStudy(debpkg.Universe(*seed, sampleOr(*n, 120))))
+		fmt.Println()
+	}
+	if *jsonOut {
+		if err := writeBenchJSON(o, *seed, sampleOr(*n, 120)); err != nil {
+			fmt.Println("benchmark report failed:", err)
+		}
 	}
 	if *all || *llvm {
 		section("§7.2: LLVM self-host correctness")

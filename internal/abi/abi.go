@@ -177,6 +177,11 @@ const (
 	SysFetch Sysno = 999
 )
 
+// SysnoSlots bounds the dense per-syscall tables used on hot paths (seccomp
+// verdicts, kernel event counters): every Sysno above, including the SysFetch
+// pseudo-call, is below it.
+const SysnoSlots = 1024
+
 var sysNames = map[Sysno]string{
 	SysRead: "read", SysWrite: "write", SysOpen: "open", SysClose: "close",
 	SysStat: "stat", SysFstat: "fstat", SysLstat: "lstat", SysLseek: "lseek",
@@ -204,6 +209,17 @@ var sysNames = map[Sysno]string{
 	SysGetrandom: "getrandom", SysAccess: "access", SysPersonality: "personality",
 	SysFetch:      "fetch",
 	SysSocketpair: "socketpair", SysSendto: "sendto", SysRecvfrom: "recvfrom",
+}
+
+// Sysnos returns every known system call number — the dispatch universe,
+// including the fetch pseudo-call — in no particular order. Tests use it to
+// check that interception layers cover the whole universe.
+func Sysnos() []Sysno {
+	out := make([]Sysno, 0, len(sysNames))
+	for nr := range sysNames {
+		out = append(out, nr)
+	}
+	return out
 }
 
 // String returns the syscall name, e.g. "getdents".

@@ -30,6 +30,13 @@ type Syscall struct {
 	// and tracer-requested replays. Interception layers use it to count
 	// events exactly once.
 	Attempts int
+
+	// Verdict caches an interception layer's classification of this call
+	// (a seccomp filter decision) so the entry and exit stops share one
+	// lookup. Zero means "not classified yet"; layers store their verdict
+	// biased by +1. The field belongs to whichever layer set it — the
+	// kernel never reads it.
+	Verdict uint8
 }
 
 // SetErrno stores an error return. SetErrno(OK) stores 0.

@@ -63,6 +63,9 @@ type Options struct {
 	// Experimental enables the §5.9/§5.4 extensions (container-internal
 	// sockets and scheduler-ordered signals) in the DetTrace runs.
 	Experimental bool
+	// NoSyscallBuf disables the in-tracee syscall buffer in the DetTrace
+	// runs (the buffering ablation): light intercepted calls trap again.
+	NoSyscallBuf bool
 }
 
 // Out is the full record of one package's evaluation.
@@ -100,6 +103,12 @@ type Events struct {
 	ReadRetries  int64
 	WriteRetries int64
 	UrandomOpens int64
+
+	// Tracer-session counters: ptrace stops paid, syscalls serviced through
+	// the in-tracee buffer, and the batched flushes that drained them.
+	Stops    int64
+	Buffered int64
+	Flushes  int64
 }
 
 func eventsFrom(st kernel.Stats) Events {
@@ -400,6 +409,7 @@ func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation,
 		Deadline:            DTDeadline,
 		ExperimentalSockets: o.Experimental,
 		ExperimentalSignals: o.Experimental,
+		DisableSyscallBuf:   o.NoSyscallBuf,
 	}
 	if mod != nil {
 		mod(&cfg)
@@ -407,6 +417,9 @@ func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation,
 	res := core.New(cfg).Run(registry(), "/bin/dpkg-buildpackage",
 		[]string{"dpkg-buildpackage", "-b"}, containerEnv)
 	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats)}
+	r.events.Stops = res.Tracer.Stops
+	r.events.Buffered = res.Tracer.BufferedCalls
+	r.events.Flushes = res.Tracer.Flushes
 	if op, ok := res.Unsupported(); ok {
 		r.unsup = op
 		return r

@@ -22,6 +22,9 @@ type Table2 struct {
 	ReadRetries  float64
 	WriteRetries float64
 	UrandomOpens float64
+	Stops        float64
+	Buffered     float64
+	Flushes      float64
 }
 
 // Fig5Point is one package on Figure 5: baseline syscall rate against
@@ -125,6 +128,9 @@ func Aggregate(outs []Out) *Report {
 			ev.ReadRetries += o.Events.ReadRetries
 			ev.WriteRetries += o.Events.WriteRetries
 			ev.UrandomOpens += o.Events.UrandomOpens
+			ev.Stops += o.Events.Stops
+			ev.Buffered += o.Events.Buffered
+			ev.Flushes += o.Events.Flushes
 			completed++
 			blSum += o.BLTime
 			dtSum += o.DTTime
@@ -145,6 +151,9 @@ func Aggregate(outs []Out) *Report {
 			ReadRetries:  float64(ev.ReadRetries) / n,
 			WriteRetries: float64(ev.WriteRetries) / n,
 			UrandomOpens: float64(ev.UrandomOpens) / n,
+			Stops:        float64(ev.Stops) / n,
+			Buffered:     float64(ev.Buffered) / n,
+			Flushes:      float64(ev.Flushes) / n,
 		}
 	}
 	if blSum > 0 {
@@ -225,6 +234,9 @@ func (r *Report) Table2String() string {
 	row("read retries", r.Table2.ReadRetries)
 	row("write retries", r.Table2.WriteRetries)
 	row("/dev/[u]random opens", r.Table2.UrandomOpens)
+	row("ptrace stops", r.Table2.Stops)
+	row("buffered syscalls", r.Table2.Buffered)
+	row("buffer flushes", r.Table2.Flushes)
 	return t.String()
 }
 

@@ -226,6 +226,110 @@ func buildRR(spec *debpkg.Spec, v reprotest.Variation) (wall, traceBytes int64, 
 	return k.Now(), rec.Trace.Bytes, false
 }
 
+// BufferStudy is the syscall-buffering ablation: the Figure 5 aggregate
+// re-derived with the in-tracee buffer on and off, over the same packages
+// under the same perturbations. Outputs must be bitwise identical either way
+// (the buffer is a performance mechanism, not a semantic one); only the
+// overhead moves.
+type BufferStudy struct {
+	Packages  int // packages whose baseline and both DT runs completed
+	Identical int // packages whose buffered and unbuffered .debs matched
+
+	WithBuf    float64 // aggregate slowdown, buffer on
+	WithoutBuf float64 // aggregate slowdown, buffer off (pre-buffer DetTrace)
+
+	// Per-package averages over the completed set, buffer on.
+	AvgStops    float64
+	AvgBuffered float64
+	AvgFlushes  float64
+	// AvgStopsOff is the unbuffered run's average stop count, for the
+	// stop-elimination headline.
+	AvgStopsOff float64
+}
+
+// String renders the ablation summary.
+func (st *BufferStudy) String() string {
+	return fmt.Sprintf(
+		"packages: %d; bitwise-identical with/without buffer: %d\n"+
+			"aggregate slowdown: %.2fx buffered, %.2fx unbuffered\n"+
+			"per-package stops: %.0f buffered (%.0f records in %.0f flushes) vs %.0f unbuffered",
+		st.Packages, st.Identical,
+		st.WithBuf, st.WithoutBuf,
+		st.AvgStops, st.AvgBuffered, st.AvgFlushes, st.AvgStopsOff)
+}
+
+// RunBufferStudy builds each spec natively once, then twice under DetTrace —
+// with and without the syscall buffer — and aggregates the two slowdowns.
+func (o *Options) RunBufferStudy(specs []*debpkg.Spec) *BufferStudy {
+	type bufOut struct {
+		ok        bool
+		identical bool
+		blTime    int64
+		onTime    int64
+		offTime   int64
+		on        Events
+		off       Events
+	}
+	outs := make([]bufOut, len(specs))
+	o.forEach(len(specs), func(i int) {
+		spec := specs[i]
+		seed := pkgSeed(o.Seed, spec)
+		v1, _ := reprotest.Pair(seed)
+		nat := buildNative(spec, v1, BLDeadline)
+		if nat.verdict() != "" {
+			return
+		}
+		on := o.buildDT(spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = false })
+		off := o.buildDT(spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = true })
+		if v, _ := on.verdict(); v != "" {
+			return
+		}
+		if v, _ := off.verdict(); v != "" {
+			return
+		}
+		outs[i] = bufOut{
+			ok:        true,
+			identical: bytes.Equal(on.deb, off.deb),
+			blTime:    nat.wall,
+			onTime:    on.wall,
+			offTime:   off.wall,
+			on:        on.events,
+			off:       off.events,
+		}
+	})
+	st := &BufferStudy{}
+	var blSum, onSum, offSum int64
+	var stops, buffered, flushes, stopsOff int64
+	for _, bo := range outs {
+		if !bo.ok {
+			continue
+		}
+		st.Packages++
+		if bo.identical {
+			st.Identical++
+		}
+		blSum += bo.blTime
+		onSum += bo.onTime
+		offSum += bo.offTime
+		stops += bo.on.Stops
+		buffered += bo.on.Buffered
+		flushes += bo.on.Flushes
+		stopsOff += bo.off.Stops
+	}
+	if blSum > 0 {
+		st.WithBuf = float64(onSum) / float64(blSum)
+		st.WithoutBuf = float64(offSum) / float64(blSum)
+	}
+	if st.Packages > 0 {
+		n := float64(st.Packages)
+		st.AvgStops = float64(stops) / n
+		st.AvgBuffered = float64(buffered) / n
+		st.AvgFlushes = float64(flushes) / n
+		st.AvgStopsOff = float64(stopsOff) / n
+	}
+	return st
+}
+
 // PortStudy is the §7.3 cross-machine result: the same container run on
 // Skylake/4.15 and Broadwell/4.18, outputs compared bitwise.
 type PortStudy struct {

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"repro/internal/abi"
+	"repro/internal/kernel"
+	"repro/internal/seccomp"
+)
+
+// This file is DetTrace's in-tracee syscall buffer: the rr-style fast path
+// for light intercepted calls. The injected wrapper library services a
+// Buffer-verdict call in-process — no ptrace stop, no tracer round trip —
+// appends a record to a per-thread buffer, and lets the accumulated records
+// reach the tracer in one batched flush.
+//
+// Determinism argument (see DESIGN.md "The in-tracee syscall buffer"):
+// every buffered answer is computed from container state that is itself a
+// pure function of logical history (the logical clock, the vpid map, kernel
+// fd/cwd state under the determinized schedule), the costs charged are
+// constants applied identically to the physical and logical clocks, and
+// every flush point — buffer full, any traced call, thread exit — is a pure
+// function of the thread's own logical history. Nothing host-visible decides
+// when or what to buffer, so results are bitwise identical with the buffer
+// on, off, and at any parallelism.
+
+// syscallBufCap is the per-thread record capacity: reaching it forces a
+// dedicated flush stop. 64 keeps the amortized stop cost below the per-call
+// record cost while bounding how long the tracer's event log lags execution.
+const syscallBufCap = 64
+
+// verdictOf returns the seccomp verdict for sc, computing it once per
+// in-flight call: the decision is cached on the Syscall record so the entry
+// and exit stops (and the fast path before them) share a single table
+// lookup.
+func (c *Container) verdictOf(sc *abi.Syscall) seccomp.Action {
+	if sc.Verdict == 0 {
+		sc.Verdict = uint8(c.filter.Decide(sc.Num)) + 1
+	}
+	return seccomp.Action(sc.Verdict - 1)
+}
+
+// BufferSyscall implements kernel.SyscallBufferer: it runs on the guest
+// goroutine, before the call would yield to the kernel loop. Claiming the
+// call means servicing it completely right here — result, out-buffers, cost
+// accounting — with the thread never stopping.
+//
+// The call is declined (slow path, which flushes and services it at a real
+// stop) when the verdict is not Buffer or the buffer is full. The kernel
+// additionally keeps the slow path authoritative around signals and thread
+// startup.
+func (c *Container) BufferSyscall(t *kernel.Thread, sc *abi.Syscall) bool {
+	if c.verdictOf(sc) != seccomp.Buffer || t.BufCount >= syscallBufCap {
+		return false
+	}
+	w := t.Proc.Weight
+	// The call still enters the kernel natively (seccomp lets it through);
+	// the wrapper's bookkeeping rides on top. Both clocks take the same
+	// constant, keeping logical ordering in lockstep with physical time.
+	cost := c.k.Cost.SyscallBase*w + c.serviceBuffered(t, sc)
+	t.Clock += cost
+	t.LClock += cost
+	return true
+}
+
+// serviceBuffered answers one Buffer-verdict call from container state,
+// appends its record to the thread's buffer, and returns the tracee-side
+// record cost. It must mirror exactly what the traced handlers would have
+// produced — the ablation tests compare fingerprints with the buffer off.
+func (c *Container) serviceBuffered(t *kernel.Thread, sc *abi.Syscall) int64 {
+	p := t.Proc
+	switch sc.Num {
+	case abi.SysTime:
+		// Logical time (§5.3), same counter the traced handler advances.
+		sc.Ret = c.logicalSeconds(p)
+
+	case abi.SysGettimeofday, abi.SysClockGettime:
+		secs := c.logicalSeconds(p)
+		if out, ok := sc.Obj.(*abi.Timespec); ok && out != nil {
+			*out = abi.Timespec{Sec: secs}
+		}
+		sc.Ret = 0
+
+	case abi.SysGetpid:
+		c.k.ExecDirect(t, sc)
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		}
+
+	case abi.SysGetppid:
+		c.k.ExecDirect(t, sc)
+		if v, ok := c.vpid[int(sc.Ret)]; ok {
+			sc.Ret = int64(v)
+		} else {
+			sc.Ret = 0 // parent is outside the namespace
+		}
+
+	case abi.SysGetTid:
+		c.k.ExecDirect(t, sc)
+		sc.Ret = int64(1000 + c.sched.VTID(t))
+
+	case abi.SysFstat:
+		// The §5.5 metadata virtualization is a pure function of the
+		// inode/mtime maps, which only the lockstep-serialized wrapper
+		// touches; the stat answer lands in tracee memory without the
+		// tracer-side WriteMem round trip. rr's syscallbuf buffers fstat
+		// for the same reason — it is the volume win of the whole list.
+		c.k.ExecDirect(t, sc)
+		if sc.Err() == abi.OK {
+			if st, ok := sc.Obj.(*abi.Stat); ok && st != nil {
+				c.rewriteStat(t, sc, st)
+			}
+		}
+
+	default:
+		// lseek, fcntl, umask, getcwd: plain kernel services whose answers
+		// are already container-deterministic; DetTrace only wants them in
+		// the event record. Buffer verdicts are restricted to non-blocking
+		// calls, so direct execution cannot park the thread.
+		c.k.ExecDirect(t, sc)
+	}
+	t.BufCount++
+	return c.sess.RecordBuffered(p.Weight)
+}
+
+// takeBuffered empties the thread's buffer and reports how many records it
+// held, for flush-cost accounting.
+func takeBuffered(t *kernel.Thread) int64 {
+	n := int64(t.BufCount)
+	t.BufCount = 0
+	return n
+}
+
+var _ kernel.SyscallBufferer = (*Container)(nil)

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/seccomp"
+)
+
+// handlerThread builds a parked kernel thread the handler functions can be
+// driven against directly, without running a program.
+func handlerThread(t *testing.T) (*Container, *kernel.Thread) {
+	t.Helper()
+	c := New(Config{})
+	k := kernel.New(kernel.Config{Profile: machine.CloudLabC220G5(), Policy: c})
+	c.k = k
+	proc := k.Start(func(th *kernel.Thread) int { return 0 }, nil, nil)
+	return c, proc.Threads[0]
+}
+
+// Syscalls the plain DetTrace filter Allow-lists never reach the enter/exit
+// handlers in any configuration — DetTraceBuffered only ever promotes Allow
+// verdicts to Buffer, which bypasses the handlers too. So any handler case
+// for such a syscall would be silently dead code. This pins the invariant by
+// driving every Allow-listed number through both handler functions and
+// requiring a complete no-op.
+//
+// The converse does not hold for the Buffer set: the time and pid families
+// are Trace-listed under plain DetTrace, so their handler cases stay live for
+// the DisableSyscallBuf ablation (exercised by the equivalence tests).
+func TestAllowListedSyscallsHaveNoHandlerLogic(t *testing.T) {
+	c, th := handlerThread(t)
+	plain := seccomp.DetTrace()
+	for nr := abi.Sysno(0); int(nr) < abi.SysnoSlots; nr++ {
+		if plain.Decide(nr) != seccomp.Allow {
+			continue
+		}
+		sc := &abi.Syscall{Num: nr, Ret: 42}
+		var er kernel.EnterResult
+		if handled := c.enterHandlers(th, sc, &er); handled {
+			t.Errorf("%v: Allow-listed but the enter handler claimed it", nr)
+		}
+		if er != (kernel.EnterResult{}) {
+			t.Errorf("%v: Allow-listed but the enter handler charged cost: %+v", nr, er)
+		}
+		if sc.Ret != 42 || sc.Arg != ([6]int64{}) {
+			t.Errorf("%v: Allow-listed but the enter handler rewrote the call", nr)
+		}
+		var xr kernel.ExitResult
+		c.exitHandlers(th, sc, &xr)
+		if xr != (kernel.ExitResult{}) || sc.Ret != 42 {
+			t.Errorf("%v: Allow-listed but the exit handler acted (xr=%+v ret=%d)", nr, xr, sc.Ret)
+		}
+	}
+}
+
+// Buffer-listed syscalls that plain DetTrace Trace-lists must keep a live
+// handler path: the DisableSyscallBuf ablation routes them back through the
+// handlers, and a dead case there would silently diverge from the buffered
+// service. Liveness is observable as either a claimed enter or a rewritten
+// return value on exit.
+func TestBufferListedTracedSyscallsKeepLiveHandlers(t *testing.T) {
+	c, th := handlerThread(t)
+	c.vpid[42] = 7 // let the pid-rewrite handlers fire on Ret=42
+	plain, buf := seccomp.DetTrace(), seccomp.DetTraceBuffered()
+	for nr := abi.Sysno(0); int(nr) < abi.SysnoSlots; nr++ {
+		if buf.Decide(nr) != seccomp.Buffer || plain.Decide(nr) != seccomp.Trace {
+			continue
+		}
+		st := abi.Stat{Blksize: 7} // fstat liveness shows as the canonical rewrite
+		sc := &abi.Syscall{Num: nr, Ret: 42, Obj: &st}
+		var er kernel.EnterResult
+		handled := c.enterHandlers(th, sc, &er)
+		var xr kernel.ExitResult
+		c.exitHandlers(th, sc, &xr)
+		if !handled && sc.Ret == 42 && st.Blksize == 7 {
+			t.Errorf("%v: buffered syscall has no live ablation handler", nr)
+		}
+	}
+}

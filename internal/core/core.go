@@ -54,6 +54,7 @@ type Config struct {
 
 	// Ablation switches; all default to the full DetTrace configuration.
 	DisableSeccomp      bool // every syscall takes two ptrace stops (§5.11)
+	DisableSyscallBuf   bool // no in-tracee syscall buffer: light calls trap again
 	DisableVdso         bool // skip vDSO replacement: vDSO time calls leak (§5.3)
 	DisableDirSizes     bool // skip directory-size virtualization (§7.3)
 	DisableCpuidTrap    bool // pretend pre-Ivy-Bridge hardware (§5.8)
@@ -252,10 +253,15 @@ func New(cfg Config) *Container {
 		c.sched.SpinLimit = cfg.SpinLimit
 	}
 	c.sess = tracer.NewSession(cfg.Profile.SeccompSingleStop && !cfg.DisableSeccomp)
-	if cfg.DisableSeccomp {
+	switch {
+	case cfg.DisableSeccomp:
+		// No seccomp, no buffer: without the filter there is no untraced
+		// path for the wrapper to run on, so every call stops twice.
 		c.filter = seccomp.TraceAll()
-	} else {
+	case cfg.DisableSyscallBuf:
 		c.filter = seccomp.DetTrace()
+	default:
+		c.filter = seccomp.DetTraceBuffered()
 	}
 	c.interceptCpuid = !cfg.DisableCpuidTrap && cfg.Profile.SupportsCpuidInterception()
 	return c

@@ -67,13 +67,32 @@ func (c *Container) SyscallEnter(t *kernel.Thread, sc *abi.Syscall) kernel.Enter
 	}
 
 	// seccomp-bpf verdict: allowed calls run natively with no stops (§5.11).
-	if c.filter.Decide(nr) == seccomp.Allow {
+	// The verdict is cached on the record so the exit stop reuses it.
+	switch c.verdictOf(sc) {
+	case seccomp.Allow:
 		return kernel.EnterResult{Disposition: kernel.DispExecute}
+	case seccomp.Buffer:
+		// A bufferable call on the slow path: the fast path declined it
+		// (buffer full, pending signal, or thread startup). Flush a full
+		// buffer with a dedicated combined stop, then service the call the
+		// same way the wrapper would have — costs stay a pure function of
+		// the thread's logical history either way.
+		er := kernel.EnterResult{Disposition: kernel.DispEmulate}
+		if t.BufCount >= syscallBufCap {
+			er.LocalCost += c.sess.FlushCost(takeBuffered(t), w)
+		}
+		er.LocalCost += c.serviceBuffered(t, sc)
+		return er
 	}
 
 	er := kernel.EnterResult{
 		Disposition: kernel.DispExecute,
 		Serialize:   true,
+	}
+	// Any traced call is a flush point: its own stop doubles as the buffer
+	// drain, so only the per-entry tracer work is added.
+	if n := takeBuffered(t); n > 0 {
+		er.PreCost += c.sess.DrainCost(n, w)
 	}
 	if sc.Attempts == 0 {
 		er.LocalCost = c.sess.InterceptCost(w) // tracee-side stop stall
@@ -112,7 +131,14 @@ func abort(err error) kernel.EnterResult {
 // injection.
 func (c *Container) SyscallExit(t *kernel.Thread, sc *abi.Syscall) kernel.ExitResult {
 	var xr kernel.ExitResult
-	if c.filter.Decide(sc.Num) == seccomp.Allow {
+	switch c.verdictOf(sc) {
+	case seccomp.Allow:
+		return xr
+	case seccomp.Buffer:
+		// Already fully serviced (fast path or the emulating enter stop);
+		// the completed call is still a context-switch point, which keeps
+		// token handoff bounded even for threads looping on buffered calls.
+		c.sched.ReleaseToken(t)
 		return xr
 	}
 	c.exitHandlers(t, sc, &xr)
@@ -185,8 +211,15 @@ func (c *Container) OnSpawn(parent, child *kernel.Thread) {
 	c.sched.ReleaseToken(parent)
 }
 
-// OnExit removes the thread from scheduling state.
+// OnExit removes the thread from scheduling state, flushing any syscall
+// records still sitting in its buffer (rr drains on tracee exit too: the
+// event log must be complete before the thread is gone).
 func (c *Container) OnExit(t *kernel.Thread) {
+	if n := takeBuffered(t); n > 0 {
+		cost := c.sess.FlushCost(n, t.Proc.Weight)
+		t.Clock += cost
+		t.LClock += cost
+	}
 	c.sched.Unregister(t)
 	delete(c.rw, t)
 	delete(c.pendingOpen, t)

@@ -146,7 +146,17 @@ func (p *Proc) SetWeight(w int64) {
 
 // --- raw syscall plumbing ------------------------------------------------------
 
-func (p *Proc) call(sc *abi.Syscall) *abi.Syscall { return p.T.Syscall(sc) }
+// call funnels every wrapper's syscall through the thread's reusable record.
+// Copying the literal into T.Event keeps it from escaping, so the dispatch
+// hot path allocates nothing; the full-struct copy also clears any cached
+// interception verdict from the previous call. One call is in flight per
+// thread at a time (signal handlers save and restore around nesting), so the
+// single record is enough.
+func (p *Proc) call(sc *abi.Syscall) *abi.Syscall {
+	e := &p.T.Event
+	*e = *sc
+	return p.T.Syscall(e)
+}
 
 func ret(sc *abi.Syscall) (int64, abi.Errno) {
 	if e := sc.Err(); e != abi.OK {

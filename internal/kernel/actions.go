@@ -177,7 +177,7 @@ func (k *Kernel) runSyscall(t *Thread, act *yieldMsg) {
 	if sc.Attempts == 0 && !sc.Injected {
 		k.Stats.Syscalls += w
 		k.Stats.SyscallsRaw++
-		k.Stats.PerSyscall[sc.Num] += w
+		k.countSyscall(sc.Num, w)
 	}
 	er := k.Policy.SyscallEnter(t, sc)
 	if er.Disposition == DispAbort {
@@ -250,6 +250,17 @@ func (k *Kernel) runSyscall(t *Thread, act *yieldMsg) {
 		t.eintr = false
 	}
 	k.resumeWithSignals(t, resumeMsg{})
+}
+
+// ExecDirect runs sc's kernel service routine immediately on the caller's
+// goroutine, bypassing the scheduler. It exists for SyscallBufferer
+// implementations servicing buffered calls guest-side; lockstep makes the
+// direct call safe. The call must be non-blocking — buffer verdicts are only
+// given to calls that cannot block, so blocking here is a filter bug.
+func (k *Kernel) ExecDirect(t *Thread, sc *abi.Syscall) {
+	if k.execSyscall(t, sc) {
+		panic("kernel: ExecDirect called on a blocking syscall: " + sc.Num.String())
+	}
 }
 
 // takePendingSignal pops the next deliverable signal for t's process.

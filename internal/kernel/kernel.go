@@ -163,6 +163,22 @@ type VdsoProvider interface {
 	VdsoTime(t *Thread) int64
 }
 
+// SyscallBufferer is an optional Policy extension: a tracer that injects an
+// rr-style in-tracee syscall buffer implements it to service light calls on
+// the guest side of the yield channel, with no kernel round trip.
+//
+// BufferSyscall runs on the *guest goroutine*, before the call would yield.
+// Returning true means the call was fully serviced (sc.Ret and out buffers
+// filled, costs charged to t's clocks) and the thread keeps running;
+// returning false falls through to the normal yield path. This is safe only
+// because of strict lockstep: the kernel loop is blocked waiting for this
+// thread's next yield, so exactly one goroutine touches kernel and policy
+// state. Implementations must not unblock other threads or change global
+// scheduling state — decisions that need the kernel loop must return false.
+type SyscallBufferer interface {
+	BufferSyscall(t *Thread, sc *abi.Syscall) bool
+}
+
 // Container-level errors a run can end with.
 var (
 	// ErrDeadlock: every live thread is blocked and no timer can fire.
@@ -264,6 +280,13 @@ type Kernel struct {
 	lcores      []int64
 	ltracerBusy int64
 
+	// fastPath is non-nil when the policy implements SyscallBufferer; cached
+	// once at boot so the dispatch hot path avoids a per-call type assertion.
+	fastPath SyscallBufferer
+	// perSyscall is the dense hot-path mirror of Stats.PerSyscall, indexed by
+	// syscall number; it is folded into the map when Run returns.
+	perSyscall []int64
+
 	nextPID  int
 	procs    map[int]*Proc
 	pending  []*Thread // yielded, waiting for their action to be processed
@@ -314,6 +337,7 @@ func New(cfg Config) *Kernel {
 		Console:    &Console{},
 	}
 	k.Stats.PerSyscall = make(map[abi.Sysno]int64)
+	k.perSyscall = make([]int64, abi.SysnoSlots)
 	cores := cfg.Profile.Cores
 	if cfg.NumCPU > 0 {
 		cores = cfg.NumCPU
@@ -330,7 +354,32 @@ func New(cfg Config) *Kernel {
 	if cfg.Policy == nil {
 		k.Policy = newBaselinePolicy(entropy.Fork())
 	}
+	if fp, ok := k.Policy.(SyscallBufferer); ok {
+		k.fastPath = fp
+	}
 	return k
+}
+
+// countSyscall bumps the per-syscall counter on the dense hot-path table,
+// falling back to the map for out-of-range numbers.
+func (k *Kernel) countSyscall(nr abi.Sysno, w int64) {
+	if nr >= 0 && int(nr) < len(k.perSyscall) {
+		k.perSyscall[nr] += w
+		return
+	}
+	k.Stats.PerSyscall[nr] += w
+}
+
+// foldStats merges the dense per-syscall table into the exported map.
+func (k *Kernel) foldStats() {
+	for nr, n := range k.perSyscall {
+		if n != 0 {
+			k.Stats.PerSyscall[abi.Sysno(nr)] += n
+		}
+	}
+	for i := range k.perSyscall {
+		k.perSyscall[i] = 0
+	}
 }
 
 // SetDebug installs a debug trace sink (the CLI's --debug flag).
@@ -369,6 +418,12 @@ func (k *Kernel) Start(fn ProgramFn, argv, env []string) *Proc {
 // Run drives the simulation until every process has exited, a container
 // error aborts it, or a limit trips. It returns nil on clean completion.
 func (k *Kernel) Run() error {
+	err := k.run()
+	k.foldStats()
+	return err
+}
+
+func (k *Kernel) run() error {
 	for {
 		if k.abortErr != nil {
 			k.killEverything()

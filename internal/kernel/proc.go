@@ -126,6 +126,21 @@ type Thread struct {
 	// policies that serialize threads.
 	SpinCount int
 
+	// BufCount is the number of records sitting in this thread's tracee-side
+	// syscall buffer since the last flush. Maintained by buffering policies
+	// (see kernel.SyscallBufferer); the kernel itself never touches it.
+	BufCount int
+
+	// Event is a reusable syscall record for guest wrappers: each thread has
+	// at most one call in flight, so the wrappers (guest.Proc.call) copy
+	// their literal into it instead of heap-allocating per call.
+	Event abi.Syscall
+
+	// msg is the thread's reusable yield message. Safe for the same reason
+	// Event is: one action in flight per thread, and the kernel only reads
+	// the message while the thread is blocked in yield.
+	msg yieldMsg
+
 	k *Kernel
 }
 
@@ -300,9 +315,35 @@ func (t *Thread) yield(m *yieldMsg) resumeMsg {
 
 // Syscall issues a system call and blocks until it completes. The returned
 // Syscall carries the result in Ret and any out parameters in Buf/Obj.
+//
+// The first branch is the in-tracee fast path: if the attached policy keeps
+// a syscall buffer and claims this call, it is serviced right here on the
+// guest goroutine — no yield, no kernel-loop round trip, no stop. The
+// lockstep model makes this safe: the kernel loop is blocked waiting for
+// this thread's next yield, so the policy has exclusive access to shared
+// state. The guards keep the slow path authoritative whenever the kernel
+// might need control: before the thread's first yield completes (t.act is
+// still nil while the policy's OnSpawn bookkeeping may be pending) and
+// whenever a signal awaits delivery.
 func (t *Thread) Syscall(sc *abi.Syscall) *abi.Syscall {
-	r := t.yield(&yieldMsg{kind: yieldSyscall, sc: sc})
-	t.runSignal(r.signal)
+	if fp := t.k.fastPath; fp != nil && t.act != nil && len(t.Proc.sigPending) == 0 &&
+		fp.BufferSyscall(t, sc) {
+		w := t.Proc.Weight
+		t.k.Stats.Syscalls += w
+		t.k.Stats.SyscallsRaw++
+		t.k.countSyscall(sc.Num, w)
+		return sc
+	}
+	t.msg = yieldMsg{kind: yieldSyscall, sc: sc}
+	r := t.yield(&t.msg)
+	if r.signal != 0 {
+		// The handler may issue syscalls of its own; if sc is the thread's
+		// reusable Event they would clobber this call's results before the
+		// wrapper reads them.
+		saved := *sc
+		t.runSignal(r.signal)
+		*sc = saved
+	}
 	return sc
 }
 
@@ -311,13 +352,15 @@ func (t *Thread) Compute(d int64) {
 	if d <= 0 {
 		return
 	}
-	r := t.yield(&yieldMsg{kind: yieldCompute, compute: d})
+	t.msg = yieldMsg{kind: yieldCompute, compute: d}
+	r := t.yield(&t.msg)
 	t.runSignal(r.signal)
 }
 
 // Instr executes one special CPU instruction.
 func (t *Thread) Instr(req cpu.Request) cpu.Result {
-	r := t.yield(&yieldMsg{kind: yieldInstr, instr: req})
+	t.msg = yieldMsg{kind: yieldInstr, instr: req}
+	r := t.yield(&t.msg)
 	t.runSignal(r.signal)
 	return r.instr
 }
@@ -330,11 +373,12 @@ func (t *Thread) Instr(req cpu.Request) cpu.Result {
 func (t *Thread) VdsoTime() int64 {
 	if t.Proc.VdsoReplaced && !t.Proc.VdsoLogical {
 		var ts abi.Timespec
-		sc := &abi.Syscall{Num: abi.SysClockGettime, Obj: &ts}
-		t.Syscall(sc)
+		t.Event = abi.Syscall{Num: abi.SysClockGettime, Obj: &ts}
+		t.Syscall(&t.Event)
 		return ts.Nanos()
 	}
-	r := t.yield(&yieldMsg{kind: yieldVdsoTime})
+	t.msg = yieldMsg{kind: yieldVdsoTime}
+	r := t.yield(&t.msg)
 	t.runSignal(r.signal)
 	return int64(r.instr.Value)
 }

@@ -1,0 +1,79 @@
+package seccomp
+
+import (
+	"testing"
+
+	"repro/internal/abi"
+)
+
+// bufferSet is the documented Buffer-verdict set of DetTraceBuffered: the
+// time and pid families and fstat (moved from Trace) plus
+// lseek/fcntl/umask/getcwd (moved from Allow).
+var bufferSet = map[abi.Sysno]bool{
+	abi.SysTime: true, abi.SysGettimeofday: true, abi.SysClockGettime: true,
+	abi.SysGetpid: true, abi.SysGetppid: true, abi.SysGetTid: true, abi.SysFstat: true,
+	abi.SysLseek: true, abi.SysFcntl: true, abi.SysUmask: true, abi.SysGetcwd: true,
+}
+
+// DetTraceBuffered must differ from DetTrace in exactly the documented set —
+// every other syscall keeps its plain-DetTrace verdict, so the
+// DisableSyscallBuf ablation reproduces pre-buffer behaviour bit for bit.
+func TestDetTraceBufferedDelta(t *testing.T) {
+	plain, buf := DetTrace(), DetTraceBuffered()
+	for nr := abi.Sysno(0); int(nr) < abi.SysnoSlots; nr++ {
+		p, b := plain.Decide(nr), buf.Decide(nr)
+		if bufferSet[nr] {
+			if b != Buffer {
+				t.Errorf("%v: want Buffer, got %v", nr, b)
+			}
+			if p == Buffer {
+				t.Errorf("%v: plain DetTrace must not buffer", nr)
+			}
+			continue
+		}
+		if b != p {
+			t.Errorf("%v: verdict moved from %v to %v outside the buffer set", nr, p, b)
+		}
+	}
+}
+
+// Every filter covers the whole dispatch universe: no syscall the kernel can
+// see escapes a verdict, and the no-seccomp fallback traces all of it.
+func TestFiltersCoverTheSyscallUniverse(t *testing.T) {
+	all, plain, buf := TraceAll(), DetTrace(), DetTraceBuffered()
+	for _, nr := range abi.Sysnos() {
+		if all.Decide(nr) != Trace {
+			t.Errorf("%v: TraceAll must trace everything", nr)
+		}
+		for name, a := range map[string]Action{"DetTrace": plain.Decide(nr), "DetTraceBuffered": buf.Decide(nr)} {
+			if a != Allow && a != Trace && a != Buffer {
+				t.Errorf("%v: %s returned invalid verdict %d", nr, name, a)
+			}
+		}
+		if plain.Decide(nr) == Buffer {
+			t.Errorf("%v: DetTrace must never buffer", nr)
+		}
+	}
+	// Out-of-range numbers fall back to the default, on every filter.
+	for _, nr := range []abi.Sysno{-1, abi.SysnoSlots, 1 << 20} {
+		if all.Decide(nr) != Trace || plain.Decide(nr) != Trace || buf.Decide(nr) != Trace {
+			t.Errorf("out-of-range %d must hit the Trace default", nr)
+		}
+	}
+}
+
+// The dense table must agree with what Set stored, and New's default must
+// reach unlisted slots — the hot-path rewrite cannot change semantics.
+func TestDenseTableMatchesSetVerdicts(t *testing.T) {
+	f := New(Trace).Set(Allow, abi.SysClose).Set(Buffer, abi.SysTime)
+	if f.Decide(abi.SysClose) != Allow || f.Decide(abi.SysTime) != Buffer {
+		t.Errorf("explicit verdicts lost")
+	}
+	if f.Decide(abi.SysRead) != Trace {
+		t.Errorf("default verdict lost")
+	}
+	z := New(Allow)
+	if z.Decide(abi.SysRead) != Allow || z.Decide(1<<20) != Allow {
+		t.Errorf("non-zero default not compiled into the table")
+	}
+}

@@ -16,34 +16,47 @@ const (
 	Allow Action = iota
 	// Trace stops the call at the tracer.
 	Trace
+	// Buffer records the call in the tracee-side syscall buffer (the
+	// rr-style fast path): the tracer's wrapper services it in-process with
+	// no stop, and the accumulated records reach the tracer in one batched
+	// flush. Only calls whose DetTrace answer is a pure function of
+	// container state may carry this verdict.
+	Buffer
 )
 
 // Filter is an installed seccomp-bpf program: a per-syscall verdict table
-// with a default.
+// with a default. The table is a precompiled dense array — Decide sits on
+// the dispatch hot path and must not hash.
 type Filter struct {
-	verdicts map[abi.Sysno]Action
-	def      Action
+	table [abi.SysnoSlots]Action
+	def   Action
 }
 
 // New returns a filter with the given default action.
 func New(def Action) *Filter {
-	return &Filter{verdicts: make(map[abi.Sysno]Action), def: def}
+	f := &Filter{def: def}
+	if def != 0 {
+		for i := range f.table {
+			f.table[i] = def
+		}
+	}
+	return f
 }
 
 // Set assigns a verdict to the listed syscalls.
 func (f *Filter) Set(a Action, nrs ...abi.Sysno) *Filter {
 	for _, nr := range nrs {
-		f.verdicts[nr] = a
+		f.table[nr] = a
 	}
 	return f
 }
 
 // Decide returns the verdict for nr.
 func (f *Filter) Decide(nr abi.Sysno) Action {
-	if a, ok := f.verdicts[nr]; ok {
-		return a
+	if nr < 0 || int(nr) >= len(f.table) {
+		return f.def
 	}
-	return f.def
+	return f.table[nr]
 }
 
 // TraceAll is the no-seccomp fallback: every call stops twice at the tracer
@@ -98,6 +111,39 @@ func DetTrace() *Filter {
 		abi.SysGetuid,
 		abi.SysGetgid,
 		abi.SysChroot,
+	)
+	return f
+}
+
+// DetTraceBuffered is DetTrace plus the in-tracee syscall buffer (§5.11's
+// stop-elimination taken one step further, after rr's syscallbuf): light
+// calls whose determinized answer the tracer's in-process wrapper can compute
+// — from the logical clock, the pid map, or a directly-executed kernel
+// service routine that never blocks — are recorded locally and flushed in
+// one combined stop.
+//
+// Two groups move relative to DetTrace. From Trace: the time family, the pid
+// family and fstat — their handlers compute a pure function of tracer state
+// (the logical clock, the pid map, the inode/mtime virtualization maps),
+// which the lockstep wrapper can evaluate in-process; fstat is the volume
+// win, rr's syscallbuf buffers it for the same reason. From Allow: lseek,
+// fcntl, umask and getcwd, which the plain filter let run stop-free but an
+// auditing tracer still wants in the event record — buffering gives the
+// record without reintroducing the stop.
+func DetTraceBuffered() *Filter {
+	f := DetTrace()
+	f.Set(Buffer,
+		abi.SysTime,
+		abi.SysGettimeofday,
+		abi.SysClockGettime,
+		abi.SysGetpid,
+		abi.SysGetppid,
+		abi.SysGetTid,
+		abi.SysFstat,
+		abi.SysLseek,
+		abi.SysFcntl,
+		abi.SysUmask,
+		abi.SysGetcwd,
 	)
 	return f
 }

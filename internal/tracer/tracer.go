@@ -33,6 +33,15 @@ type Costs struct {
 	MemOp int64
 	// ProcRead is one /proc/<pid>/... lookup (fd→inode resolution, §5.5).
 	ProcRead int64
+	// BufferRecord is one syscall recorded in the tracee-side syscall
+	// buffer (the rr-style fast path): the wrapper's in-process bookkeeping
+	// only — no stop, no tracer entry.
+	BufferRecord int64
+	// FlushPerEntry is the tracer-side cost of draining one buffered record
+	// at a flush: validating and appending it to the event log. The flush's
+	// stop itself is charged separately (FlushCost) or carried by a stop
+	// already being paid for (DrainCost).
+	FlushPerEntry int64
 }
 
 // DefaultCosts returns the calibrated constants.
@@ -44,6 +53,8 @@ func DefaultCosts() Costs {
 		HandlerHeavy:  500_000,
 		MemOp:         5_000,
 		ProcRead:      30_000,
+		BufferRecord:  2_000,
+		FlushPerEntry: 3_000,
 	}
 }
 
@@ -91,6 +102,11 @@ type Session struct {
 	MemWrites int64
 	ProcReads int64
 	Stops     int64
+	// BufferedCalls counts syscalls serviced through the tracee-side
+	// buffer (no stop); Flushes counts the batched drains that carried
+	// them to the tracer.
+	BufferedCalls int64
+	Flushes       int64
 }
 
 // NewSession returns a session with default costs.
@@ -141,4 +157,30 @@ func (s *Session) WriteMem(weight int64, n int64) int64 {
 func (s *Session) ReadProc(weight int64) int64 {
 	s.ProcReads += weight
 	return s.Costs.ProcRead * weight
+}
+
+// RecordBuffered accounts one syscall serviced through the tracee-side
+// buffer: no stop, just the wrapper's local bookkeeping.
+func (s *Session) RecordBuffered(weight int64) int64 {
+	s.BufferedCalls += weight
+	return s.Costs.BufferRecord * weight
+}
+
+// FlushCost accounts a dedicated flush of n buffered records: one combined
+// stop amortized over the batch.
+func (s *Session) FlushCost(n, weight int64) int64 {
+	s.Flushes += weight
+	s.Stops += weight
+	return (s.Costs.Stop + n*s.Costs.FlushPerEntry) * weight
+}
+
+// DrainCost accounts draining n buffered records on a stop that is already
+// being paid for — a traced call's own stop doubles as the flush point, so
+// only the per-entry work is new.
+func (s *Session) DrainCost(n, weight int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	s.Flushes += weight
+	return n * s.Costs.FlushPerEntry * weight
 }
