@@ -26,6 +26,23 @@ type syscallBench struct {
 	Flushes     int64   `json:"buffer_flushes"`
 }
 
+// templateBench is the container-template ablation section: total farm
+// setup cost with the COW template cache on and off, the reuse counters,
+// and the per-boot costs behind the amortization.
+type templateBench struct {
+	Packages       int     `json:"packages"`
+	RunsPerPackage int     `json:"runs_per_package"`
+	Identical      int     `json:"bitwise_identical"`
+	SetupOnNs      int64   `json:"farm_setup_ns_templates_on"`
+	SetupOffNs     int64   `json:"farm_setup_ns_templates_off"`
+	SetupReduction float64 `json:"setup_reduction"`
+	Hits           int64   `json:"template_hits"`
+	Misses         int64   `json:"template_misses"`
+	Evictions      int64   `json:"template_evictions"`
+	AvgForkNs      float64 `json:"avg_fork_ns"`
+	AvgColdSetupNs float64 `json:"avg_cold_setup_ns"`
+}
+
 // benchReport is the BENCH_<date>.json schema.
 type benchReport struct {
 	Date     string `json:"date"`
@@ -38,6 +55,8 @@ type benchReport struct {
 	AggregateSlowdown           float64 `json:"aggregate_slowdown"`
 	AggregateSlowdownUnbuffered float64 `json:"aggregate_slowdown_unbuffered"`
 	BitwiseIdentical            int     `json:"bitwise_identical"`
+
+	Templates templateBench `json:"templates"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -89,6 +108,20 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	rep.AggregateSlowdown = st.WithBuf
 	rep.AggregateSlowdownUnbuffered = st.WithoutBuf
 	rep.BitwiseIdentical = st.Identical
+	ts := o.RunTemplateStudy(debpkg.Universe(seed, n), 0)
+	rep.Templates = templateBench{
+		Packages:       ts.Packages,
+		RunsPerPackage: ts.Runs,
+		Identical:      ts.Identical,
+		SetupOnNs:      ts.SetupOnNs,
+		SetupOffNs:     ts.SetupOffNs,
+		SetupReduction: ts.SetupRatio,
+		Hits:           ts.Hits,
+		Misses:         ts.Misses,
+		Evictions:      ts.Evictions,
+		AvgForkNs:      ts.AvgForkNs,
+		AvgColdSetupNs: ts.AvgColdSetupNs,
+	}
 	name := fmt.Sprintf("BENCH_%s.json", rep.Date)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -97,8 +130,8 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
-		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered)
+		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction)
 	return nil
 }

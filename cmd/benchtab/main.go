@@ -14,6 +14,7 @@
 //	benchtab -biorepro          §6.1 bio/ML reproducibility verdicts
 //	benchtab -rescue            §5.9/§5.4 ablation: experimental sockets+signals
 //	benchtab -buffering         syscall-buffer ablation (Fig. 5 with/without)
+//	benchtab -templates         container-template ablation (setup cost with/without COW forks)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -all               everything (except -json, which writes a file)
 //
@@ -52,6 +53,7 @@ func main() {
 		biorep  = flag.Bool("biorepro", false, "")
 		rescue  = flag.Bool("rescue", false, "")
 		bufStud = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
+		tmplStd = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
 		jsonOut = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		all     = flag.Bool("all", false, "")
 	)
@@ -151,6 +153,11 @@ func main() {
 	if *all || *bufStud {
 		section("syscall-buffer ablation: Fig. 5 with and without the in-tracee buffer")
 		fmt.Println(o.RunBufferStudy(debpkg.Universe(*seed, sampleOr(*n, 120))))
+		fmt.Println()
+	}
+	if *all || *tmplStd {
+		section("container-template ablation: setup cost with and without COW forks")
+		fmt.Println(o.RunTemplateStudy(debpkg.Universe(*seed, sampleOr(*n, 120)), 0))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/baseimg"
@@ -66,6 +67,21 @@ type Options struct {
 	// NoSyscallBuf disables the in-tracee syscall buffer in the DetTrace
 	// runs (the buffering ablation): light intercepted calls trap again.
 	NoSyscallBuf bool
+	// DisableTemplates forces every kernel and container in the farm onto
+	// the cold construction path instead of forking prepared templates (the
+	// template-reuse mechanism ablation). Like Jobs, it must not change any
+	// build output — only setup cost.
+	DisableTemplates bool
+	// TemplateCacheSize bounds the prepared-template LRU caches
+	// (0 = DefaultTemplateCacheSize).
+	TemplateCacheSize int
+
+	// Farm-wide prepared-state caches and setup accounting (templates.go).
+	// Lazily initialized; all access is concurrency-safe, so one Options may
+	// drive the whole Jobs-sized worker pool.
+	cacheMu sync.Mutex
+	cache   *farmCaches
+	setup   setupCounters
 }
 
 // Out is the full record of one package's evaluation.
@@ -207,7 +223,7 @@ func (o *Options) build(spec *debpkg.Spec, idx int) Out {
 	// (environment, build path, epoch, CPUs, host seed all vary). The §6.1
 	// toolchain includes strip-nondeterminism, so the baseline verdict
 	// compares the stripped .debs.
-	b1 := buildNative(spec, v1, BLDeadline)
+	b1 := o.buildNative(spec, v1, BLDeadline)
 	out.BLTime = b1.wall
 	if secs := float64(b1.wall) / 1e9; secs > 0 {
 		out.SyscallRate = float64(b1.syscalls) / secs
@@ -216,7 +232,7 @@ func (o *Options) build(spec *debpkg.Spec, idx int) Out {
 		out.BL = v
 		return out
 	}
-	b2 := buildNative(spec, v2, BLDeadline)
+	b2 := o.buildNative(spec, v2, BLDeadline)
 	if v := b2.verdict(); v != "" {
 		out.BL = v
 		return out
@@ -309,17 +325,36 @@ func (r nativeRun) verdict() Verdict {
 
 // buildNative runs dpkg-buildpackage on the simulated host under one
 // reprotest variation, with the kernel's baseline (nondeterministic) policy.
-func buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline int64) nativeRun {
-	img, pkgdir := toolchainImage(spec, v.BuildRoot)
-	k := kernel.New(kernel.Config{
-		Profile:  machine.CloudLabC220G5(),
-		Seed:     v.HostSeed,
-		Epoch:    v.Epoch,
-		NumCPU:   v.NumCPU,
-		Image:    img,
-		Resolver: registry().Resolver(),
-		Deadline: deadline,
-	})
+// Unless the template ablation is on, the kernel boots from a cached
+// prepared snapshot of the toolchain image instead of repopulating it.
+func (o *Options) buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline int64) nativeRun {
+	img, pkgdir, imgHash := o.pkgImage(spec, v.BuildRoot)
+	start := time.Now()
+	var k *kernel.Kernel
+	if o.DisableTemplates {
+		k = kernel.New(kernel.Config{
+			Profile:  machine.CloudLabC220G5(),
+			Seed:     v.HostSeed,
+			Epoch:    v.Epoch,
+			NumCPU:   v.NumCPU,
+			Image:    img,
+			Resolver: registry().Resolver(),
+			Deadline: deadline,
+		})
+		o.setup.coldBoots.Add(1)
+		o.setup.coldSetupNs.Add(time.Since(start).Nanoseconds())
+	} else {
+		snap := o.snapshot(imgHash, img) // Prepare time lands in prepareNs
+		start = time.Now()
+		k = snap.Boot(kernel.BootConfig{
+			Seed:     v.HostSeed,
+			Epoch:    v.Epoch,
+			NumCPU:   v.NumCPU,
+			Deadline: deadline,
+		})
+		o.setup.forkBoots.Add(1)
+		o.setup.forkNs.Add(time.Since(start).Nanoseconds())
+	}
 	argv := []string{"dpkg-buildpackage", "-b"}
 	init := func(t *kernel.Thread) int {
 		p := &guest.Proc{T: t}
@@ -396,8 +431,13 @@ var containerEnv = []string{
 // contributes only host accidents — the build path, environment and PRNG
 // seed are container inputs and stay fixed. mod, when non-nil, adjusts the
 // container config (machine profile, ablations) before the run.
+//
+// Unless templates are disabled (farm-wide via Options.DisableTemplates or
+// per-config via DisableTemplateReuse), the container is forked from a
+// cached core.Template keyed on (image hash, config hash) — mod runs first,
+// so an ablated config can never be served a mismatched template.
 func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation, mod func(*core.Config)) dtRun {
-	img, pkgdir := toolchainImage(spec, "/build")
+	img, pkgdir, imgHash := o.pkgImage(spec, "/build")
 	cfg := core.Config{
 		Image:               img,
 		Profile:             machine.CloudLabC220G5(),
@@ -414,8 +454,23 @@ func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation,
 	if mod != nil {
 		mod(&cfg)
 	}
-	res := core.New(cfg).Run(registry(), "/bin/dpkg-buildpackage",
+	var c *core.Container
+	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img {
+		c = core.New(cfg)
+	} else {
+		c = o.template(imgHash, cfg).NewContainer(core.HostRun{
+			Seed: cfg.HostSeed, Epoch: cfg.Epoch, NumCPU: cfg.NumCPU,
+		})
+	}
+	res := c.Run(registry(), "/bin/dpkg-buildpackage",
 		[]string{"dpkg-buildpackage", "-b"}, containerEnv)
+	if res.Forked {
+		o.setup.forkBoots.Add(1)
+		o.setup.forkNs.Add(res.SetupNs)
+	} else {
+		o.setup.coldBoots.Add(1)
+		o.setup.coldSetupNs.Add(res.SetupNs)
+	}
 	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats)}
 	r.events.Stops = res.Tracer.Stops
 	r.events.Buffered = res.Tracer.BufferedCalls

@@ -64,12 +64,12 @@ func (o *Options) RunStock(specs []*debpkg.Spec) *StockStudy {
 	o.forEach(len(specs), func(i int) {
 		spec := specs[i]
 		v1, v2 := reprotest.Pair(pkgSeed(o.Seed, spec))
-		b1 := buildNative(spec, v1, BLDeadline)
+		b1 := o.buildNative(spec, v1, BLDeadline)
 		if v := b1.verdict(); v != "" {
 			outs[i].timeout = v == Timeout
 			return
 		}
-		b2 := buildNative(spec, v2, BLDeadline)
+		b2 := o.buildNative(spec, v2, BLDeadline)
 		if v := b2.verdict(); v != "" {
 			outs[i].timeout = v == Timeout
 			return
@@ -154,11 +154,11 @@ func (o *Options) RunRRStudy() *RRStudy {
 	o.forEach(len(specs), func(i int) {
 		spec := specs[i]
 		v1, _ := reprotest.Pair(pkgSeed(o.Seed, spec))
-		nat := buildNative(spec, v1, BLDeadline)
+		nat := o.buildNative(spec, v1, BLDeadline)
 		if nat.verdict() != "" {
 			return
 		}
-		wall, traceBytes, crashed := buildRR(spec, v1)
+		wall, traceBytes, crashed := o.buildRR(spec, v1)
 		if crashed {
 			outs[i].crashed = true
 			return
@@ -190,22 +190,35 @@ func (o *Options) RunRRStudy() *RRStudy {
 	return st
 }
 
-// buildRR records one package build under the rr-style policy. rr's
-// known crash — an unhandled tty ioctl — surfaces as ErrUnsupportedIoctl.
-func buildRR(spec *debpkg.Spec, v reprotest.Variation) (wall, traceBytes int64, crashed bool) {
-	img, pkgdir := toolchainImage(spec, v.BuildRoot)
+// buildRR records one package build under the rr-style policy, booted —
+// like every policy — from the shared image snapshot unless the template
+// ablation is on. rr's known crash — an unhandled tty ioctl — surfaces as
+// ErrUnsupportedIoctl.
+func (o *Options) buildRR(spec *debpkg.Spec, v reprotest.Variation) (wall, traceBytes int64, crashed bool) {
+	img, pkgdir, imgHash := o.pkgImage(spec, v.BuildRoot)
 	profile := machine.CloudLabC220G5()
 	rec := rr.NewRecorder(profile.SeccompSingleStop)
-	k := kernel.New(kernel.Config{
-		Profile:  profile,
-		Seed:     v.HostSeed,
-		Epoch:    v.Epoch,
-		NumCPU:   v.NumCPU,
-		Image:    img,
-		Resolver: registry().Resolver(),
-		Deadline: DTDeadline,
-		Policy:   rec,
-	})
+	var k *kernel.Kernel
+	if o.DisableTemplates {
+		k = kernel.New(kernel.Config{
+			Profile:  profile,
+			Seed:     v.HostSeed,
+			Epoch:    v.Epoch,
+			NumCPU:   v.NumCPU,
+			Image:    img,
+			Resolver: registry().Resolver(),
+			Deadline: DTDeadline,
+			Policy:   rec,
+		})
+	} else {
+		k = o.snapshot(imgHash, img).Boot(kernel.BootConfig{
+			Seed:     v.HostSeed,
+			Epoch:    v.Epoch,
+			NumCPU:   v.NumCPU,
+			Deadline: DTDeadline,
+			Policy:   rec,
+		})
+	}
 	rec.Attach(k)
 	argv := []string{"dpkg-buildpackage", "-b"}
 	init := func(t *kernel.Thread) int {
@@ -275,7 +288,7 @@ func (o *Options) RunBufferStudy(specs []*debpkg.Spec) *BufferStudy {
 		spec := specs[i]
 		seed := pkgSeed(o.Seed, spec)
 		v1, _ := reprotest.Pair(seed)
-		nat := buildNative(spec, v1, BLDeadline)
+		nat := o.buildNative(spec, v1, BLDeadline)
 		if nat.verdict() != "" {
 			return
 		}
@@ -431,7 +444,7 @@ func (o *Options) RunLLVM() *LLVMStudy {
 	spec := debpkg.LLVM()
 	seed := pkgSeed(o.Seed, spec)
 	v1, v2 := reprotest.Pair(seed)
-	nat := buildNative(spec, v1, BLDeadline)
+	nat := o.buildNative(spec, v1, BLDeadline)
 	d1 := o.buildDT(spec, seed, v1, nil)
 	d2 := o.buildDT(spec, seed, v2, nil)
 	st := &LLVMStudy{

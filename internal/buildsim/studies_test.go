@@ -177,7 +177,7 @@ func TestRunLLVM(t *testing.T) {
 func TestSelftestTruncationHazard(t *testing.T) {
 	spec := debpkg.LLVM()
 	v1, _ := reprotest.Pair(pkgSeed(1, spec))
-	nat := buildNative(spec, v1, BLDeadline)
+	nat := (&Options{Seed: 1}).buildNative(spec, v1, BLDeadline)
 	if nat.verdict() != "" {
 		t.Fatalf("native llvm build failed: %s", nat.verdict())
 	}

@@ -1,0 +1,362 @@
+// Container-template reuse for the build farm: fork once, build everywhere.
+//
+// Setting up one simulated build used to cost three image-sized passes —
+// assembling the toolchain chroot, materializing the package source into it,
+// and populating the result into a fresh kernel filesystem — repeated for
+// every one of a package's four (or more) builds. All three passes are pure
+// functions of (spec, build root, container config), so the farm now
+// memoizes them: materialized images in a small LRU, and on top of those the
+// prepared boot state — kernel.Snapshot for baseline builds, core.Template
+// for DetTrace builds — keyed by (image content hash, config hash). A run
+// then COW-forks the frozen template instead of repopulating it.
+//
+// The reuse must be invisible. Forked boots are pinned bitwise-identical to
+// cold boots (kernel.TestSnapshotBootEqualsCold, core.TestTemplateForkEqualsCold),
+// templates are immutable after construction, and nothing order-dependent
+// escapes the caches — so farm output stays independent of Jobs, of cache
+// hit/miss order, and of the DisableTemplates ablation. templates_test.go
+// pins all three. Only the setup accounting below may move.
+package buildsim
+
+import (
+	"bytes"
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/debpkg"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/machine"
+	"repro/internal/reprotest"
+)
+
+// DefaultTemplateCacheSize bounds each prepared-state LRU when
+// Options.TemplateCacheSize is zero. Templates pin their image and frozen
+// filesystem, so the cap is the farm's working-set knob: large enough that
+// one package's builds and the portability/ablation profile variants all
+// hit, small enough that a 17k-package universe cannot accumulate 17k
+// toolchain trees.
+const DefaultTemplateCacheSize = 32
+
+// setupCounters is the farm's internal setup accounting. Everything is
+// atomic so the Jobs-wide worker pool can share one Options; none of it
+// feeds back into build results.
+type setupCounters struct {
+	templateHits   atomic.Int64
+	templateMisses atomic.Int64
+	evictions      atomic.Int64
+	imageBuilds    atomic.Int64
+	imageHits      atomic.Int64
+	coldBoots      atomic.Int64
+	forkBoots      atomic.Int64
+	imageBuildNs   atomic.Int64
+	prepareNs      atomic.Int64
+	forkNs         atomic.Int64
+	coldSetupNs    atomic.Int64
+}
+
+// SetupStats is a point-in-time snapshot of the farm's container-setup
+// accounting: how often prepared state was reused and what the setup paths
+// cost in wall-clock time. It is benchmarking metadata only — build outputs
+// never depend on it.
+type SetupStats struct {
+	TemplateHits   int64 // prepared snapshot/template served from cache
+	TemplateMisses int64 // prepared on demand
+	Evictions      int64 // cache entries dropped by the LRU cap
+	ImageBuilds    int64 // toolchain images assembled + materialized
+	ImageHits      int64 // image requests served from the memo
+
+	ColdBoots int64 // kernels/containers built on the cold path
+	ForkBoots int64 // kernels/containers forked from a template
+
+	ImageBuildNs int64 // assembling + materializing + hashing images
+	PrepareNs    int64 // populating and freezing template bases
+	ForkNs       int64 // COW-fork boots
+	ColdSetupNs  int64 // cold kernel construction (image populate included)
+}
+
+// SetupNs is the farm's total setup cost: everything spent getting
+// containers to their first instruction, on either path.
+func (s SetupStats) SetupNs() int64 {
+	return s.ImageBuildNs + s.PrepareNs + s.ForkNs + s.ColdSetupNs
+}
+
+// SetupStats snapshots the farm's setup accounting so far.
+func (o *Options) SetupStats() SetupStats {
+	return SetupStats{
+		TemplateHits:   o.setup.templateHits.Load(),
+		TemplateMisses: o.setup.templateMisses.Load(),
+		Evictions:      o.setup.evictions.Load(),
+		ImageBuilds:    o.setup.imageBuilds.Load(),
+		ImageHits:      o.setup.imageHits.Load(),
+		ColdBoots:      o.setup.coldBoots.Load(),
+		ForkBoots:      o.setup.forkBoots.Load(),
+		ImageBuildNs:   o.setup.imageBuildNs.Load(),
+		PrepareNs:      o.setup.prepareNs.Load(),
+		ForkNs:         o.setup.forkNs.Load(),
+		ColdSetupNs:    o.setup.coldSetupNs.Load(),
+	}
+}
+
+// lruEntry is one cache slot. Construction runs under the entry's own Once,
+// outside the cache lock, so a slow Prepare never serializes unrelated
+// lookups; concurrent first requesters block on the Once and share the one
+// built value (never observing a half-built template).
+type lruEntry struct {
+	once sync.Once
+	v    any
+}
+
+// lruCache is a mutex-protected LRU over opaque keys. Eviction drops the
+// cache's reference only — an entry still in use by an in-flight build stays
+// alive until that build finishes, which is what makes eviction invisible to
+// results.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	order     *list.List // front = most recently used
+	items     map[any]*list.Element
+	evictions *atomic.Int64
+}
+
+type lruItem struct {
+	key any
+	e   *lruEntry
+}
+
+func newLRU(cap int, evictions *atomic.Int64) *lruCache {
+	return &lruCache{cap: cap, order: list.New(), items: make(map[any]*list.Element), evictions: evictions}
+}
+
+// get returns the entry for key, creating an empty slot on miss, and
+// reports whether the key was already present.
+func (c *lruCache) get(key any) (*lruEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruItem).e, true
+	}
+	e := &lruEntry{}
+	c.items[key] = c.order.PushFront(&lruItem{key: key, e: e})
+	if c.order.Len() > c.cap {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruItem).key)
+		c.evictions.Add(1)
+	}
+	return e, false
+}
+
+// farmCaches is the per-Options prepared-state store: materialized images,
+// baseline kernel snapshots, and DetTrace container templates.
+type farmCaches struct {
+	images    *lruCache // imageKey -> *imageEntry
+	snapshots *lruCache // uint64 image hash -> *kernel.Snapshot
+	templates *lruCache // templateKey -> *core.Template
+}
+
+type imageKey struct {
+	name, version, dir string
+}
+
+type imageEntry struct {
+	img    *fs.Image
+	pkgdir string
+	hash   uint64
+}
+
+type templateKey struct {
+	image, config uint64
+}
+
+func (o *Options) caches() *farmCaches {
+	o.cacheMu.Lock()
+	defer o.cacheMu.Unlock()
+	if o.cache == nil {
+		n := o.TemplateCacheSize
+		if n <= 0 {
+			n = DefaultTemplateCacheSize
+		}
+		o.cache = &farmCaches{
+			// Images back the templates, so the memo holds the native-build
+			// variants (one per build root) alongside them: twice the cap.
+			images:    newLRU(2*n, &o.setup.evictions),
+			snapshots: newLRU(n, &o.setup.evictions),
+			templates: newLRU(n, &o.setup.evictions),
+		}
+	}
+	return o.cache
+}
+
+// pkgImage returns the package's toolchain image, its source directory, and
+// the image content hash. With templates enabled the materialized image is
+// memoized — it is only ever read after construction (kernel populate,
+// template prepare), so sharing one *fs.Image across concurrent builds is
+// safe. Under the ablation every call rebuilds, exactly like the pre-template
+// farm, so the cold setup numbers measure the real cold cost.
+func (o *Options) pkgImage(spec *debpkg.Spec, dir string) (*fs.Image, string, uint64) {
+	if o.DisableTemplates {
+		start := time.Now()
+		img, pkgdir := toolchainImage(spec, dir)
+		o.setup.imageBuilds.Add(1)
+		o.setup.imageBuildNs.Add(time.Since(start).Nanoseconds())
+		return img, pkgdir, 0
+	}
+	e, hit := o.caches().images.get(imageKey{spec.Name, spec.Version, dir})
+	if hit {
+		o.setup.imageHits.Add(1)
+	}
+	e.once.Do(func() {
+		start := time.Now()
+		img, pkgdir := toolchainImage(spec, dir)
+		ie := &imageEntry{img: img, pkgdir: pkgdir, hash: img.Hash()}
+		o.setup.imageBuilds.Add(1)
+		o.setup.imageBuildNs.Add(time.Since(start).Nanoseconds())
+		e.v = ie
+	})
+	ie := e.v.(*imageEntry)
+	return ie.img, ie.pkgdir, ie.hash
+}
+
+// snapshot returns the prepared baseline-kernel snapshot for an image,
+// preparing it on first use.
+func (o *Options) snapshot(imgHash uint64, img *fs.Image) *kernel.Snapshot {
+	e, hit := o.caches().snapshots.get(imgHash)
+	if hit {
+		o.setup.templateHits.Add(1)
+	} else {
+		o.setup.templateMisses.Add(1)
+	}
+	e.once.Do(func() {
+		start := time.Now()
+		e.v = kernel.Prepare(kernel.Config{
+			Profile:  machine.CloudLabC220G5(),
+			Image:    img,
+			Resolver: registry().Resolver(),
+		})
+		o.setup.prepareNs.Add(time.Since(start).Nanoseconds())
+	})
+	return e.v.(*kernel.Snapshot)
+}
+
+// template returns the prepared container template for (image, config),
+// preparing it on first use. cfg must already carry its final
+// behaviour-relevant fields (mod applied); the key's config hash ignores the
+// per-run host fields, so one template serves every perturbation of a build.
+func (o *Options) template(imgHash uint64, cfg core.Config) *core.Template {
+	e, hit := o.caches().templates.get(templateKey{image: imgHash, config: core.ConfigHash(cfg)})
+	if hit {
+		o.setup.templateHits.Add(1)
+	} else {
+		o.setup.templateMisses.Add(1)
+	}
+	e.once.Do(func() {
+		start := time.Now()
+		e.v = core.NewTemplate(cfg)
+		o.setup.prepareNs.Add(time.Since(start).Nanoseconds())
+	})
+	return e.v.(*core.Template)
+}
+
+// TemplateStudy is the template-reuse ablation: the same perturbation builds
+// run through two farms — templates on and off — outputs compared bitwise,
+// setup costs compared end to end. Reuse is a pure performance mechanism, so
+// Identical must equal Packages; only the setup column may move.
+type TemplateStudy struct {
+	Packages  int // packages whose builds completed under both farms
+	Runs      int // perturbation builds per package (each done twice)
+	Identical int // packages bitwise-identical across every on/off run pair
+
+	SetupOnNs  int64   // total farm setup, templates on
+	SetupOffNs int64   // total farm setup, templates off
+	SetupRatio float64 // off/on: the amortization headline
+
+	Hits, Misses, Evictions int64 // template-cache traffic, templates on
+	AvgForkNs               float64
+	AvgColdSetupNs          float64 // per cold boot, image build included
+}
+
+// String renders the ablation summary.
+func (st *TemplateStudy) String() string {
+	return fmt.Sprintf(
+		"packages: %d x %d perturbed builds; bitwise-identical with/without templates: %d\n"+
+			"farm setup cost: %.1f ms cold, %.1f ms templated (%.1fx less)\n"+
+			"per boot: %.0f us cold vs %.0f us forked; cache: %d hits, %d misses, %d evictions",
+		st.Packages, st.Runs, st.Identical,
+		float64(st.SetupOffNs)/1e6, float64(st.SetupOnNs)/1e6, st.SetupRatio,
+		st.AvgColdSetupNs/1e3, st.AvgForkNs/1e3,
+		st.Hits, st.Misses, st.Evictions)
+}
+
+// RunTemplateStudy builds each spec `runs` times under DetTrace with
+// perturbed host accidents, through a templated farm and a cold farm, and
+// compares outputs and setup costs. runs <= 0 selects the default of 16 —
+// reprotest's standard variation schedule — so one template prepare
+// amortizes across all of a package's perturbed builds, exactly as it does
+// across the farm's own BL/DT/ablation re-runs.
+func (o *Options) RunTemplateStudy(specs []*debpkg.Spec, runs int) *TemplateStudy {
+	if runs <= 0 {
+		runs = 16
+	}
+	on := &Options{Seed: o.Seed, Jobs: o.Jobs, Experimental: o.Experimental,
+		NoSyscallBuf: o.NoSyscallBuf, TemplateCacheSize: o.TemplateCacheSize}
+	off := &Options{Seed: o.Seed, Jobs: o.Jobs, Experimental: o.Experimental,
+		NoSyscallBuf: o.NoSyscallBuf, DisableTemplates: true}
+	type tmplOut struct {
+		ok, identical bool
+	}
+	outs := make([]tmplOut, len(specs))
+	o.forEach(len(specs), func(i int) {
+		spec := specs[i]
+		seed := pkgSeed(o.Seed, spec)
+		ok, identical := true, true
+		for r := 0; r < runs; r++ {
+			v := reprotest.Perturbed(seed, r)
+			warm := on.buildDT(spec, seed, v, nil)
+			cold := off.buildDT(spec, seed, v, nil)
+			wv, _ := warm.verdict()
+			cv, _ := cold.verdict()
+			if wv != cv {
+				ok, identical = true, false // same inputs must fail the same way
+				break
+			}
+			if wv != "" {
+				ok = false
+				break
+			}
+			if !bytes.Equal(warm.deb, cold.deb) || !bytes.Equal(warm.log, cold.log) {
+				identical = false
+			}
+		}
+		outs[i] = tmplOut{ok: ok, identical: ok && identical}
+	})
+	st := &TemplateStudy{Runs: runs}
+	for _, to := range outs {
+		if !to.ok {
+			continue
+		}
+		st.Packages++
+		if to.identical {
+			st.Identical++
+		}
+	}
+	son, soff := on.SetupStats(), off.SetupStats()
+	st.SetupOnNs = son.SetupNs()
+	st.SetupOffNs = soff.SetupNs()
+	if st.SetupOnNs > 0 {
+		st.SetupRatio = float64(st.SetupOffNs) / float64(st.SetupOnNs)
+	}
+	st.Hits, st.Misses, st.Evictions = son.TemplateHits, son.TemplateMisses, son.Evictions
+	if son.ForkBoots > 0 {
+		st.AvgForkNs = float64(son.ForkNs) / float64(son.ForkBoots)
+	}
+	if soff.ColdBoots > 0 {
+		st.AvgColdSetupNs = float64(soff.ColdSetupNs+soff.ImageBuildNs) / float64(soff.ColdBoots)
+	}
+	return st
+}

@@ -13,6 +13,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/abi"
 	"repro/internal/fs"
@@ -60,6 +61,13 @@ type Config struct {
 	DisableCpuidTrap    bool // pretend pre-Ivy-Bridge hardware (§5.8)
 	DisableInodeVirt    bool // report host inodes (§5.5)
 	DisableGetdentsSort bool // report host directory order (§5.5)
+
+	// DisableTemplateReuse forces cold construction even when the container
+	// came from a Template: the kernel populates a fresh FS from the image
+	// instead of COW-forking the prepared base. A mechanism ablation, not a
+	// container input — output must be bitwise identical either way, which
+	// is exactly what the template equivalence gate checks.
+	DisableTemplateReuse bool
 
 	// WorkingDir is the container working directory (the --working-dir
 	// bind-mount target); empty selects /build when the image has it.
@@ -148,6 +156,13 @@ type Result struct {
 	RandomLog []byte
 	// ReplayExhausted reports that a RandomReplay ran out of bytes.
 	ReplayExhausted bool
+
+	// SetupNs is real (not virtual) time spent constructing the kernel for
+	// this run — populate-from-image on the cold path, COW fork on the
+	// template path. Forked reports which path ran. Benchmarking metadata
+	// only: never part of the reproducibility-observable output.
+	SetupNs int64
+	Forked  bool
 }
 
 // Unsupported reports whether the run aborted on an unsupported operation,
@@ -196,6 +211,11 @@ type Container struct {
 
 	interceptCpuid bool
 
+	// snap, when non-nil, is the prepared kernel snapshot this container was
+	// forked from (see Template); Run boots it instead of cold-constructing,
+	// unless DisableTemplateReuse insists on the cold path.
+	snap *kernel.Snapshot
+
 	// §5.2 true-randomness escape hatch state.
 	randomLog       []byte
 	replayCursor    int
@@ -227,18 +247,47 @@ type rwRetry struct {
 	total int64
 }
 
-// New assembles a container and its kernel, ready to Run.
-func New(cfg Config) *Container {
+// normalizeConfig fills the defaulted Config fields in place; New and
+// NewTemplate must agree on them so ConfigHash is stable.
+func normalizeConfig(cfg *Config) {
 	if cfg.Profile == nil {
 		cfg.Profile = machine.CloudLabC220G5()
 	}
 	if cfg.LogicalEpoch == 0 {
 		cfg.LogicalEpoch = DefaultLogicalEpoch
 	}
+}
+
+// filterFor compiles the seccomp verdict table for a config. The table is
+// immutable once built, so a Template compiles it once and every forked
+// container shares it.
+func filterFor(cfg Config) *seccomp.Filter {
+	switch {
+	case cfg.DisableSeccomp:
+		// No seccomp, no buffer: without the filter there is no untraced
+		// path for the wrapper to run on, so every call stops twice.
+		return seccomp.TraceAll()
+	case cfg.DisableSyscallBuf:
+		return seccomp.DetTrace()
+	default:
+		return seccomp.DetTraceBuffered()
+	}
+}
+
+// New assembles a container and its kernel, ready to Run.
+func New(cfg Config) *Container {
+	normalizeConfig(&cfg)
+	return newContainer(cfg, filterFor(cfg))
+}
+
+// newContainer wires the per-run container state around a (possibly shared)
+// precompiled seccomp filter. cfg must already be normalized.
+func newContainer(cfg Config, filter *seccomp.Filter) *Container {
 	c := &Container{
 		cfg:         cfg,
 		sched:       sched.New(),
 		prng:        prng.NewLFSR(cfg.PRNGSeed),
+		filter:      filter,
 		inoMap:      make(map[uint64]uint64),
 		nextIno:     2, // inode 1 is conventionally reserved
 		mtimeMap:    make(map[uint64]int64),
@@ -253,16 +302,6 @@ func New(cfg Config) *Container {
 		c.sched.SpinLimit = cfg.SpinLimit
 	}
 	c.sess = tracer.NewSession(cfg.Profile.SeccompSingleStop && !cfg.DisableSeccomp)
-	switch {
-	case cfg.DisableSeccomp:
-		// No seccomp, no buffer: without the filter there is no untraced
-		// path for the wrapper to run on, so every call stops twice.
-		c.filter = seccomp.TraceAll()
-	case cfg.DisableSyscallBuf:
-		c.filter = seccomp.DetTrace()
-	default:
-		c.filter = seccomp.DetTraceBuffered()
-	}
 	c.interceptCpuid = !cfg.DisableCpuidTrap && cfg.Profile.SupportsCpuidInterception()
 	return c
 }
@@ -270,16 +309,31 @@ func New(cfg Config) *Container {
 // Run executes path inside the container with the given argv/env, resolving
 // programs against reg. It blocks until the container finishes.
 func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *Result {
-	k := kernel.New(kernel.Config{
-		Profile:  c.cfg.Profile,
-		Seed:     c.cfg.HostSeed,
-		Epoch:    c.cfg.Epoch,
-		Image:    c.cfg.Image,
-		Policy:   c,
-		Resolver: reg.Resolver(),
-		Deadline: c.cfg.Deadline,
-		NumCPU:   c.cfg.NumCPU,
-	})
+	setupStart := time.Now()
+	var k *kernel.Kernel
+	forked := c.snap != nil && !c.cfg.DisableTemplateReuse
+	if forked {
+		k = c.snap.Boot(kernel.BootConfig{
+			Seed:     c.cfg.HostSeed,
+			Epoch:    c.cfg.Epoch,
+			Policy:   c,
+			Resolver: reg.Resolver(),
+			Deadline: c.cfg.Deadline,
+			NumCPU:   c.cfg.NumCPU,
+		})
+	} else {
+		k = kernel.New(kernel.Config{
+			Profile:  c.cfg.Profile,
+			Seed:     c.cfg.HostSeed,
+			Epoch:    c.cfg.Epoch,
+			Image:    c.cfg.Image,
+			Policy:   c,
+			Resolver: reg.Resolver(),
+			Deadline: c.cfg.Deadline,
+			NumCPU:   c.cfg.NumCPU,
+		})
+	}
+	setupNs := time.Since(setupStart).Nanoseconds()
 	c.k = k
 	if c.cfg.Debug != nil {
 		k.SetDebug(c.cfg.Debug)
@@ -347,6 +401,8 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 	res.Stats.MemWrites = c.sess.MemWrites
 	res.RandomLog = c.randomLog
 	res.ReplayExhausted = c.replayExhausted
+	res.SetupNs = setupNs
+	res.Forked = forked
 	var ab *kernel.AbortError
 	if errors.As(runErr, &ab) {
 		res.Err = fmt.Errorf("dettrace: %w", ab.Err)

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/seccomp"
+)
+
+// Template is a prepared container: the expensive, run-independent half of
+// New — the populated-and-frozen filesystem snapshot and the compiled
+// seccomp verdict table — built once and shared by every container forked
+// from it. The cheap, run-dependent half (virtualization maps, scheduler,
+// PRNG, tracer session) is rebuilt per NewContainer call, so forked
+// containers are bitwise indistinguishable from cold-built ones; the
+// equivalence tests in template_test.go and internal/buildsim pin that.
+//
+// A Template is compatible only with its exact container configuration:
+// reusing a base across, say, a DisableDirSizes ablation and a full run
+// would silently leak one config into the other. ConfigHash captures every
+// behaviour-relevant Config field, and caches (internal/buildsim) key on
+// (image hash, config hash) so an incompatible reuse cannot happen.
+type Template struct {
+	cfg            Config // normalized; host fields are placeholders
+	snap           *kernel.Snapshot
+	filter         *seccomp.Filter
+	interceptCpuid bool
+	hash           uint64
+	imageHash      uint64
+}
+
+// HostRun names the physical run a container executes as: the [host]
+// Config fields that a template deliberately does not bake in.
+type HostRun struct {
+	Seed   uint64 // host entropy: "which physical machine boot is this"
+	Epoch  int64  // wall-clock seconds at boot
+	NumCPU int    // core count override (0 = profile's)
+}
+
+// NewTemplate prepares a reusable container template from cfg. The [host]
+// fields of cfg (HostSeed, Epoch, NumCPU) are ignored — they arrive per
+// run via HostRun — as is Debug.
+func NewTemplate(cfg Config) *Template {
+	normalizeConfig(&cfg)
+	cfg.HostSeed, cfg.Epoch, cfg.NumCPU = 0, 0, 0
+	cfg.Debug = nil
+	tp := &Template{
+		cfg:    cfg,
+		filter: filterFor(cfg),
+		hash:   ConfigHash(cfg),
+	}
+	tp.interceptCpuid = !cfg.DisableCpuidTrap && cfg.Profile.SupportsCpuidInterception()
+	if cfg.Image != nil {
+		tp.imageHash = cfg.Image.Hash()
+	}
+	tp.snap = kernel.Prepare(kernel.Config{
+		Profile: cfg.Profile,
+		Image:   cfg.Image,
+	})
+	return tp
+}
+
+// NewContainer forks a ready-to-Run container for one physical run. The
+// returned container boots the template's frozen filesystem snapshot
+// (unless the config's DisableTemplateReuse ablation forces the cold path)
+// and shares the template's compiled seccomp table.
+func (tp *Template) NewContainer(h HostRun) *Container {
+	cfg := tp.cfg
+	cfg.HostSeed, cfg.Epoch, cfg.NumCPU = h.Seed, h.Epoch, h.NumCPU
+	c := newContainer(cfg, tp.filter)
+	c.snap = tp.snap
+	return c
+}
+
+// ConfigHash returns the template's configuration hash.
+func (tp *Template) ConfigHash() uint64 { return tp.hash }
+
+// ImageHash returns the content hash of the template's image (0 if none).
+func (tp *Template) ImageHash() uint64 { return tp.imageHash }
+
+// CompatibleWith reports whether a container built from this template would
+// behave identically to core.New(cfg): same image content, same
+// behaviour-relevant configuration.
+func (tp *Template) CompatibleWith(cfg Config) bool {
+	normalizeConfig(&cfg)
+	if ConfigHash(cfg) != tp.hash {
+		return false
+	}
+	switch {
+	case cfg.Image == nil:
+		return tp.imageHash == 0
+	default:
+		return cfg.Image.Hash() == tp.imageHash
+	}
+}
+
+// ConfigHash hashes every Config field that can change container behaviour.
+// Excluded on purpose: the [host] fields (HostSeed, Epoch, NumCPU) — those
+// vary per run by design and must not affect output; Image — content is
+// keyed separately via Image.Hash, so caches can share one config hash
+// across many images; Debug (an observer) and DisableTemplateReuse (a
+// mechanism ablation whose whole contract is behavioural invisibility).
+//
+// The Profile IS included even though it is [host]-marked: the prepared
+// filesystem bakes in profile-derived state (the readdir hash salt, the
+// directory-size formula), so a template must never serve a run on a
+// different simulated machine.
+func ConfigHash(cfg Config) uint64 {
+	normalizeConfig(&cfg)
+	h := uint64(0xcbf29ce484222325)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 0x100000001b3
+		}
+	}
+	var buf [8]byte
+	num := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		mix(buf[:])
+	}
+	str := func(s string) {
+		num(uint64(len(s)))
+		mix([]byte(s))
+	}
+	flag := func(b bool) {
+		if b {
+			num(1)
+		} else {
+			num(0)
+		}
+	}
+	str(cfg.Profile.Name)
+	num(cfg.PRNGSeed)
+	num(uint64(cfg.LogicalEpoch))
+	num(uint64(cfg.Deadline))
+	flag(cfg.DisableSeccomp)
+	flag(cfg.DisableSyscallBuf)
+	flag(cfg.DisableVdso)
+	flag(cfg.DisableDirSizes)
+	flag(cfg.DisableCpuidTrap)
+	flag(cfg.DisableInodeVirt)
+	flag(cfg.DisableGetdentsSort)
+	str(cfg.WorkingDir)
+	num(uint64(cfg.SpinLimit))
+	flag(cfg.UpdateVirtualMtimes)
+	flag(cfg.FastVdso)
+	flag(cfg.ExperimentalSockets)
+	flag(cfg.ExperimentalSignals)
+	flag(cfg.LogRealRandom)
+	num(uint64(len(cfg.RandomReplay)))
+	mix(cfg.RandomReplay)
+	urls := make([]string, 0, len(cfg.Downloads))
+	for u := range cfg.Downloads {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		d := cfg.Downloads[u]
+		str(u)
+		str(d.SHA256)
+		num(uint64(len(d.Data)))
+		mix(d.Data)
+	}
+	return h
+}
+
+// String identifies the template in logs and cache debug output.
+func (tp *Template) String() string {
+	return fmt.Sprintf("template(image=%016x cfg=%016x)", tp.imageHash, tp.hash)
+}

@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/baseimg"
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/hashdeep"
+	"repro/internal/machine"
+)
+
+// templateWorkload touches every virtualization the fork must preserve:
+// inode numbers (fresh and recycled), virtual mtimes, getdents order, time,
+// pids, container randomness, directory sizes.
+func templateWorkload(p *guest.Proc) int {
+	p.Printf("pid=%d t=%d\n", p.Getpid(), p.Time())
+	for i := 0; i < 20; i++ {
+		p.WriteFile("/tmp/f", []byte{byte(i)}, 0o644)
+		st, _ := p.Stat("/tmp/f")
+		p.Printf("%d:%d ", st.Ino, st.Mtime.Nanos())
+	}
+	p.Unlink("/tmp/f")
+	p.WriteFile("/tmp/g", []byte("recycle-check"), 0o644)
+	if st, err := p.Stat("/tmp/g"); err == 0 {
+		p.Printf("\ng=%d\n", st.Ino)
+	}
+	ents, _ := p.ReadDir("/bin")
+	for _, e := range ents {
+		p.Printf("%s=%d ", e.Name, e.Ino)
+	}
+	if st, err := p.Stat("/bin"); err == 0 {
+		p.Printf("\nbinsize=%d\n", st.Size)
+	}
+	var rnd [16]byte
+	p.GetRandom(rnd[:])
+	p.Printf("rnd=%x\n", rnd)
+	p.Fork(func(c *guest.Proc) int {
+		c.Printf("child pid=%d\n", c.Getpid())
+		c.WriteFile("/build/out", []byte("artifact"), 0o644)
+		return 0
+	})
+	p.Wait()
+	return 0
+}
+
+// fullPrint fingerprints everything reproducibility promises: streams, exit
+// status, and the entire final filesystem.
+func fullPrint(r *core.Result) string {
+	return r.Stdout + "|" + r.Stderr + "|" + hashdeep.HashSubtree(r.FS, "/").Total()
+}
+
+func runFromTemplate(t *testing.T, tp *core.Template, h host, prog guest.Program) *core.Result {
+	t.Helper()
+	reg := guest.NewRegistry()
+	reg.Register("main", prog)
+	c := tp.NewContainer(core.HostRun{Seed: h.seed, Epoch: h.epoch, NumCPU: h.numCPU})
+	return c.Run(reg, "/bin/main", []string{"main"}, []string{"PATH=/bin"})
+}
+
+// The Template contract: a forked container's observable behaviour is
+// bitwise identical to a cold-built one, on any host, for any seed.
+func TestTemplateForkEqualsCold(t *testing.T) {
+	img := baseimg.Minimal()
+	img.AddFile("/bin/main", 0o755, guest.MakeExe("main", nil))
+	base := core.Config{Image: img, Deadline: 3_600_000_000_000, PRNGSeed: 7}
+
+	for _, h := range []host{hostA, hostB} {
+		cfg := base
+		cfg.Profile = h.profile
+		tp := core.NewTemplate(cfg)
+		warm := runFromTemplate(t, tp, h, templateWorkload)
+		if !warm.Forked {
+			t.Fatalf("template container did not take the fork path")
+		}
+		cold := runDT(t, h, core.Config{Deadline: base.Deadline, PRNGSeed: base.PRNGSeed}, templateWorkload)
+		if warm.Err != nil || cold.Err != nil {
+			t.Fatalf("runs failed: %v / %v", warm.Err, cold.Err)
+		}
+		if fullPrint(warm) != fullPrint(cold) {
+			t.Errorf("%s: forked container diverged from cold-built\nwarm stdout:\n%s\ncold stdout:\n%s",
+				h.profile.Name, warm.Stdout, cold.Stdout)
+		}
+		if warm.WallTime != cold.WallTime || warm.Stats.Syscalls != cold.Stats.Syscalls {
+			t.Errorf("%s: virtual cost diverged: wall %d vs %d, syscalls %d vs %d",
+				h.profile.Name, warm.WallTime, cold.WallTime, warm.Stats.Syscalls, cold.Stats.Syscalls)
+		}
+	}
+}
+
+// The DisableTemplateReuse ablation keeps the cold path alive: same
+// template, same host, identical output, but no fork.
+func TestTemplateDisableReuseAblation(t *testing.T) {
+	img := baseimg.Minimal()
+	img.AddFile("/bin/main", 0o755, guest.MakeExe("main", nil))
+	cfg := core.Config{Image: img, Deadline: 3_600_000_000_000, Profile: hostA.profile}
+
+	warmTp := core.NewTemplate(cfg)
+	warm := runFromTemplate(t, warmTp, hostA, templateWorkload)
+
+	cold := cfg
+	cold.DisableTemplateReuse = true
+	coldTp := core.NewTemplate(cold)
+	ablated := runFromTemplate(t, coldTp, hostA, templateWorkload)
+
+	if !warm.Forked || ablated.Forked {
+		t.Fatalf("fork flags wrong: warm=%v ablated=%v", warm.Forked, ablated.Forked)
+	}
+	if fullPrint(warm) != fullPrint(ablated) {
+		t.Errorf("DisableTemplateReuse changed results — it may only change setup cost")
+	}
+}
+
+// One template, many sequential and concurrent runs: no state may leak
+// between them, and every identical (seed, epoch) run must be identical.
+func TestTemplateStateLeakFreedom(t *testing.T) {
+	img := baseimg.Minimal()
+	img.AddFile("/bin/main", 0o755, guest.MakeExe("main", nil))
+	tp := core.NewTemplate(core.Config{Image: img, Deadline: 3_600_000_000_000, Profile: hostA.profile})
+
+	first := runFromTemplate(t, tp, hostA, templateWorkload)
+	second := runFromTemplate(t, tp, hostA, templateWorkload)
+	if fullPrint(first) != fullPrint(second) {
+		t.Fatalf("back-to-back runs from one template diverged")
+	}
+	coldRef := runDT(t, hostA, core.Config{Deadline: 3_600_000_000_000}, templateWorkload)
+	if fullPrint(second) != fullPrint(coldRef) {
+		t.Fatalf("a reused template drifted from cold-built behaviour")
+	}
+
+	const workers = 8
+	outs := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reg := guest.NewRegistry()
+			reg.Register("main", templateWorkload)
+			c := tp.NewContainer(core.HostRun{Seed: hostA.seed, Epoch: hostA.epoch})
+			outs[i] = fullPrint(c.Run(reg, "/bin/main", []string{"main"}, []string{"PATH=/bin"}))
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i] != outs[0] {
+			t.Fatalf("concurrent template run %d diverged", i)
+		}
+	}
+}
+
+// ConfigHash must split every behaviour-relevant knob and ignore the [host]
+// fields, so a template can never be reused across incompatible configs.
+func TestConfigHashGuard(t *testing.T) {
+	img := baseimg.Minimal()
+	base := core.Config{Image: img, PRNGSeed: 1}
+	h0 := core.ConfigHash(base)
+
+	hostVariants := []core.Config{
+		{Image: img, PRNGSeed: 1, HostSeed: 999},
+		{Image: img, PRNGSeed: 1, Epoch: 123456},
+		{Image: img, PRNGSeed: 1, NumCPU: 64},
+	}
+	for i, v := range hostVariants {
+		if core.ConfigHash(v) != h0 {
+			t.Errorf("host variant %d changed the config hash — templates would thrash", i)
+		}
+	}
+
+	behaviourVariants := []core.Config{
+		{Image: img, PRNGSeed: 2},
+		{Image: img, PRNGSeed: 1, DisableSeccomp: true},
+		{Image: img, PRNGSeed: 1, DisableSyscallBuf: true},
+		{Image: img, PRNGSeed: 1, DisableVdso: true},
+		{Image: img, PRNGSeed: 1, DisableDirSizes: true},
+		{Image: img, PRNGSeed: 1, DisableCpuidTrap: true},
+		{Image: img, PRNGSeed: 1, DisableInodeVirt: true},
+		{Image: img, PRNGSeed: 1, DisableGetdentsSort: true},
+		{Image: img, PRNGSeed: 1, WorkingDir: "/elsewhere"},
+		{Image: img, PRNGSeed: 1, SpinLimit: 99},
+		{Image: img, PRNGSeed: 1, UpdateVirtualMtimes: true},
+		{Image: img, PRNGSeed: 1, FastVdso: true},
+		{Image: img, PRNGSeed: 1, ExperimentalSockets: true},
+		{Image: img, PRNGSeed: 1, ExperimentalSignals: true},
+		{Image: img, PRNGSeed: 1, LogRealRandom: true},
+		{Image: img, PRNGSeed: 1, RandomReplay: []byte{1, 2, 3}},
+		{Image: img, PRNGSeed: 1, LogicalEpoch: 1},
+		{Image: img, PRNGSeed: 1, Deadline: 5},
+		{Image: img, PRNGSeed: 1, Profile: machine.PortabilityBroadwell()},
+		{Image: img, PRNGSeed: 1, Downloads: map[string]core.Download{"u": {Data: []byte("x"), SHA256: "aa"}}},
+	}
+	seen := map[uint64]int{h0: -1}
+	for i, v := range behaviourVariants {
+		h := core.ConfigHash(v)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("behaviour variant %d collides with variant %d", i, prev)
+		}
+		seen[h] = i
+	}
+
+	tp := core.NewTemplate(base)
+	if !tp.CompatibleWith(base) {
+		t.Errorf("template rejects its own config")
+	}
+	if tp.CompatibleWith(behaviourVariants[1]) {
+		t.Errorf("template accepts an incompatible ablation config")
+	}
+	changed := baseimg.Minimal()
+	changed.AddFile("/etc/extra", 0o644, []byte("new"))
+	if tp.CompatibleWith(core.Config{Image: changed, PRNGSeed: 1}) {
+		t.Errorf("template accepts a different image")
+	}
+}

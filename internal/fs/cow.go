@@ -1,0 +1,158 @@
+package fs
+
+import "repro/internal/prng"
+
+// This file implements the copy-on-write template layer (ISSUE 3): a
+// populated FS can be Freeze()d into an immutable base, and any number of
+// runs can then Fork() it instead of repeating Populate. The paper's §3
+// argument — a container's behaviour is a pure function of its initial
+// filesystem state — is what makes the base a cacheable value; the fork
+// discipline below is what makes the cache invisible.
+//
+// Bitwise-equivalence contract. A fork must be indistinguishable, to the
+// guest, from a cold boot that ran Populate with the same image, clock and
+// entropy:
+//
+//   - inode numbers: a cold Populate allocates sequentially (stride 1, no
+//     recycling) from the boot base 2 + entropy.Uint64()%1_000_000*16. The
+//     fork draws its own base with the identical single entropy read and
+//     renumbers every shell as forkBase + (baseIno - baseInoBase), so the
+//     guest sees exactly the numbers a cold boot would have produced.
+//   - timestamps: a cold Populate stamps every inode with clock() at
+//     construction, and the simulated clock does not advance during
+//     construction — so every initial timestamp equals the boot-time stamp.
+//     The fork records that stamp once (bootStamp) and applies it to every
+//     shell it materializes, whenever materialization happens.
+//   - readdir order: the directory-hash salt is derived from the machine
+//     profile name, not from boot entropy, so it is copied verbatim.
+//
+// Shells. Fork never hands out base inode pointers: path resolution in a
+// fork goes through ents(), which materializes per-fork "shell" inodes
+// lazily. A shell copies the metadata, shares file Data read-only (cowData,
+// broken by WriteAt/Truncate), and defers directory entries behind cowDir
+// until first listing or lookup. The clones map memoizes base→shell so hard
+// links keep aliasing inside the fork, and so that concurrent forks of one
+// frozen base never write to shared memory: the base is only ever read.
+
+// Freeze marks the filesystem as an immutable template base. After Freeze
+// any mutation panics; the only permitted operations are Fork and reads.
+func (f *FS) Freeze() {
+	if f.base != nil {
+		panic("fs: cannot freeze a fork")
+	}
+	f.frozen = true
+}
+
+// Frozen reports whether Freeze has been called.
+func (f *FS) Frozen() bool { return f.frozen }
+
+// Fork returns a mutable copy-on-write overlay of a frozen base. The clock
+// and entropy pool play exactly the roles they play in New: entropy is read
+// once for the inode numbering base, clock supplies the boot timestamp that
+// a cold Populate would have stamped on every inode. Any number of forks of
+// one base may be taken concurrently.
+func (f *FS) Fork(clock Clock, entropy *prng.Host) *FS {
+	if !f.frozen {
+		panic("fs: Fork of a non-frozen filesystem")
+	}
+	nf := &FS{
+		profile:   f.profile,
+		clock:     clock,
+		entropy:   entropy,
+		dev:       f.dev,
+		inoBase:   2 + entropy.Uint64()%1_000_000*16, // same draw as New
+		inoStride: f.inoStride,
+		hashSeed:  f.hashSeed,
+		base:      f,
+		clones:    make(map[*Inode]*Inode),
+		bootStamp: clock(),
+	}
+	nf.nextIno = nf.inoBase + (f.nextIno - f.inoBase)
+	for _, ino := range f.freeInos {
+		nf.freeInos = append(nf.freeInos, nf.inoBase+(ino-f.inoBase))
+	}
+	nf.Root = nf.shell(f.Root)
+	nf.Root.parent = nf.Root
+	return nf
+}
+
+// shell returns the fork's materialized copy of base inode b, creating and
+// memoizing it on first use. Memoization keeps hard links aliased: two
+// directory entries that shared one base inode share one shell.
+func (f *FS) shell(b *Inode) *Inode {
+	if s, ok := f.clones[b]; ok {
+		return s
+	}
+	s := &Inode{
+		Ino:    f.inoBase + (b.Ino - f.base.inoBase),
+		Mode:   b.Mode,
+		UID:    b.UID,
+		GID:    b.GID,
+		Nlink:  b.Nlink,
+		Atime:  f.bootStamp,
+		Mtime:  f.bootStamp,
+		Ctime:  f.bootStamp,
+		Target: b.Target,
+		DevID:  b.DevID,
+		fs:     f,
+	}
+	switch {
+	case b.IsDir():
+		s.cowDir = b // entries materialize on first ents()
+	case b.IsRegular():
+		s.Data = b.Data // shared read-only until breakCOWData
+		s.cowData = true
+	case b.IsFIFO():
+		// Pipes hold runtime state (buffered bytes, reader/writer counts),
+		// none of which survives into an image; a fresh empty pipe is what a
+		// cold Populate would have built.
+		s.Pipe = NewPipe(DefaultPipeCapacity)
+	}
+	f.clones[b] = s
+	return s
+}
+
+// ents returns the directory's entry map, materializing it from the frozen
+// base on first access. All readers and writers of .entries in this package
+// go through here so a fork never exposes base inode pointers.
+func (n *Inode) ents() map[string]*Inode {
+	if n.cowDir != nil {
+		base := n.cowDir
+		n.entries = make(map[string]*Inode, len(base.entries))
+		for name, child := range base.entries {
+			cs := n.fs.shell(child)
+			if cs.parent == nil {
+				cs.parent = n
+			}
+			n.entries[name] = cs
+		}
+		n.cowDir = nil
+	}
+	return n.entries
+}
+
+// entryCount returns the number of entries without forcing materialization,
+// so stat on an untouched forked directory stays allocation-free.
+func (n *Inode) entryCount() int {
+	if n.cowDir != nil {
+		return len(n.cowDir.entries)
+	}
+	return len(n.entries)
+}
+
+// breakCOWData unshares file contents from the frozen base before the first
+// in-place write or truncation. Without the copy, WriteAt's copy() and
+// Truncate's reslice would reach through the shared slice into the base.
+func (n *Inode) breakCOWData() {
+	if n.cowData {
+		n.Data = append([]byte(nil), n.Data...)
+		n.cowData = false
+	}
+}
+
+// mustMutable panics on any structural mutation of a frozen template base.
+func (f *FS) mustMutable() {
+	if f.frozen {
+		panic("fs: mutation of a frozen template base")
+	}
+}

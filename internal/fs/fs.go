@@ -38,6 +38,11 @@ type Device interface {
 }
 
 // FS is one mounted filesystem instance: a single tree rooted at Root.
+//
+// An FS is either live (mutable, the normal case), frozen (an immutable
+// template base, see Freeze), or a fork of a frozen base (see Fork): a
+// copy-on-write overlay whose inodes are materialized lazily from the base
+// and cloned on first mutation.
 type FS struct {
 	Root    *Inode
 	profile *machine.Profile
@@ -45,10 +50,19 @@ type FS struct {
 	entropy *prng.Host
 
 	dev       uint64
+	inoBase   uint64 // first inode number of this boot
 	nextIno   uint64
 	inoStride uint64
 	freeInos  []uint64 // recycled inode numbers, reused LIFO
 	hashSeed  uint64   // salts directory iteration order
+
+	// COW state. frozen marks an immutable template base; base and clones
+	// are set on forks: base is the frozen FS this overlay was forked from
+	// and clones maps base inodes to their materialized per-fork shells.
+	frozen    bool
+	base      *FS
+	clones    map[*Inode]*Inode
+	bootStamp int64 // fork boot time: the timestamp cold Populate would use
 }
 
 // New creates an empty filesystem for one simulated boot of the given
@@ -60,7 +74,7 @@ func New(p *machine.Profile, clock Clock, entropy *prng.Host) *FS {
 		clock:     clock,
 		entropy:   entropy,
 		dev:       0x801,
-		nextIno:   2 + entropy.Uint64()%1_000_000*16, // boot-dependent base
+		inoBase:   2 + entropy.Uint64()%1_000_000*16, // boot-dependent base
 		inoStride: 1,
 		// Directory iteration order is an htree hash salted at mkfs time:
 		// stable for one machine's filesystem across runs, different across
@@ -68,6 +82,7 @@ func New(p *machine.Profile, clock Clock, entropy *prng.Host) *FS {
 		// than a run-to-run one (§7.3).
 		hashSeed: nameSeed(p.Name),
 	}
+	f.nextIno = f.inoBase
 	f.Root = f.newInode(abi.ModeDir | 0o755)
 	f.Root.parent = f.Root
 	return f
@@ -93,10 +108,17 @@ type Inode struct {
 	Pipe    *Pipe             // FIFOs
 	DevID   string            // character devices, resolved by the kernel
 
+	// COW state, set on inodes of a forked FS. cowDir points at the frozen
+	// base directory whose entries this shell has not yet materialized;
+	// cowData marks file Data still shared read-only with the base.
+	cowDir  *Inode
+	cowData bool
+
 	fs *FS
 }
 
 func (f *FS) newInode(mode uint32) *Inode {
+	f.mustMutable()
 	var ino uint64
 	if n := len(f.freeInos); n > 0 {
 		// Recycle, exactly like a real filesystem would. DetTrace must not
@@ -136,14 +158,14 @@ func (n *Inode) IsFIFO() bool { return n.Mode&abi.ModeTypeMask == abi.ModeFIFO }
 func (n *Inode) IsDevice() bool { return n.Mode&abi.ModeTypeMask == abi.ModeCharDev }
 
 // NumEntries returns the number of directory entries excluding "." and "..".
-func (n *Inode) NumEntries() int { return len(n.entries) }
+func (n *Inode) NumEntries() int { return n.entryCount() }
 
 // Size returns the st_size the host reports for this inode. For directories
 // this is where the machine-specific formula leaks through (§7.3).
 func (n *Inode) Size() int64 {
 	switch {
 	case n.IsDir():
-		return n.fs.profile.DirSize(len(n.entries))
+		return n.fs.profile.DirSize(n.entryCount())
 	case n.IsSymlink():
 		return int64(len(n.Target))
 	default:
@@ -237,7 +259,7 @@ func (f *FS) resolve(ctx LookupCtx, path string, followLast bool, depth int) (*I
 				next = cur.parent
 			}
 		default:
-			next = cur.entries[c]
+			next = cur.ents()[c]
 		}
 		last := i == len(comps)-1
 		if next == nil {
@@ -325,26 +347,27 @@ func (f *FS) createNode(dir *Inode, name string, mode uint32, uid, gid uint32) (
 	if name == "" || name == "." || name == ".." {
 		return nil, abi.EINVAL
 	}
-	if _, ok := dir.entries[name]; ok {
+	if _, ok := dir.ents()[name]; ok {
 		return nil, abi.EEXIST
 	}
 	n := f.newInode(mode)
 	n.UID, n.GID = uid, gid
 	n.parent = dir
-	dir.entries[name] = n
+	dir.ents()[name] = n
 	dir.touchMtime()
 	return n, abi.OK
 }
 
 // Link adds a hard link to an existing inode. Directories cannot be linked.
 func (f *FS) Link(dir *Inode, name string, target *Inode) abi.Errno {
+	f.mustMutable()
 	if target.IsDir() {
 		return abi.EPERM
 	}
-	if _, ok := dir.entries[name]; ok {
+	if _, ok := dir.ents()[name]; ok {
 		return abi.EEXIST
 	}
-	dir.entries[name] = target
+	dir.ents()[name] = target
 	target.Nlink++
 	target.Ctime = f.clock()
 	dir.touchMtime()
@@ -353,14 +376,15 @@ func (f *FS) Link(dir *Inode, name string, target *Inode) abi.Errno {
 
 // Unlink removes name from dir. Freed inode numbers go to the recycle list.
 func (f *FS) Unlink(dir *Inode, name string) abi.Errno {
-	n, ok := dir.entries[name]
+	f.mustMutable()
+	n, ok := dir.ents()[name]
 	if !ok {
 		return abi.ENOENT
 	}
 	if n.IsDir() {
 		return abi.EISDIR
 	}
-	delete(dir.entries, name)
+	delete(dir.ents(), name)
 	dir.touchMtime()
 	n.Nlink--
 	n.Ctime = f.clock()
@@ -372,17 +396,18 @@ func (f *FS) Unlink(dir *Inode, name string) abi.Errno {
 
 // Rmdir removes an empty directory.
 func (f *FS) Rmdir(dir *Inode, name string) abi.Errno {
-	n, ok := dir.entries[name]
+	f.mustMutable()
+	n, ok := dir.ents()[name]
 	if !ok {
 		return abi.ENOENT
 	}
 	if !n.IsDir() {
 		return abi.ENOTDIR
 	}
-	if len(n.entries) != 0 {
+	if n.entryCount() != 0 {
 		return abi.ENOTEMPTY
 	}
-	delete(dir.entries, name)
+	delete(dir.ents(), name)
 	dir.Nlink--
 	dir.touchMtime()
 	f.freeInos = append(f.freeInos, n.Ino)
@@ -392,11 +417,12 @@ func (f *FS) Rmdir(dir *Inode, name string) abi.Errno {
 // Rename moves the entry oldName in oldDir to newName in newDir, replacing
 // any existing non-directory target.
 func (f *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName string) abi.Errno {
-	n, ok := oldDir.entries[oldName]
+	f.mustMutable()
+	n, ok := oldDir.ents()[oldName]
 	if !ok {
 		return abi.ENOENT
 	}
-	if existing, ok := newDir.entries[newName]; ok {
+	if existing, ok := newDir.ents()[newName]; ok {
 		if existing == n {
 			return abi.OK
 		}
@@ -404,14 +430,14 @@ func (f *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName string
 			if !n.IsDir() {
 				return abi.EISDIR
 			}
-			if len(existing.entries) != 0 {
+			if existing.entryCount() != 0 {
 				return abi.ENOTEMPTY
 			}
 			newDir.Nlink--
 		}
 	}
-	delete(oldDir.entries, oldName)
-	newDir.entries[newName] = n
+	delete(oldDir.ents(), oldName)
+	newDir.ents()[newName] = n
 	if n.IsDir() {
 		n.parent = newDir
 		oldDir.Nlink--
@@ -427,10 +453,11 @@ func (f *FS) Rename(oldDir *Inode, oldName string, newDir *Inode, newName string
 // BindMount grafts src onto the entry name under dir, replacing whatever was
 // there. This is the mechanism behind DetTrace's --working-dir flag.
 func (f *FS) BindMount(dir *Inode, name string, src *Inode) abi.Errno {
+	f.mustMutable()
 	if !dir.IsDir() {
 		return abi.ENOTDIR
 	}
-	dir.entries[name] = src
+	dir.ents()[name] = src
 	if src.IsDir() {
 		src.parent = dir
 	}
@@ -458,6 +485,7 @@ func (n *Inode) ReadAt(p []byte, off int64) int {
 // WriteAt copies p into the file at off, growing it as needed, and stamps
 // mtime from the host clock — the timestamp tar will later embed.
 func (n *Inode) WriteAt(p []byte, off int64) int {
+	n.breakCOWData()
 	end := off + int64(len(p))
 	if end > int64(len(n.Data)) {
 		grown := make([]byte, end)
@@ -474,6 +502,7 @@ func (n *Inode) Truncate(size int64) abi.Errno {
 	if !n.IsRegular() {
 		return abi.EINVAL
 	}
+	n.breakCOWData()
 	if size <= int64(len(n.Data)) {
 		n.Data = n.Data[:size]
 	} else {
@@ -492,8 +521,9 @@ func (n *Inode) Truncate(size int64) abi.Errno {
 // machines) list the same directory differently, which is why DetTrace must
 // sort getdents results (§5.5).
 func (f *FS) ReadDirRaw(dir *Inode) []abi.Dirent {
-	names := make([]string, 0, len(dir.entries))
-	for name := range dir.entries {
+	ents := dir.ents()
+	names := make([]string, 0, len(ents))
+	for name := range ents {
 		names = append(names, name)
 	}
 	sort.Slice(names, func(i, j int) bool {
@@ -501,7 +531,7 @@ func (f *FS) ReadDirRaw(dir *Inode) []abi.Dirent {
 	})
 	out := make([]abi.Dirent, len(names))
 	for i, name := range names {
-		e := dir.entries[name]
+		e := ents[name]
 		out[i] = abi.Dirent{Ino: e.Ino, Type: e.Mode & abi.ModeTypeMask, Name: name}
 	}
 	dir.Atime = f.clock()
@@ -534,13 +564,14 @@ func (f *FS) nameHash(name string) uint64 {
 func (f *FS) Walk(root *Inode, fn func(path string, n *Inode)) {
 	var rec func(prefix string, dir *Inode)
 	rec = func(prefix string, dir *Inode) {
-		names := make([]string, 0, len(dir.entries))
-		for name := range dir.entries {
+		ents := dir.ents()
+		names := make([]string, 0, len(ents))
+		for name := range ents {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			child := dir.entries[name]
+			child := ents[name]
 			p := prefix + "/" + name
 			fn(p, child)
 			if child.IsDir() {

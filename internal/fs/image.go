@@ -1,6 +1,8 @@
 package fs
 
 import (
+	"bytes"
+	"encoding/binary"
 	"sort"
 	"strings"
 
@@ -50,6 +52,65 @@ func (im *Image) AddDev(path, devID string) {
 	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeCharDev | 0o666, DevID: devID}
 }
 
+// AddFifo records a named pipe.
+func (im *Image) AddFifo(path string, perm uint32) {
+	im.Entries[clean(path)] = ImageEntry{Mode: abi.ModeFIFO | perm}
+}
+
+// Equal reports whether two images describe the same tree. A nil and an
+// empty file body are the same file, matching what Populate instantiates.
+func (im *Image) Equal(other *Image) bool {
+	if len(im.Entries) != len(other.Entries) {
+		return false
+	}
+	for p, e := range im.Entries {
+		o, ok := other.Entries[p]
+		if !ok {
+			return false
+		}
+		if e.Mode != o.Mode || e.UID != o.UID || e.GID != o.GID ||
+			e.Target != o.Target || e.DevID != o.DevID || !bytes.Equal(e.Data, o.Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hash returns a content hash of the image: FNV-1a over the sorted paths
+// and their length-prefixed entry fields. Two images with Equal contents
+// hash identically; the template cache (internal/buildsim) uses this as its
+// key, per ISSUE 3's "keyed by image content hash".
+func (im *Image) Hash() uint64 {
+	h := uint64(0xcbf29ce484222325)
+	mix := func(b []byte) {
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= 0x100000001b3
+		}
+	}
+	var buf [8]byte
+	num := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		mix(buf[:])
+	}
+	str := func(s string) {
+		num(uint64(len(s)))
+		mix([]byte(s))
+	}
+	for _, p := range im.Paths() {
+		e := im.Entries[p]
+		str(p)
+		num(uint64(e.Mode))
+		num(uint64(e.UID))
+		num(uint64(e.GID))
+		num(uint64(len(e.Data)))
+		mix(e.Data)
+		str(e.Target)
+		str(e.DevID)
+	}
+	return h
+}
+
 // Clone returns a deep copy, so experiment images can be derived from a
 // control image without aliasing (the control/experiment chroot split of
 // §6.1).
@@ -95,7 +156,7 @@ func (f *FS) Populate(im *Image) {
 		}
 		switch e.Mode & abi.ModeTypeMask {
 		case abi.ModeDir:
-			if existing, ok := dir.entries[name]; ok && existing.IsDir() {
+			if existing, ok := dir.ents()[name]; ok && existing.IsDir() {
 				existing.Mode = e.Mode
 				continue
 			}
@@ -106,7 +167,15 @@ func (f *FS) Populate(im *Image) {
 		case abi.ModeSymlink:
 			f.Symlink(dir, name, e.Target, e.UID, e.GID)
 		case abi.ModeCharDev:
-			f.Mkdev(dir, name, e.DevID, e.UID, e.GID)
+			n, err := f.Mkdev(dir, name, e.DevID, e.UID, e.GID)
+			if err == abi.OK {
+				n.Mode = e.Mode // preserve recorded device permissions
+			}
+		case abi.ModeFIFO:
+			n, err := f.Mkfifo(dir, name, e.Mode&abi.ModePermMask, e.UID, e.GID)
+			if err == abi.OK {
+				n.Mode = e.Mode
+			}
 		default:
 			n, err := f.CreateFile(dir, name, e.Mode&abi.ModePermMask, e.UID, e.GID)
 			if err == abi.OK {
@@ -120,7 +189,7 @@ func (f *FS) Populate(im *Image) {
 func (f *FS) ensureDirs(path string) *Inode {
 	cur := f.Root
 	for _, c := range splitPath(path) {
-		next, ok := cur.entries[c]
+		next, ok := cur.ents()[c]
 		if !ok {
 			next, _ = f.Mkdir(cur, c, 0o755, 0, 0)
 		}

@@ -1,0 +1,147 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/abi"
+	"repro/internal/machine"
+	"repro/internal/prng"
+)
+
+// Satellite check for ISSUE 3: the Populate → mutate → SnapshotImage →
+// Populate cycle must be lossless and alias-free for every node type the
+// image format can carry — symlinks, fifos, device nodes and empty
+// directories included, which the pre-PR Populate mishandled (fifos fell
+// into the regular-file arm and device permission bits were dropped).
+func TestImageRoundTripAllNodeTypes(t *testing.T) {
+	prop := func(blobs [][]byte, perms []uint8, mutSeed uint16) bool {
+		im := NewImage()
+		perm := func(i int) uint32 {
+			if i < len(perms) {
+				return uint32(perms[i])&0o777 | 0o400 // always owner-readable
+			}
+			return 0o644
+		}
+		for i, b := range blobs {
+			im.AddFile(fmt.Sprintf("/files/f%d", i), perm(i), b)
+		}
+		im.AddDir("/empty", 0o700)
+		im.AddDir("/also/empty/nested", 0o711)
+		im.AddSymlink("/ln-abs", "/files/f0")
+		im.AddSymlink("/ln-dangling", "/no/such/target")
+		im.AddFifo("/run/queue", 0o622)
+		im.AddFifo("/run/other", 0o600)
+		im.AddDev("/dev/urandom", "urandom")
+		im.AddDev("/dev/null", "null")
+
+		clock := int64(0)
+		f := New(machine.CloudLabC220G5(), func() int64 { clock++; return clock }, prng.NewHost(uint64(mutSeed)+1))
+		f.Populate(im)
+
+		// Mutate the live tree: the snapshot must capture the mutated state,
+		// not the original image.
+		ctx := LookupCtx{Root: f.Root, Cwd: f.Root}
+		if n, err := f.Resolve(ctx, "/files/f0", true); err == abi.OK {
+			n.WriteAt([]byte{byte(mutSeed), byte(mutSeed >> 8)}, int64(mutSeed%5))
+		}
+		empty, _ := f.Resolve(ctx, "/empty", true)
+		f.CreateFile(empty, "born", 0o640, 3, 4)
+		if mutSeed%2 == 0 {
+			run, _ := f.Resolve(ctx, "/run", true)
+			f.Unlink(run, "other")
+		}
+
+		snap := f.SnapshotImage(f.Root)
+
+		// Alias freedom: mutating the live tree after the snapshot must not
+		// change the snapshot.
+		if n, err := f.Resolve(ctx, "/files/f0", true); err == abi.OK {
+			n.WriteAt([]byte("POST-SNAPSHOT"), 0)
+		}
+
+		// Re-populating the snapshot into a fresh FS must reproduce it
+		// exactly: snapshot(populate(snapshot(x))) == snapshot(x).
+		clock2 := int64(0)
+		g := New(machine.PortabilityBroadwell(), func() int64 { clock2++; return clock2 }, prng.NewHost(uint64(mutSeed)+2))
+		g.Populate(snap)
+		back := g.SnapshotImage(g.Root)
+		if !snap.Equal(back) {
+			reportImageDiff(t, snap, back)
+			return false
+		}
+		// Spot-check the types survived.
+		gctx := LookupCtx{Root: g.Root, Cwd: g.Root}
+		if n, err := g.Resolve(gctx, "/run/queue", true); err != abi.OK || !n.IsFIFO() || n.Pipe == nil {
+			return false
+		}
+		if n, err := g.Resolve(gctx, "/dev/urandom", true); err != abi.OK || !n.IsDevice() || n.DevID != "urandom" {
+			return false
+		}
+		if n, err := g.Resolve(gctx, "/ln-dangling", false); err != abi.OK || !n.IsSymlink() {
+			return false
+		}
+		if n, err := g.Resolve(gctx, "/also/empty/nested", true); err != abi.OK || n.NumEntries() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func reportImageDiff(t *testing.T, want, got *Image) {
+	t.Helper()
+	for p, e := range want.Entries {
+		g, ok := got.Entries[p]
+		if !ok {
+			t.Logf("missing %q (mode %o)", p, e.Mode)
+			continue
+		}
+		if g.Mode != e.Mode || string(g.Data) != string(e.Data) || g.Target != e.Target || g.DevID != e.DevID {
+			t.Logf("%q: want %+v got %+v", p, e, g)
+		}
+	}
+	for p := range got.Entries {
+		if _, ok := want.Entries[p]; !ok {
+			t.Logf("extra %q", p)
+		}
+	}
+}
+
+func TestImageEqualNilVsEmptyData(t *testing.T) {
+	a, b := NewImage(), NewImage()
+	a.AddFile("/f", 0o644, nil)
+	b.AddFile("/f", 0o644, []byte{})
+	if !a.Equal(b) || !b.Equal(a) {
+		t.Errorf("nil and empty file bodies should compare equal")
+	}
+	if a.Hash() != b.Hash() {
+		t.Errorf("nil and empty file bodies should hash equal")
+	}
+}
+
+func TestImageHashDiscriminates(t *testing.T) {
+	base := templateImage()
+	h := base.Hash()
+	if h != templateImage().Hash() {
+		t.Fatalf("hash not deterministic")
+	}
+	variants := []func(*Image){
+		func(im *Image) { im.AddFile("/extra", 0o644, nil) },
+		func(im *Image) { im.AddFile("/bin/cc", 0o755, []byte("#!CC")) },
+		func(im *Image) { im.AddFile("/bin/cc", 0o750, []byte("#!cc")) },
+		func(im *Image) { im.AddSymlink("/usr/bin/cc", "/bin/ld") },
+		func(im *Image) { im.AddDev("/dev/urandom", "other") },
+		func(im *Image) { delete(im.Entries, "/empty") },
+	}
+	for i, mut := range variants {
+		im := templateImage()
+		mut(im)
+		if im.Hash() == h {
+			t.Errorf("variant %d collides with the base hash", i)
+		}
+	}
+}

@@ -315,6 +315,25 @@ type Kernel struct {
 // New boots a kernel per the config. The filesystem is populated from the
 // image; no process exists yet — call Start.
 func New(cfg Config) *Kernel {
+	return newKernel(cfg, func(k *Kernel, fsEntropy *prng.Host) *fs.FS {
+		f := fs.New(cfg.Profile, k.WallClock, fsEntropy)
+		if cfg.Image != nil {
+			f.Populate(cfg.Image)
+		}
+		return f
+	})
+}
+
+// newKernel is the boot path shared by New (cold: populate the image into a
+// fresh FS) and Snapshot.Boot (warm: COW-fork a frozen template base).
+//
+// The host entropy draw order below is a compatibility contract: the seed
+// pool is read for (1) the PID base, (2) the filesystem fork — whose single
+// draw both fs.New and fs.Fork perform identically — (3) the hardware model,
+// (4) the baseline policy when no policy is supplied. Warm boots are bitwise
+// identical to cold boots only while both paths consume entropy in exactly
+// this sequence, so mkFS receives its own pre-forked pool.
+func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *Kernel {
 	if cfg.Cost == (CostModel{}) {
 		cfg.Cost = DefaultCostModel()
 	}
@@ -344,10 +363,7 @@ func New(cfg Config) *Kernel {
 	}
 	k.cores = make([]int64, cores)
 	k.lcores = make([]int64, cores)
-	k.FS = fs.New(cfg.Profile, k.WallClock, entropy.Fork())
-	if cfg.Image != nil {
-		k.FS.Populate(cfg.Image)
-	}
+	k.FS = mkFS(k, entropy.Fork())
 	k.HW = cpu.NewHW(cfg.Profile, entropy.Fork(), func() int64 { return k.now })
 	k.registerStandardDevices()
 	k.populateProc()

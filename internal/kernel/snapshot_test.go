@@ -1,0 +1,135 @@
+package kernel_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/kernel"
+)
+
+// observerProgram prints every host-visible property a boot can leak: pid,
+// wall time, inode numbers and timestamps of populated files, raw getdents
+// order, /proc pseudo-file contents, urandom bytes, a write-then-stat. If a
+// warm boot differs from a cold boot in any of it, the fingerprint splits.
+func observerProgram(p *guest.Proc) int {
+	p.Printf("pid=%d ppid=%d\n", p.Getpid(), p.Getppid())
+	p.Printf("time=%d\n", p.Time())
+	for _, path := range []string{"/", "/bin", "/bin/sh", "/etc/hostname", "/tmp"} {
+		if st, err := p.Stat(path); err == 0 {
+			p.Printf("stat %s ino=%d mode=%o size=%d mtime=%d\n",
+				path, st.Ino, st.Mode, st.Size, st.Mtime.Nanos())
+		} else {
+			p.Printf("stat %s err=%v\n", path, err)
+		}
+	}
+	for _, dir := range []string{"/bin", "/etc"} {
+		ents, err := p.ReadDir(dir)
+		if err != 0 {
+			p.Printf("readdir %s err=%v\n", dir, err)
+			continue
+		}
+		p.Printf("readdir %s:", dir)
+		for _, e := range ents {
+			p.Printf(" %s=%d", e.Name, e.Ino)
+		}
+		p.Printf("\n")
+	}
+	if b, err := p.ReadFile("/proc/cpuinfo"); err == 0 {
+		p.Printf("cpuinfo %d bytes\n", len(b))
+	}
+	var rnd [8]byte
+	p.GetRandom(rnd[:])
+	p.Printf("rnd=%x\n", rnd)
+	p.WriteFile("/tmp/new.txt", []byte("fresh"), 0o644)
+	if st, err := p.Stat("/tmp/new.txt"); err == 0 {
+		p.Printf("new ino=%d mtime=%d\n", st.Ino, st.Mtime.Nanos())
+	}
+	p.Unlink("/tmp/new.txt")
+	p.WriteFile("/tmp/recycled.txt", []byte("again"), 0o644)
+	if st, err := p.Stat("/tmp/recycled.txt"); err == 0 {
+		p.Printf("recycled ino=%d\n", st.Ino)
+	}
+	return 0
+}
+
+func runObserver(t *testing.T, k *kernel.Kernel, reg *guest.Registry) string {
+	t.Helper()
+	img := &kernel.ExecImage{Path: "/bin/init", Argv: []string{"init"}}
+	k.Start(reg.Bind(observerProgram, img), img.Argv, []string{"PATH=/bin"})
+	if err := k.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return k.Console.Stdout()
+}
+
+// The Prepare/Boot contract: a warm boot from a snapshot is bitwise
+// indistinguishable from a cold New with the same per-run config — same
+// pids, inos, timestamps, getdents order, entropy stream.
+func TestSnapshotBootEqualsCold(t *testing.T) {
+	reg := guest.NewRegistry()
+	cfgOf := func(seed uint64, epoch int64) kernel.Config {
+		return kernel.Config{
+			Profile: profFor(), Seed: seed, Epoch: epoch,
+			Image: imgFor(), Resolver: reg.Resolver(),
+			Deadline: 3_600_000_000_000,
+		}
+	}
+	snap := kernel.Prepare(cfgOf(0, 0))
+	for _, run := range []struct {
+		seed  uint64
+		epoch int64
+	}{{0xAAAA, 1_520_000_000}, {0xB0B0, 1_545_999_999}, {7, 42}} {
+		cold := runObserver(t, kernel.New(cfgOf(run.seed, run.epoch)), reg)
+		warm := runObserver(t, snap.Boot(kernel.BootConfig{
+			Seed: run.seed, Epoch: run.epoch, Deadline: 3_600_000_000_000,
+		}), reg)
+		if cold != warm {
+			t.Errorf("seed %#x epoch %d: warm boot diverged from cold boot\n--- cold ---\n%s--- warm ---\n%s",
+				run.seed, run.epoch, cold, warm)
+		}
+	}
+}
+
+// One snapshot booted many times concurrently: runs must neither race (the
+// base is shared read-only) nor couple (identical seeds give identical
+// output; the snapshot accumulates no state between boots).
+func TestSnapshotConcurrentBoots(t *testing.T) {
+	reg := guest.NewRegistry()
+	snap := kernel.Prepare(kernel.Config{
+		Profile: profFor(), Image: imgFor(), Resolver: reg.Resolver(),
+	})
+	const workers = 12
+	outs := make([]string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := snap.Boot(kernel.BootConfig{Seed: 99, Epoch: 1_500_000_000, Deadline: 3_600_000_000_000})
+			img := &kernel.ExecImage{Path: "/bin/init", Argv: []string{"init"}}
+			k.Start(reg.Bind(observerProgram, img), img.Argv, []string{"PATH=/bin"})
+			if err := k.Run(); err != nil {
+				outs[i] = fmt.Sprintf("error: %v", err)
+				return
+			}
+			outs[i] = k.Console.Stdout()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("boot %d diverged:\n%s\nvs\n%s", i, outs[i], outs[0])
+		}
+	}
+	// And a boot after all of that still matches a cold kernel: the template
+	// accumulated no state.
+	cold := runObserver(t, kernel.New(kernel.Config{
+		Profile: profFor(), Seed: 99, Epoch: 1_500_000_000,
+		Image: imgFor(), Resolver: reg.Resolver(), Deadline: 3_600_000_000_000,
+	}), reg)
+	if outs[0] != cold {
+		t.Errorf("warm boots diverged from cold:\n%s\nvs\n%s", outs[0], cold)
+	}
+}

@@ -68,3 +68,16 @@ func PortabilityHost(v Variation, seed uint64) Variation {
 	v.HostSeed = prng.NewHost(seed ^ 0x707).Uint64()
 	return v
 }
+
+// Perturbed is the open-ended perturbation schedule: the r-th host-accident
+// variation of a package, for studies that rebuild more than twice (the
+// template amortization study rebuilds 16 times, like reprotest's standard
+// variation run). Run 0 is Pair's first variation, so schedules embed the
+// farm's own first build; every run shares the first build's nominal inputs
+// (environment, build root) and varies only the physical host. Pure in
+// (seed, r): schedules are independent of workers and scheduling, like
+// everything the farm derives.
+func Perturbed(seed uint64, r int) Variation {
+	v, _ := Pair(seed ^ (uint64(r) * 0x9E3779B97F4A7C15))
+	return v
+}

@@ -58,6 +58,27 @@ func TestPortabilityHostChangesOnlyTheSeed(t *testing.T) {
 	}
 }
 
+func TestPerturbedSchedule(t *testing.T) {
+	first, _ := Pair(7)
+	if p0 := Perturbed(7, 0); p0.HostSeed != first.HostSeed {
+		t.Errorf("run 0 must be the farm's own first variation")
+	}
+	seen := map[uint64]int{}
+	for r := 0; r < 16; r++ {
+		p := Perturbed(7, r)
+		if q := Perturbed(7, r); q.HostSeed != p.HostSeed {
+			t.Fatalf("run %d not deterministic", r)
+		}
+		if prev, dup := seen[p.HostSeed]; dup {
+			t.Errorf("runs %d and %d share a physical host", prev, r)
+		}
+		seen[p.HostSeed] = r
+		if p.BuildRoot != first.BuildRoot || p.Epoch != first.Epoch || p.NumCPU != first.NumCPU {
+			t.Errorf("run %d changed nominal conditions — only host accidents may vary", r)
+		}
+	}
+}
+
 func valueOf(env []string, prefix string) string {
 	for _, kv := range env {
 		if strings.HasPrefix(kv, prefix) {

@@ -51,6 +51,13 @@ type (
 	UnsupportedError = core.UnsupportedError
 	// Download declares one checksummed external file a container may fetch.
 	Download = core.Download
+	// Template is a prepared container — image populated and frozen, seccomp
+	// table compiled — from which NewContainer forks containers bitwise
+	// identical to cold-built ones at a fraction of the setup cost.
+	Template = core.Template
+	// HostRun names the physical run a forked container executes as: the
+	// [host] Config fields a template deliberately does not bake in.
+	HostRun = core.HostRun
 )
 
 // Guest programming types.
@@ -76,6 +83,11 @@ type (
 
 // New assembles a container from its configuration.
 func New(cfg Config) *Container { return core.New(cfg) }
+
+// NewTemplate prepares a reusable container template: the expensive,
+// run-independent half of New done once, so each Template.NewContainer
+// fork pays only per-run setup.
+func NewTemplate(cfg Config) *Template { return core.NewTemplate(cfg) }
 
 // NewRegistry returns an empty guest program registry.
 func NewRegistry() *Registry { return guest.NewRegistry() }
