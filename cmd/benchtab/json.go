@@ -43,7 +43,23 @@ type templateBench struct {
 	AvgColdSetupNs float64 `json:"avg_cold_setup_ns"`
 }
 
-// benchReport is the BENCH_<date>.json schema.
+// obsBench is the observability section: the modeled Fig. 5 slowdown with
+// the flight recorder on and off (the recorder charges no virtual time, so
+// the regression must stay under the 2% acceptance bound), the recorder
+// event volume per setup path, and the microbenchmark container's ring size.
+type obsBench struct {
+	SlowdownObsOn    float64 `json:"aggregate_slowdown_obs_on"`
+	SlowdownObsOff   float64 `json:"aggregate_slowdown_obs_off"`
+	RegressionPct    float64 `json:"fig5_regression_pct"`
+	AvgRecEventsFork float64 `json:"avg_rec_events_fork"`
+	AvgRecEventsCold float64 `json:"avg_rec_events_cold"`
+	MicrobenchEvents int64   `json:"recorder_events_microbench"`
+	MicrobenchDrops  int64   `json:"recorder_dropped_microbench"`
+}
+
+// benchReport is the BENCH_<date>.json schema. Additions ride in new keys
+// (the `obs` section); existing keys never rename, so downstream regression
+// tracking keeps parsing old and new files alike.
 type benchReport struct {
 	Date     string `json:"date"`
 	Seed     uint64 `json:"seed"`
@@ -57,6 +73,7 @@ type benchReport struct {
 	BitwiseIdentical            int     `json:"bitwise_identical"`
 
 	Templates templateBench `json:"templates"`
+	Obs       obsBench      `json:"obs"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -89,6 +106,42 @@ func runSyscallBench(calls int, disableBuf bool) (syscallBench, error) {
 	}, nil
 }
 
+// runObsBench fills the obs section: the same small farm aggregated with the
+// flight recorder on and off (modeled times are virtual, so any regression
+// is an observer-effect bug), plus the microbenchmark ring volume.
+func runObsBench(o *buildsim.Options, seed uint64, n int, ts *buildsim.TemplateStudy) obsBench {
+	if n <= 0 || n > 24 {
+		n = 24
+	}
+	specs := debpkg.Universe(seed, n)
+	on := (&buildsim.Options{Seed: seed, Jobs: o.Jobs}).BuildAll(specs, nil)
+	off := (&buildsim.Options{Seed: seed, Jobs: o.Jobs, NoObservability: true}).BuildAll(specs, nil)
+	b := obsBench{
+		SlowdownObsOn:    buildsim.Aggregate(on).AggregateSlowdown,
+		SlowdownObsOff:   buildsim.Aggregate(off).AggregateSlowdown,
+		AvgRecEventsFork: ts.AvgRecEventsFork,
+		AvgRecEventsCold: ts.AvgRecEventsCold,
+	}
+	if b.SlowdownObsOff > 0 {
+		b.RegressionPct = (b.SlowdownObsOn - b.SlowdownObsOff) / b.SlowdownObsOff * 100
+	}
+	reg := repro.NewRegistry()
+	reg.Register("loop", func(p *repro.GuestProc) int {
+		for i := 0; i < 1000; i++ {
+			p.Time()
+		}
+		return 0
+	})
+	img := repro.MinimalImage()
+	img.AddFile("/bin/loop", 0o755, repro.MakeExe("loop", nil))
+	res := repro.New(repro.Config{Image: img, HostSeed: 1}).Run(reg, "/bin/loop", []string{"loop"}, nil)
+	if res.Err == nil && res.Trace != nil {
+		b.MicrobenchEvents = res.Trace.Total()
+		b.MicrobenchDrops = res.Trace.Dropped()
+	}
+	return b
+}
+
 // writeBenchJSON produces BENCH_<date>.json in the working directory. The
 // aggregate slowdowns come from the buffering ablation over an n-package
 // sample, so one file carries both the microbenchmark and the modeled
@@ -109,6 +162,7 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	rep.AggregateSlowdownUnbuffered = st.WithoutBuf
 	rep.BitwiseIdentical = st.Identical
 	ts := o.RunTemplateStudy(debpkg.Universe(seed, n), 0)
+	rep.Obs = runObsBench(o, seed, n, ts)
 	rep.Templates = templateBench{
 		Packages:       ts.Packages,
 		RunsPerPackage: ts.Runs,

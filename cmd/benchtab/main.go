@@ -16,7 +16,8 @@
 //	benchtab -buffering         syscall-buffer ablation (Fig. 5 with/without)
 //	benchtab -templates         container-template ablation (setup cost with/without COW forks)
 //	benchtab -json              machine-readable BENCH_<date>.json report
-//	benchtab -all               everything (except -json, which writes a file)
+//	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
+//	benchtab -all               everything (except -json and -trace, which write files)
 //
 // The package universe defaults to a deterministic 1,200-package sample
 // (proportions preserved); -n 0 runs all 17,145 packages like the paper.
@@ -54,8 +55,9 @@ func main() {
 		rescue  = flag.Bool("rescue", false, "")
 		bufStud = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
 		tmplStd = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
-		jsonOut = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
-		all     = flag.Bool("all", false, "")
+		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
+		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
+		all      = flag.Bool("all", false, "")
 	)
 	flag.Parse()
 	o := &buildsim.Options{Seed: *seed, Jobs: *jobs}
@@ -163,6 +165,11 @@ func main() {
 	if *jsonOut {
 		if err := writeBenchJSON(o, *seed, sampleOr(*n, 120)); err != nil {
 			fmt.Println("benchmark report failed:", err)
+		}
+	}
+	if *traceDir != "" {
+		if err := writeTraces(*seed, *jobs, sampleOr(*n, 8), *traceDir); err != nil {
+			fmt.Println("trace export failed:", err)
 		}
 	}
 	if *all || *llvm {

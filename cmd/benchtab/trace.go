@@ -1,0 +1,63 @@
+// Flight-recorder export (-trace <dir>): run a small smoke farm with trace
+// retention on and write each package's event ring as Chrome trace_event
+// JSON (load in chrome://tracing or Perfetto), plus the farm-wide metrics
+// registry as a plain-text Prometheus dump.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/abi"
+	"repro/internal/buildsim"
+	"repro/internal/debpkg"
+	"repro/internal/obs"
+)
+
+// sysnoNamer labels syscall events in exported traces with the ABI name.
+func sysnoNamer(num int32) string { return abi.Sysno(num).String() }
+
+// writeTraces builds n packages with KeepTraces on and exports one
+// <name>_<version>.trace.json per completed DetTrace run plus metrics.prom
+// for the whole farm.
+func writeTraces(seed uint64, jobs, n int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	o := &buildsim.Options{Seed: seed, Jobs: jobs, KeepTraces: true}
+	specs := debpkg.Universe(seed, n)
+	outs := o.BuildAll(specs, nil)
+	wrote := 0
+	for _, out := range outs {
+		if len(out.Trace) == 0 {
+			continue
+		}
+		name := fmt.Sprintf("%s_%s.trace.json", out.Spec.Name, out.Spec.Version)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		werr := obs.WriteChromeTrace(f, out.Trace, out.Spans, sysnoNamer)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		wrote++
+	}
+	f, err := os.Create(filepath.Join(dir, "metrics.prom"))
+	if err != nil {
+		return err
+	}
+	werr := o.Obs().WriteProm(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+	fmt.Printf("wrote %d Chrome traces and metrics.prom to %s\n", wrote, dir)
+	return nil
+}

@@ -5,6 +5,14 @@
 //
 //	reprotest -pkg 7          # universe package #7
 //	reprotest -llvm           # the §7.2 llvm package
+//
+// With -diagnose the tool instead double-builds the package with identical
+// inputs and aligns the two flight-recorder streams, printing the first
+// divergent event; -inject-entropy N perturbs the second run's N'th entropy
+// draw to demonstrate the diagnoser localizing a seeded fault.
+//
+//	reprotest -pkg 7 -diagnose
+//	reprotest -pkg 7 -diagnose -inject-entropy 3
 package main
 
 import (
@@ -18,9 +26,11 @@ import (
 
 func main() {
 	var (
-		seed = flag.Uint64("seed", 1, "universe + environment seed")
-		pkgN = flag.Int("pkg", 0, "universe package index")
-		llvm = flag.Bool("llvm", false, "build the llvm package instead")
+		seed     = flag.Uint64("seed", 1, "universe + environment seed")
+		pkgN     = flag.Int("pkg", 0, "universe package index")
+		llvm     = flag.Bool("llvm", false, "build the llvm package instead")
+		diagnose = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
+		inject   = flag.Int("inject-entropy", 0, "with -diagnose: perturb the second run's N'th entropy draw")
 	)
 	flag.Parse()
 
@@ -49,6 +59,11 @@ func main() {
 	}
 
 	o := &buildsim.Options{Seed: *seed}
+	if *diagnose {
+		fmt.Println()
+		fmt.Println(o.Diagnose(spec, *inject))
+		return
+	}
 	out := o.BuildPackage(spec)
 	fmt.Printf("\nbaseline (reprotest variations): %s", out.BL)
 	if out.BLTime > 0 {

@@ -29,6 +29,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/reprotest"
 	"repro/internal/stripnd"
 	"repro/internal/workload"
@@ -75,6 +76,18 @@ type Options struct {
 	// TemplateCacheSize bounds the prepared-template LRU caches
 	// (0 = DefaultTemplateCacheSize).
 	TemplateCacheSize int
+	// NoObservability disables the per-container flight recorder in the
+	// DetTrace runs (the observability mechanism ablation). Like Jobs and
+	// DisableTemplates it must not change any build output — the recorder
+	// observes, it never feeds back — and templates_test.go pins that.
+	NoObservability bool
+	// KeepTraces retains each package's flight-recorder ring, span list and
+	// event count in Out (for `benchtab -trace`). Off by default because the
+	// ring legitimately differs across setup paths — forked containers record
+	// COW breaks, cold boots don't, and span wall-clock durations are host
+	// accidents — while Out is otherwise pinned bitwise-identical across
+	// every mechanism ablation.
+	KeepTraces bool
 
 	// Farm-wide prepared-state caches and setup accounting (templates.go).
 	// Lazily initialized; all access is concurrency-safe, so one Options may
@@ -82,6 +95,7 @@ type Options struct {
 	cacheMu sync.Mutex
 	cache   *farmCaches
 	setup   setupCounters
+	obsReg  *obs.Registry
 }
 
 // Out is the full record of one package's evaluation.
@@ -105,6 +119,15 @@ type Out struct {
 
 	// Events are the DetTrace run's weighted tracer counters (Table 2).
 	Events Events
+
+	// RecEvents is how many flight-recorder events the first DetTrace run
+	// produced; Trace and Spans are that run's retained event ring and
+	// lifecycle spans. Populated only under Options.KeepTraces (for
+	// `benchtab -trace`): the ring is mechanism-dependent metadata, not
+	// build output.
+	RecEvents int64
+	Trace     []obs.Event
+	Spans     []obs.Span
 }
 
 // Events is the per-package slice of Table 2: weighted tracer event counts
@@ -145,7 +168,7 @@ func eventsFrom(st kernel.Stats) Events {
 // build under the two reprotest variations, then (when the baseline built at
 // all) a DetTrace double build varying only host accidents.
 func (o *Options) BuildPackage(spec *debpkg.Spec) Out {
-	return o.build(spec, 0)
+	return o.build(obs.NewLocal(), spec, 0)
 }
 
 // BuildAll evaluates every spec across the worker pool. The returned slice
@@ -155,8 +178,8 @@ func (o *Options) BuildAll(specs []*debpkg.Spec, progress func(done, total int))
 	outs := make([]Out, len(specs))
 	var mu sync.Mutex
 	done := 0
-	o.forEach(len(specs), func(i int) {
-		outs[i] = o.build(specs[i], i)
+	o.forEach(len(specs), func(l obs.Local, i int) {
+		outs[i] = o.build(l, specs[i], i)
 		mu.Lock()
 		done++
 		if progress != nil {
@@ -167,9 +190,10 @@ func (o *Options) BuildAll(specs []*debpkg.Spec, progress func(done, total int))
 	return outs
 }
 
-// forEach runs fn(0..n-1) across the option's worker pool. fn must write
-// only to its own index's state.
-func (o *Options) forEach(n int, fn func(i int)) {
+// forEach runs fn(0..n-1) across the option's worker pool, handing each
+// worker its own metrics stripe so the farm counters never contend. fn must
+// write only to its own index's state.
+func (o *Options) forEach(n int, fn func(l obs.Local, i int)) {
 	jobs := o.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -178,8 +202,9 @@ func (o *Options) forEach(n int, fn func(i int)) {
 		jobs = n
 	}
 	if jobs <= 1 {
+		l := obs.NewLocal()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(l, i)
 		}
 		return
 	}
@@ -189,8 +214,9 @@ func (o *Options) forEach(n int, fn func(i int)) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			l := obs.NewLocal()
 			for i := range work {
-				fn(i)
+				fn(l, i)
 			}
 		}()
 	}
@@ -214,7 +240,7 @@ func pkgSeed(seed uint64, spec *debpkg.Spec) uint64 {
 }
 
 // build is the per-package protocol.
-func (o *Options) build(spec *debpkg.Spec, idx int) Out {
+func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
 	seed := pkgSeed(o.Seed, spec)
 	v1, v2 := reprotest.Pair(seed)
 	out := Out{Spec: spec, Index: idx, Threaded: spec.Compiler == "javac"}
@@ -223,7 +249,7 @@ func (o *Options) build(spec *debpkg.Spec, idx int) Out {
 	// (environment, build path, epoch, CPUs, host seed all vary). The §6.1
 	// toolchain includes strip-nondeterminism, so the baseline verdict
 	// compares the stripped .debs.
-	b1 := o.buildNative(spec, v1, BLDeadline)
+	b1 := o.buildNative(l, spec, v1, BLDeadline)
 	out.BLTime = b1.wall
 	if secs := float64(b1.wall) / 1e9; secs > 0 {
 		out.SyscallRate = float64(b1.syscalls) / secs
@@ -232,7 +258,7 @@ func (o *Options) build(spec *debpkg.Spec, idx int) Out {
 		out.BL = v
 		return out
 	}
-	b2 := o.buildNative(spec, v2, BLDeadline)
+	b2 := o.buildNative(l, spec, v2, BLDeadline)
 	if v := b2.verdict(); v != "" {
 		out.BL = v
 		return out
@@ -247,15 +273,20 @@ func (o *Options) build(spec *debpkg.Spec, idx int) Out {
 	// but the container pins the build path, environment and PRNG seed as
 	// inputs, so only the host accidents (entropy, epoch, core count)
 	// actually vary. That is the property being measured.
-	d1 := o.buildDT(spec, seed, v1, nil)
+	d1 := o.buildDT(l, spec, seed, v1, nil)
 	out.DTTime = d1.wall
 	out.Events = d1.events
+	if o.KeepTraces {
+		out.RecEvents = d1.recEvents
+		out.Trace = d1.trace
+		out.Spans = d1.spans
+	}
 	if v, reason := d1.verdict(); v != "" {
 		out.DT = v
 		out.UnsupReason = reason
 		return out
 	}
-	d2 := o.buildDT(spec, seed, v2, nil)
+	d2 := o.buildDT(l, spec, seed, v2, nil)
 	if v, reason := d2.verdict(); v != "" {
 		out.DT = v
 		out.UnsupReason = reason
@@ -327,8 +358,9 @@ func (r nativeRun) verdict() Verdict {
 // reprotest variation, with the kernel's baseline (nondeterministic) policy.
 // Unless the template ablation is on, the kernel boots from a cached
 // prepared snapshot of the toolchain image instead of repopulating it.
-func (o *Options) buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline int64) nativeRun {
-	img, pkgdir, imgHash := o.pkgImage(spec, v.BuildRoot)
+func (o *Options) buildNative(l obs.Local, spec *debpkg.Spec, v reprotest.Variation, deadline int64) nativeRun {
+	sc := o.sc()
+	img, pkgdir, imgHash := o.pkgImage(l, spec, v.BuildRoot)
 	start := time.Now()
 	var k *kernel.Kernel
 	if o.DisableTemplates {
@@ -341,10 +373,10 @@ func (o *Options) buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline
 			Resolver: registry().Resolver(),
 			Deadline: deadline,
 		})
-		o.setup.coldBoots.Add(1)
-		o.setup.coldSetupNs.Add(time.Since(start).Nanoseconds())
+		sc.coldBoots.Add(l, 1)
+		sc.coldSetupNs.Add(l, time.Since(start).Nanoseconds())
 	} else {
-		snap := o.snapshot(imgHash, img) // Prepare time lands in prepareNs
+		snap := o.snapshot(l, imgHash, img) // Prepare time lands in prepareNs
 		start = time.Now()
 		k = snap.Boot(kernel.BootConfig{
 			Seed:     v.HostSeed,
@@ -352,8 +384,8 @@ func (o *Options) buildNative(spec *debpkg.Spec, v reprotest.Variation, deadline
 			NumCPU:   v.NumCPU,
 			Deadline: deadline,
 		})
-		o.setup.forkBoots.Add(1)
-		o.setup.forkNs.Add(time.Since(start).Nanoseconds())
+		sc.forkBoots.Add(l, 1)
+		sc.forkNs.Add(l, time.Since(start).Nanoseconds())
 	}
 	argv := []string{"dpkg-buildpackage", "-b"}
 	init := func(t *kernel.Thread) int {
@@ -393,15 +425,18 @@ func inodeData(k *kernel.Kernel, p *kernel.Proc, path string) []byte {
 
 // dtRun is one DetTrace build's observables.
 type dtRun struct {
-	deb     []byte
-	log     []byte
-	prog    []byte // the built binary, for post-build selftests (§7.2)
-	exit    int
-	wall    int64
-	timeout bool
-	unsup   string
-	err     error
-	events  Events
+	deb       []byte
+	log       []byte
+	prog      []byte // the built binary, for post-build selftests (§7.2)
+	exit      int
+	wall      int64
+	timeout   bool
+	unsup     string
+	err       error
+	events    Events
+	recEvents int64       // flight-recorder events produced (incl. dropped)
+	trace     []obs.Event // retained flight-recorder ring
+	spans     []obs.Span  // lifecycle spans (prepare/fork/boot/run/flush)
 }
 
 func (r dtRun) verdict() (Verdict, string) {
@@ -436,20 +471,22 @@ var containerEnv = []string{
 // per-config via DisableTemplateReuse), the container is forked from a
 // cached core.Template keyed on (image hash, config hash) — mod runs first,
 // so an ablated config can never be served a mismatched template.
-func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation, mod func(*core.Config)) dtRun {
-	img, pkgdir, imgHash := o.pkgImage(spec, "/build")
+func (o *Options) buildDT(l obs.Local, spec *debpkg.Spec, seed uint64, v reprotest.Variation, mod func(*core.Config)) dtRun {
+	sc := o.sc()
+	img, pkgdir, imgHash := o.pkgImage(l, spec, "/build")
 	cfg := core.Config{
-		Image:               img,
-		Profile:             machine.CloudLabC220G5(),
-		HostSeed:            v.HostSeed,
-		Epoch:               v.Epoch,
-		NumCPU:              v.NumCPU,
-		PRNGSeed:            seed ^ 0xD7,
-		WorkingDir:          pkgdir,
-		Deadline:            DTDeadline,
-		ExperimentalSockets: o.Experimental,
-		ExperimentalSignals: o.Experimental,
-		DisableSyscallBuf:   o.NoSyscallBuf,
+		Image:                img,
+		Profile:              machine.CloudLabC220G5(),
+		HostSeed:             v.HostSeed,
+		Epoch:                v.Epoch,
+		NumCPU:               v.NumCPU,
+		PRNGSeed:             seed ^ 0xD7,
+		WorkingDir:           pkgdir,
+		Deadline:             DTDeadline,
+		ExperimentalSockets:  o.Experimental,
+		ExperimentalSignals:  o.Experimental,
+		DisableSyscallBuf:    o.NoSyscallBuf,
+		DisableObservability: o.NoObservability,
 	}
 	if mod != nil {
 		mod(&cfg)
@@ -458,20 +495,26 @@ func (o *Options) buildDT(spec *debpkg.Spec, seed uint64, v reprotest.Variation,
 	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img {
 		c = core.New(cfg)
 	} else {
-		c = o.template(imgHash, cfg).NewContainer(core.HostRun{
+		c = o.template(l, imgHash, cfg).NewContainer(core.HostRun{
 			Seed: cfg.HostSeed, Epoch: cfg.Epoch, NumCPU: cfg.NumCPU,
 		})
 	}
 	res := c.Run(registry(), "/bin/dpkg-buildpackage",
 		[]string{"dpkg-buildpackage", "-b"}, containerEnv)
 	if res.Forked {
-		o.setup.forkBoots.Add(1)
-		o.setup.forkNs.Add(res.SetupNs)
+		sc.forkBoots.Add(l, 1)
+		sc.forkNs.Add(l, res.SetupNs)
+		sc.recEventsFork.Add(l, res.Trace.Total())
 	} else {
-		o.setup.coldBoots.Add(1)
-		o.setup.coldSetupNs.Add(res.SetupNs)
+		sc.coldBoots.Add(l, 1)
+		sc.coldSetupNs.Add(l, res.SetupNs)
+		sc.recEventsCold.Add(l, res.Trace.Total())
 	}
-	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats)}
+	// Roll the run's own registry (kernel syscall table, tracer stops) into
+	// the farm-wide one so `benchtab -trace` can dump a single farm view.
+	o.Obs().Absorb(res.Obs)
+	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats),
+		recEvents: res.Trace.Total(), trace: res.Events, spans: res.Spans}
 	r.events.Stops = res.Tracer.Stops
 	r.events.Buffered = res.Tracer.BufferedCalls
 	r.events.Flushes = res.Tracer.Flushes

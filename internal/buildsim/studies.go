@@ -19,6 +19,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/reprotest"
 	"repro/internal/rr"
 	"repro/internal/stats"
@@ -61,15 +62,15 @@ func (o *Options) RunStock(specs []*debpkg.Spec) *StockStudy {
 		diff               string
 	}
 	outs := make([]stockOut, len(specs))
-	o.forEach(len(specs), func(i int) {
+	o.forEach(len(specs), func(l obs.Local, i int) {
 		spec := specs[i]
 		v1, v2 := reprotest.Pair(pkgSeed(o.Seed, spec))
-		b1 := o.buildNative(spec, v1, BLDeadline)
+		b1 := o.buildNative(l, spec, v1, BLDeadline)
 		if v := b1.verdict(); v != "" {
 			outs[i].timeout = v == Timeout
 			return
 		}
-		b2 := o.buildNative(spec, v2, BLDeadline)
+		b2 := o.buildNative(l, spec, v2, BLDeadline)
 		if v := b2.verdict(); v != "" {
 			outs[i].timeout = v == Timeout
 			return
@@ -151,14 +152,14 @@ func (o *Options) RunRRStudy() *RRStudy {
 		traceKB  float64
 	}
 	outs := make([]rrOut, len(specs))
-	o.forEach(len(specs), func(i int) {
+	o.forEach(len(specs), func(l obs.Local, i int) {
 		spec := specs[i]
 		v1, _ := reprotest.Pair(pkgSeed(o.Seed, spec))
-		nat := o.buildNative(spec, v1, BLDeadline)
+		nat := o.buildNative(l, spec, v1, BLDeadline)
 		if nat.verdict() != "" {
 			return
 		}
-		wall, traceBytes, crashed := o.buildRR(spec, v1)
+		wall, traceBytes, crashed := o.buildRR(l, spec, v1)
 		if crashed {
 			outs[i].crashed = true
 			return
@@ -194,8 +195,8 @@ func (o *Options) RunRRStudy() *RRStudy {
 // like every policy — from the shared image snapshot unless the template
 // ablation is on. rr's known crash — an unhandled tty ioctl — surfaces as
 // ErrUnsupportedIoctl.
-func (o *Options) buildRR(spec *debpkg.Spec, v reprotest.Variation) (wall, traceBytes int64, crashed bool) {
-	img, pkgdir, imgHash := o.pkgImage(spec, v.BuildRoot)
+func (o *Options) buildRR(l obs.Local, spec *debpkg.Spec, v reprotest.Variation) (wall, traceBytes int64, crashed bool) {
+	img, pkgdir, imgHash := o.pkgImage(l, spec, v.BuildRoot)
 	profile := machine.CloudLabC220G5()
 	rec := rr.NewRecorder(profile.SeccompSingleStop)
 	var k *kernel.Kernel
@@ -211,7 +212,7 @@ func (o *Options) buildRR(spec *debpkg.Spec, v reprotest.Variation) (wall, trace
 			Policy:   rec,
 		})
 	} else {
-		k = o.snapshot(imgHash, img).Boot(kernel.BootConfig{
+		k = o.snapshot(l, imgHash, img).Boot(kernel.BootConfig{
 			Seed:     v.HostSeed,
 			Epoch:    v.Epoch,
 			NumCPU:   v.NumCPU,
@@ -284,16 +285,16 @@ func (o *Options) RunBufferStudy(specs []*debpkg.Spec) *BufferStudy {
 		off       Events
 	}
 	outs := make([]bufOut, len(specs))
-	o.forEach(len(specs), func(i int) {
+	o.forEach(len(specs), func(l obs.Local, i int) {
 		spec := specs[i]
 		seed := pkgSeed(o.Seed, spec)
 		v1, _ := reprotest.Pair(seed)
-		nat := o.buildNative(spec, v1, BLDeadline)
+		nat := o.buildNative(l, spec, v1, BLDeadline)
 		if nat.verdict() != "" {
 			return
 		}
-		on := o.buildDT(spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = false })
-		off := o.buildDT(spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = true })
+		on := o.buildDT(l, spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = false })
+		off := o.buildDT(l, spec, seed, v1, func(c *core.Config) { c.DisableSyscallBuf = true })
 		if v, _ := on.verdict(); v != "" {
 			return
 		}
@@ -385,16 +386,16 @@ func (o *Options) RunPortability(n int, ablate bool) *PortStudy {
 		diff          string
 	}
 	outs := make([]portOut, len(cands))
-	o.forEach(len(cands), func(i int) {
+	o.forEach(len(cands), func(l obs.Local, i int) {
 		spec := cands[i]
 		seed := pkgSeed(o.Seed, spec)
 		v1, _ := reprotest.Pair(seed)
 		vB := reprotest.PortabilityHost(v1, seed)
-		a := o.buildDT(spec, seed, v1, func(c *core.Config) {
+		a := o.buildDT(l, spec, seed, v1, func(c *core.Config) {
 			c.Profile = machine.CloudLabC220G5()
 			c.DisableDirSizes = ablate
 		})
-		b := o.buildDT(spec, seed, vB, func(c *core.Config) {
+		b := o.buildDT(l, spec, seed, vB, func(c *core.Config) {
 			c.Profile = machine.PortabilityBroadwell()
 			c.DisableDirSizes = ablate
 		})
@@ -444,9 +445,10 @@ func (o *Options) RunLLVM() *LLVMStudy {
 	spec := debpkg.LLVM()
 	seed := pkgSeed(o.Seed, spec)
 	v1, v2 := reprotest.Pair(seed)
-	nat := o.buildNative(spec, v1, BLDeadline)
-	d1 := o.buildDT(spec, seed, v1, nil)
-	d2 := o.buildDT(spec, seed, v2, nil)
+	l := obs.NewLocal()
+	nat := o.buildNative(l, spec, v1, BLDeadline)
+	d1 := o.buildDT(l, spec, seed, v1, nil)
+	d2 := o.buildDT(l, spec, seed, v2, nil)
 	st := &LLVMStudy{
 		NativeSummary:   testSummary(selftest(nat.prog)),
 		DetTraceSummary: testSummary(d1.log),

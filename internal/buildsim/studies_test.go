@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/debpkg"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/reprotest"
 )
 
@@ -125,11 +126,12 @@ func TestPortabilityDirSizeAblation(t *testing.T) {
 		seed := pkgSeed(o.Seed, spec)
 		v1, _ := reprotest.Pair(seed)
 		vB := reprotest.PortabilityHost(v1, seed)
-		a = o.buildDT(spec, seed, v1, func(c *core.Config) {
+		l := obs.NewLocal()
+		a = o.buildDT(l, spec, seed, v1, func(c *core.Config) {
 			c.Profile = machine.CloudLabC220G5()
 			c.DisableDirSizes = ablate
 		})
-		b = o.buildDT(spec, seed, vB, func(c *core.Config) {
+		b = o.buildDT(l, spec, seed, vB, func(c *core.Config) {
 			c.Profile = machine.PortabilityBroadwell()
 			c.DisableDirSizes = ablate
 		})
@@ -177,7 +179,7 @@ func TestRunLLVM(t *testing.T) {
 func TestSelftestTruncationHazard(t *testing.T) {
 	spec := debpkg.LLVM()
 	v1, _ := reprotest.Pair(pkgSeed(1, spec))
-	nat := (&Options{Seed: 1}).buildNative(spec, v1, BLDeadline)
+	nat := (&Options{Seed: 1}).buildNative(obs.NewLocal(), spec, v1, BLDeadline)
 	if nat.verdict() != "" {
 		t.Fatalf("native llvm build failed: %s", nat.verdict())
 	}

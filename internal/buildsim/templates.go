@@ -23,7 +23,6 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -31,6 +30,7 @@ import (
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/reprotest"
 )
 
@@ -42,21 +42,30 @@ import (
 // toolchain trees.
 const DefaultTemplateCacheSize = 32
 
-// setupCounters is the farm's internal setup accounting. Everything is
-// atomic so the Jobs-wide worker pool can share one Options; none of it
-// feeds back into build results.
+// setupCounters is the farm's setup accounting, held as handles into the
+// farm's obs registry (see Options.Obs) so roll-ups and the Prometheus dump
+// see the same numbers the studies report. The counters are sharded atomics:
+// each worker adds on its own stripe (the obs.Local threaded through
+// forEach), so the Jobs-wide pool shares one Options without contending.
+// None of it feeds back into build results.
 type setupCounters struct {
-	templateHits   atomic.Int64
-	templateMisses atomic.Int64
-	evictions      atomic.Int64
-	imageBuilds    atomic.Int64
-	imageHits      atomic.Int64
-	coldBoots      atomic.Int64
-	forkBoots      atomic.Int64
-	imageBuildNs   atomic.Int64
-	prepareNs      atomic.Int64
-	forkNs         atomic.Int64
-	coldSetupNs    atomic.Int64
+	templateHits   *obs.Counter
+	templateMisses *obs.Counter
+	evictions      *obs.Counter
+	imageBuilds    *obs.Counter
+	imageHits      *obs.Counter
+	coldBoots      *obs.Counter
+	forkBoots      *obs.Counter
+	imageBuildNs   *obs.Counter
+	prepareNs      *obs.Counter
+	forkNs         *obs.Counter
+	coldSetupNs    *obs.Counter
+
+	// Recorder roll-up: flight-recorder events produced by container runs,
+	// split by setup path so the templates study can price the recorder per
+	// fork vs cold boot.
+	recEventsFork *obs.Counter
+	recEventsCold *obs.Counter
 }
 
 // SetupStats is a point-in-time snapshot of the farm's container-setup
@@ -77,6 +86,9 @@ type SetupStats struct {
 	PrepareNs    int64 // populating and freezing template bases
 	ForkNs       int64 // COW-fork boots
 	ColdSetupNs  int64 // cold kernel construction (image populate included)
+
+	RecEventsFork int64 // flight-recorder events from forked containers
+	RecEventsCold int64 // flight-recorder events from cold-booted containers
 }
 
 // SetupNs is the farm's total setup cost: everything spent getting
@@ -87,19 +99,65 @@ func (s SetupStats) SetupNs() int64 {
 
 // SetupStats snapshots the farm's setup accounting so far.
 func (o *Options) SetupStats() SetupStats {
+	sc := o.sc()
 	return SetupStats{
-		TemplateHits:   o.setup.templateHits.Load(),
-		TemplateMisses: o.setup.templateMisses.Load(),
-		Evictions:      o.setup.evictions.Load(),
-		ImageBuilds:    o.setup.imageBuilds.Load(),
-		ImageHits:      o.setup.imageHits.Load(),
-		ColdBoots:      o.setup.coldBoots.Load(),
-		ForkBoots:      o.setup.forkBoots.Load(),
-		ImageBuildNs:   o.setup.imageBuildNs.Load(),
-		PrepareNs:      o.setup.prepareNs.Load(),
-		ForkNs:         o.setup.forkNs.Load(),
-		ColdSetupNs:    o.setup.coldSetupNs.Load(),
+		TemplateHits:   sc.templateHits.Value(),
+		TemplateMisses: sc.templateMisses.Value(),
+		Evictions:      sc.evictions.Value(),
+		ImageBuilds:    sc.imageBuilds.Value(),
+		ImageHits:      sc.imageHits.Value(),
+		ColdBoots:      sc.coldBoots.Value(),
+		ForkBoots:      sc.forkBoots.Value(),
+		ImageBuildNs:   sc.imageBuildNs.Value(),
+		PrepareNs:      sc.prepareNs.Value(),
+		ForkNs:         sc.forkNs.Value(),
+		ColdSetupNs:    sc.coldSetupNs.Value(),
+		RecEventsFork:  sc.recEventsFork.Value(),
+		RecEventsCold:  sc.recEventsCold.Value(),
 	}
+}
+
+// Obs returns the farm-wide metrics registry: the setup counters above plus
+// every container run's absorbed per-run registry (kernel per-syscall table,
+// tracer stop/buffer accounting). Lazily created; safe under the pool.
+func (o *Options) Obs() *obs.Registry {
+	o.cacheMu.Lock()
+	defer o.cacheMu.Unlock()
+	o.initObsLocked()
+	return o.obsReg
+}
+
+// sc returns the initialized setup-counter handles.
+func (o *Options) sc() *setupCounters {
+	o.cacheMu.Lock()
+	defer o.cacheMu.Unlock()
+	o.initObsLocked()
+	return &o.setup
+}
+
+// initObsLocked creates the farm registry and counter handles once; callers
+// hold cacheMu.
+func (o *Options) initObsLocked() {
+	if o.obsReg != nil {
+		return
+	}
+	r := obs.NewRegistry()
+	o.setup = setupCounters{
+		templateHits:   r.Counter("farm_template_hits"),
+		templateMisses: r.Counter("farm_template_misses"),
+		evictions:      r.Counter("farm_cache_evictions"),
+		imageBuilds:    r.Counter("farm_image_builds"),
+		imageHits:      r.Counter("farm_image_hits"),
+		coldBoots:      r.Counter("farm_cold_boots"),
+		forkBoots:      r.Counter("farm_fork_boots"),
+		imageBuildNs:   r.Counter("farm_image_build_ns"),
+		prepareNs:      r.Counter("farm_prepare_ns"),
+		forkNs:         r.Counter("farm_fork_ns"),
+		coldSetupNs:    r.Counter("farm_cold_setup_ns"),
+		recEventsFork:  r.Counter("farm_rec_events_fork"),
+		recEventsCold:  r.Counter("farm_rec_events_cold"),
+	}
+	o.obsReg = r
 }
 
 // lruEntry is one cache slot. Construction runs under the entry's own Once,
@@ -120,7 +178,7 @@ type lruCache struct {
 	cap       int
 	order     *list.List // front = most recently used
 	items     map[any]*list.Element
-	evictions *atomic.Int64
+	evictions *obs.Counter
 }
 
 type lruItem struct {
@@ -128,7 +186,7 @@ type lruItem struct {
 	e   *lruEntry
 }
 
-func newLRU(cap int, evictions *atomic.Int64) *lruCache {
+func newLRU(cap int, evictions *obs.Counter) *lruCache {
 	return &lruCache{cap: cap, order: list.New(), items: make(map[any]*list.Element), evictions: evictions}
 }
 
@@ -147,7 +205,7 @@ func (c *lruCache) get(key any) (*lruEntry, bool) {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.items, back.Value.(*lruItem).key)
-		c.evictions.Add(1)
+		c.evictions.Inc(1) // under the cache mutex: single writer
 	}
 	return e, false
 }
@@ -177,6 +235,7 @@ type templateKey struct {
 func (o *Options) caches() *farmCaches {
 	o.cacheMu.Lock()
 	defer o.cacheMu.Unlock()
+	o.initObsLocked()
 	if o.cache == nil {
 		n := o.TemplateCacheSize
 		if n <= 0 {
@@ -185,9 +244,9 @@ func (o *Options) caches() *farmCaches {
 		o.cache = &farmCaches{
 			// Images back the templates, so the memo holds the native-build
 			// variants (one per build root) alongside them: twice the cap.
-			images:    newLRU(2*n, &o.setup.evictions),
-			snapshots: newLRU(n, &o.setup.evictions),
-			templates: newLRU(n, &o.setup.evictions),
+			images:    newLRU(2*n, o.setup.evictions),
+			snapshots: newLRU(n, o.setup.evictions),
+			templates: newLRU(n, o.setup.evictions),
 		}
 	}
 	return o.cache
@@ -199,24 +258,25 @@ func (o *Options) caches() *farmCaches {
 // template prepare), so sharing one *fs.Image across concurrent builds is
 // safe. Under the ablation every call rebuilds, exactly like the pre-template
 // farm, so the cold setup numbers measure the real cold cost.
-func (o *Options) pkgImage(spec *debpkg.Spec, dir string) (*fs.Image, string, uint64) {
+func (o *Options) pkgImage(l obs.Local, spec *debpkg.Spec, dir string) (*fs.Image, string, uint64) {
+	sc := o.sc()
 	if o.DisableTemplates {
 		start := time.Now()
 		img, pkgdir := toolchainImage(spec, dir)
-		o.setup.imageBuilds.Add(1)
-		o.setup.imageBuildNs.Add(time.Since(start).Nanoseconds())
+		sc.imageBuilds.Add(l, 1)
+		sc.imageBuildNs.Add(l, time.Since(start).Nanoseconds())
 		return img, pkgdir, 0
 	}
 	e, hit := o.caches().images.get(imageKey{spec.Name, spec.Version, dir})
 	if hit {
-		o.setup.imageHits.Add(1)
+		sc.imageHits.Add(l, 1)
 	}
 	e.once.Do(func() {
 		start := time.Now()
 		img, pkgdir := toolchainImage(spec, dir)
 		ie := &imageEntry{img: img, pkgdir: pkgdir, hash: img.Hash()}
-		o.setup.imageBuilds.Add(1)
-		o.setup.imageBuildNs.Add(time.Since(start).Nanoseconds())
+		sc.imageBuilds.Add(l, 1)
+		sc.imageBuildNs.Add(l, time.Since(start).Nanoseconds())
 		e.v = ie
 	})
 	ie := e.v.(*imageEntry)
@@ -225,12 +285,13 @@ func (o *Options) pkgImage(spec *debpkg.Spec, dir string) (*fs.Image, string, ui
 
 // snapshot returns the prepared baseline-kernel snapshot for an image,
 // preparing it on first use.
-func (o *Options) snapshot(imgHash uint64, img *fs.Image) *kernel.Snapshot {
+func (o *Options) snapshot(l obs.Local, imgHash uint64, img *fs.Image) *kernel.Snapshot {
+	sc := o.sc()
 	e, hit := o.caches().snapshots.get(imgHash)
 	if hit {
-		o.setup.templateHits.Add(1)
+		sc.templateHits.Add(l, 1)
 	} else {
-		o.setup.templateMisses.Add(1)
+		sc.templateMisses.Add(l, 1)
 	}
 	e.once.Do(func() {
 		start := time.Now()
@@ -239,7 +300,7 @@ func (o *Options) snapshot(imgHash uint64, img *fs.Image) *kernel.Snapshot {
 			Image:    img,
 			Resolver: registry().Resolver(),
 		})
-		o.setup.prepareNs.Add(time.Since(start).Nanoseconds())
+		sc.prepareNs.Add(l, time.Since(start).Nanoseconds())
 	})
 	return e.v.(*kernel.Snapshot)
 }
@@ -248,17 +309,18 @@ func (o *Options) snapshot(imgHash uint64, img *fs.Image) *kernel.Snapshot {
 // preparing it on first use. cfg must already carry its final
 // behaviour-relevant fields (mod applied); the key's config hash ignores the
 // per-run host fields, so one template serves every perturbation of a build.
-func (o *Options) template(imgHash uint64, cfg core.Config) *core.Template {
+func (o *Options) template(l obs.Local, imgHash uint64, cfg core.Config) *core.Template {
+	sc := o.sc()
 	e, hit := o.caches().templates.get(templateKey{image: imgHash, config: core.ConfigHash(cfg)})
 	if hit {
-		o.setup.templateHits.Add(1)
+		sc.templateHits.Add(l, 1)
 	} else {
-		o.setup.templateMisses.Add(1)
+		sc.templateMisses.Add(l, 1)
 	}
 	e.once.Do(func() {
 		start := time.Now()
 		e.v = core.NewTemplate(cfg)
-		o.setup.prepareNs.Add(time.Since(start).Nanoseconds())
+		sc.prepareNs.Add(l, time.Since(start).Nanoseconds())
 	})
 	return e.v.(*core.Template)
 }
@@ -279,6 +341,13 @@ type TemplateStudy struct {
 	Hits, Misses, Evictions int64 // template-cache traffic, templates on
 	AvgForkNs               float64
 	AvgColdSetupNs          float64 // per cold boot, image build included
+
+	// Recorder overhead per setup path: flight-recorder events produced per
+	// forked vs cold-booted container. Equal rates are the observability
+	// layer's invisibility evidence — recording is independent of how the
+	// container was set up.
+	AvgRecEventsFork float64
+	AvgRecEventsCold float64
 }
 
 // String renders the ablation summary.
@@ -286,11 +355,13 @@ func (st *TemplateStudy) String() string {
 	return fmt.Sprintf(
 		"packages: %d x %d perturbed builds; bitwise-identical with/without templates: %d\n"+
 			"farm setup cost: %.1f ms cold, %.1f ms templated (%.1fx less)\n"+
-			"per boot: %.0f us cold vs %.0f us forked; cache: %d hits, %d misses, %d evictions",
+			"per boot: %.0f us cold vs %.0f us forked; cache: %d hits, %d misses, %d evictions\n"+
+			"recorder: %.0f events per forked boot vs %.0f per cold boot",
 		st.Packages, st.Runs, st.Identical,
 		float64(st.SetupOffNs)/1e6, float64(st.SetupOnNs)/1e6, st.SetupRatio,
 		st.AvgColdSetupNs/1e3, st.AvgForkNs/1e3,
-		st.Hits, st.Misses, st.Evictions)
+		st.Hits, st.Misses, st.Evictions,
+		st.AvgRecEventsFork, st.AvgRecEventsCold)
 }
 
 // RunTemplateStudy builds each spec `runs` times under DetTrace with
@@ -304,21 +375,23 @@ func (o *Options) RunTemplateStudy(specs []*debpkg.Spec, runs int) *TemplateStud
 		runs = 16
 	}
 	on := &Options{Seed: o.Seed, Jobs: o.Jobs, Experimental: o.Experimental,
-		NoSyscallBuf: o.NoSyscallBuf, TemplateCacheSize: o.TemplateCacheSize}
+		NoSyscallBuf: o.NoSyscallBuf, NoObservability: o.NoObservability,
+		TemplateCacheSize: o.TemplateCacheSize}
 	off := &Options{Seed: o.Seed, Jobs: o.Jobs, Experimental: o.Experimental,
-		NoSyscallBuf: o.NoSyscallBuf, DisableTemplates: true}
+		NoSyscallBuf: o.NoSyscallBuf, NoObservability: o.NoObservability,
+		DisableTemplates: true}
 	type tmplOut struct {
 		ok, identical bool
 	}
 	outs := make([]tmplOut, len(specs))
-	o.forEach(len(specs), func(i int) {
+	o.forEach(len(specs), func(l obs.Local, i int) {
 		spec := specs[i]
 		seed := pkgSeed(o.Seed, spec)
 		ok, identical := true, true
 		for r := 0; r < runs; r++ {
 			v := reprotest.Perturbed(seed, r)
-			warm := on.buildDT(spec, seed, v, nil)
-			cold := off.buildDT(spec, seed, v, nil)
+			warm := on.buildDT(l, spec, seed, v, nil)
+			cold := off.buildDT(l, spec, seed, v, nil)
 			wv, _ := warm.verdict()
 			cv, _ := cold.verdict()
 			if wv != cv {
@@ -354,9 +427,11 @@ func (o *Options) RunTemplateStudy(specs []*debpkg.Spec, runs int) *TemplateStud
 	st.Hits, st.Misses, st.Evictions = son.TemplateHits, son.TemplateMisses, son.Evictions
 	if son.ForkBoots > 0 {
 		st.AvgForkNs = float64(son.ForkNs) / float64(son.ForkBoots)
+		st.AvgRecEventsFork = float64(son.RecEventsFork) / float64(son.ForkBoots)
 	}
 	if soff.ColdBoots > 0 {
 		st.AvgColdSetupNs = float64(soff.ColdSetupNs+soff.ImageBuildNs) / float64(soff.ColdBoots)
+		st.AvgRecEventsCold = float64(soff.RecEventsCold) / float64(soff.ColdBoots)
 	}
 	return st
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/abi"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/seccomp"
 )
 
@@ -118,6 +119,11 @@ func (c *Container) serviceBuffered(t *kernel.Thread, sc *abi.Syscall) int64 {
 		c.k.ExecDirect(t, sc)
 	}
 	t.BufCount++
+	// One event per buffered call, recorded here so the fast path and the
+	// slow-path Buffer verdict (buffer full, pending signal) produce the
+	// same ring: where a call was serviced is mechanism, not behaviour.
+	c.rec.Record(t.LClock, obs.KindBuffered, int32(sc.Num),
+		int32(c.vpid[p.PID]), 0, sc.Ret)
 	return c.sess.RecordBuffered(p.Weight)
 }
 

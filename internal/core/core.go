@@ -20,6 +20,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/sched"
 	"repro/internal/seccomp"
@@ -68,6 +69,27 @@ type Config struct {
 	// container input — output must be bitwise identical either way, which
 	// is exactly what the template equivalence gate checks.
 	DisableTemplateReuse bool
+
+	// DisableObservability turns the flight recorder off (metrics counters
+	// still run — they back Stats and Result.Tracer). Like template reuse,
+	// this is a mechanism ablation, not a container input: guest-visible
+	// state and output must be bitwise identical with the recorder on or
+	// off, the invariant the on/off-equivalence tests pin. Excluded from
+	// ConfigHash for the same reason.
+	DisableObservability bool
+
+	// RingEvents overrides the flight-recorder ring capacity (0 keeps
+	// obs.DefaultRingEvents). Capacity only bounds retention, never
+	// behaviour, so it too stays out of ConfigHash.
+	RingEvents int
+
+	// FaultInjectEntropy, when > 0, deliberately perturbs the N-th entropy
+	// draw (1-based) served to the container — the seeded-nondeterminism
+	// hook the diagnoser tests use to prove a divergence is localized to
+	// the exact first divergent event. This DOES change guest-visible
+	// bytes, so unlike the knobs above it participates in ConfigHash.
+	// [input, test-only]
+	FaultInjectEntropy int
 
 	// WorkingDir is the container working directory (the --working-dir
 	// bind-mount target); empty selects /build when the image has it.
@@ -148,7 +170,7 @@ type Result struct {
 
 	WallTime int64 // virtual ns the run took on this host
 	Stats    kernel.Stats
-	Tracer   tracer.Session // stop/memory counters
+	Tracer   tracer.Counters // stop/memory counter snapshot
 
 	// RandomLog holds every byte of true randomness served to the
 	// container when Config.LogRealRandom was set; feed it back through
@@ -163,6 +185,16 @@ type Result struct {
 	// only: never part of the reproducibility-observable output.
 	SetupNs int64
 	Forked  bool
+
+	// Observability metadata, like SetupNs never part of the
+	// reproducibility-observable output. Obs is the run's metrics registry
+	// (absorb it into a farm registry for roll-ups); Trace the flight
+	// recorder (nil under DisableObservability); Events its retained ring
+	// and Spans the lifecycle phases (prepare → boot/fork → run → flush).
+	Obs    *obs.Registry
+	Trace  *obs.Recorder
+	Events []obs.Event
+	Spans  []obs.Span
 }
 
 // Unsupported reports whether the run aborted on an unsupported operation,
@@ -220,11 +252,23 @@ type Container struct {
 	randomLog       []byte
 	replayCursor    int
 	replayExhausted bool
+
+	// Observability: the per-run metrics registry (always on — it backs
+	// Stats and Result.Tracer) and the flight recorder (nil under the
+	// DisableObservability ablation; every Record on a nil recorder is a
+	// no-op). entropyDraws numbers fillRandom calls for KindEntropy events
+	// and the FaultInjectEntropy hook; spans collects lifecycle phases.
+	obs          *obs.Registry
+	rec          *obs.Recorder
+	entropyDraws int
+	spans        []obs.Span
 }
 
 // fillRandom services one randomness request per the container's policy:
 // seeded LFSR by default; logged host entropy or a replayed log when the
-// §5.2 escape hatch is enabled.
+// §5.2 escape hatch is enabled. Every draw is numbered, optionally
+// fault-perturbed (FaultInjectEntropy), and recorded as a KindEntropy event
+// whose digest reflects the bytes the guest actually saw.
 func (c *Container) fillRandom(p []byte) {
 	switch {
 	case c.cfg.RandomReplay != nil:
@@ -240,6 +284,13 @@ func (c *Container) fillRandom(p []byte) {
 	default:
 		c.prng.Fill(p)
 	}
+	c.entropyDraws++
+	if c.cfg.FaultInjectEntropy > 0 && c.entropyDraws == c.cfg.FaultInjectEntropy && len(p) > 0 {
+		p[0] ^= 0x80
+	}
+	c.rec.Record(c.k.LNow(), obs.KindEntropy, 0, 0,
+		uint64(c.entropyDraws)<<32|uint64(len(p)&0xffffffff),
+		int64(obs.DigestBytes(p)))
 }
 
 type rwRetry struct {
@@ -301,7 +352,12 @@ func newContainer(cfg Config, filter *seccomp.Filter) *Container {
 	if cfg.SpinLimit > 0 {
 		c.sched.SpinLimit = cfg.SpinLimit
 	}
-	c.sess = tracer.NewSession(cfg.Profile.SeccompSingleStop && !cfg.DisableSeccomp)
+	c.obs = obs.NewRegistry()
+	if !cfg.DisableObservability {
+		c.rec = obs.NewRecorder(cfg.RingEvents)
+	}
+	c.sched.Rec = c.rec
+	c.sess = tracer.NewSessionOn(c.obs, cfg.Profile.SeccompSingleStop && !cfg.DisableSeccomp)
 	c.interceptCpuid = !cfg.DisableCpuidTrap && cfg.Profile.SupportsCpuidInterception()
 	return c
 }
@@ -320,6 +376,8 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 			Resolver: reg.Resolver(),
 			Deadline: c.cfg.Deadline,
 			NumCPU:   c.cfg.NumCPU,
+			Obs:      c.obs,
+			Rec:      c.rec,
 		})
 	} else {
 		k = kernel.New(kernel.Config{
@@ -331,10 +389,24 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 			Resolver: reg.Resolver(),
 			Deadline: c.cfg.Deadline,
 			NumCPU:   c.cfg.NumCPU,
+			Obs:      c.obs,
+			Rec:      c.rec,
 		})
 	}
 	setupNs := time.Since(setupStart).Nanoseconds()
 	c.k = k
+	setupSpan := "boot"
+	if forked {
+		setupSpan = "fork"
+		if c.rec != nil {
+			// COW data breaks are mechanism-level events: they exist only
+			// on the template path, so the diagnoser skips their kind.
+			k.FS.OnCOWBreak = func(bytes int64) {
+				c.rec.Record(k.LNow(), obs.KindCOWBreak, 0, 0, uint64(bytes), 0)
+			}
+		}
+	}
+	c.spans = append(c.spans, obs.Span{Name: setupSpan, RealNs: setupNs})
 	if c.cfg.Debug != nil {
 		k.SetDebug(c.cfg.Debug)
 	}
@@ -386,7 +458,13 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 		proc.CwdPath = wd
 	}
 
+	runStart := time.Now()
 	runErr := k.Run()
+	c.spans = append(c.spans, obs.Span{
+		Name: "run", RealNs: time.Since(runStart).Nanoseconds(), LEnd: k.LNow(),
+	})
+	flushStart := time.Now()
+	counters := c.sess.Counters()
 	res := &Result{
 		ExitCode: proc.ExitCode(),
 		Stdout:   k.Console.Stdout(),
@@ -395,10 +473,10 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 		Err:      runErr,
 		WallTime: k.Now(),
 		Stats:    k.Stats,
-		Tracer:   *c.sess,
+		Tracer:   counters,
 	}
-	res.Stats.MemReads = c.sess.MemReads
-	res.Stats.MemWrites = c.sess.MemWrites
+	res.Stats.MemReads = counters.MemReads
+	res.Stats.MemWrites = counters.MemWrites
 	res.RandomLog = c.randomLog
 	res.ReplayExhausted = c.replayExhausted
 	res.SetupNs = setupNs
@@ -407,6 +485,13 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 	if errors.As(runErr, &ab) {
 		res.Err = fmt.Errorf("dettrace: %w", ab.Err)
 	}
+	res.Obs = c.obs
+	res.Trace = c.rec
+	res.Events = c.rec.Events()
+	c.spans = append(c.spans, obs.Span{
+		Name: "flush", RealNs: time.Since(flushStart).Nanoseconds(),
+	})
+	res.Spans = c.spans
 	return res
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/kernel"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/seccomp"
 )
 
@@ -47,10 +48,36 @@ func (c *Container) syscallKnown(nr abi.Sysno) bool {
 	return true
 }
 
+// argsDigest folds a call's pre-rewrite arguments into one word for the
+// flight recorder. It must run before any handler rewrites arguments
+// (enterKill and wait4 substitute raw host pids in place), because the
+// pre-rewrite view is the guest's — virtual pids, ASLR-free addresses — and
+// therefore deterministic.
+func argsDigest(sc *abi.Syscall) uint64 {
+	h := obs.DigestU64(0, uint64(sc.Num),
+		uint64(sc.Arg[0]), uint64(sc.Arg[1]), uint64(sc.Arg[2]),
+		uint64(sc.Arg[3]), uint64(sc.Arg[4]), uint64(sc.Arg[5]))
+	if sc.Path != "" {
+		h = obs.DigestU64(h, obs.DigestBytes([]byte(sc.Path)))
+	}
+	if sc.Path2 != "" {
+		h = obs.DigestU64(h, obs.DigestBytes([]byte(sc.Path2)))
+	}
+	return h
+}
+
 // SyscallEnter is the pre-syscall stop.
 func (c *Container) SyscallEnter(t *kernel.Thread, sc *abi.Syscall) kernel.EnterResult {
 	w := t.Proc.Weight
 	nr := sc.Num
+	if c.rec != nil && sc.Attempts == 0 && !sc.Injected {
+		// Record before the class switch below: enter handlers rewrite
+		// arguments in place, and the event must capture the guest's view.
+		if v := c.verdictOf(sc); v != seccomp.Allow && v != seccomp.Buffer {
+			c.rec.Record(t.LClock, obs.KindSyscallEnter, int32(nr),
+				int32(c.vpid[t.Proc.PID]), argsDigest(sc), 0)
+		}
+	}
 
 	// Unsupported operation classes abort the container reproducibly.
 	switch {
@@ -143,6 +170,10 @@ func (c *Container) SyscallExit(t *kernel.Thread, sc *abi.Syscall) kernel.ExitRe
 	}
 	c.exitHandlers(t, sc, &xr)
 	if !xr.Retry {
+		if !sc.Injected {
+			c.rec.Record(t.LClock, obs.KindSyscallExit, int32(sc.Num),
+				int32(c.vpid[t.Proc.PID]), 0, sc.Ret)
+		}
 		// Every completed system call is a thread context-switch point
 		// under the serialized-thread rule (§5.9).
 		c.sched.ReleaseToken(t)
@@ -167,9 +198,14 @@ func (c *Container) Instr(t *kernel.Thread, req cpu.Request) (cpu.Result, bool, 
 		// A linear function of rdtsc instructions executed so far: time
 		// that advances, reproducibly.
 		v := uint64(0x4000_0000 + c.rdtscCount[t.Proc]*1000)
+		c.rec.Record(t.LClock, obs.KindInstr, int32(req.Instr),
+			int32(c.vpid[t.Proc.PID]), 0, int64(v))
 		return cpu.Result{Value: v, OK: true}, true, cost
 	case cpu.CPUID:
-		return cpu.Result{Leaf: c.maskedCPUID(req.Leaf), OK: true}, true, cost
+		leaf := c.maskedCPUID(req.Leaf)
+		c.rec.Record(t.LClock, obs.KindInstr, int32(req.Instr),
+			int32(c.vpid[t.Proc.PID]), uint64(req.Leaf), int64(leaf.EAX))
+		return cpu.Result{Leaf: leaf, OK: true}, true, cost
 	default:
 		// rdrand, rdseed and TSX cannot be trapped from ring 0 — the
 		// paper's critical-instruction finding (§4). They execute on the

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/seccomp"
 )
 
@@ -29,6 +31,11 @@ type Template struct {
 	interceptCpuid bool
 	hash           uint64
 	imageHash      uint64
+
+	// PrepareNs is real time spent preparing the snapshot (populate +
+	// freeze), surfaced as the "prepare" span of containers forked from
+	// this template. Benchmarking metadata, like Result.SetupNs.
+	PrepareNs int64
 }
 
 // HostRun names the physical run a container executes as: the [host]
@@ -55,10 +62,12 @@ func NewTemplate(cfg Config) *Template {
 	if cfg.Image != nil {
 		tp.imageHash = cfg.Image.Hash()
 	}
+	prepStart := time.Now()
 	tp.snap = kernel.Prepare(kernel.Config{
 		Profile: cfg.Profile,
 		Image:   cfg.Image,
 	})
+	tp.PrepareNs = time.Since(prepStart).Nanoseconds()
 	return tp
 }
 
@@ -71,6 +80,7 @@ func (tp *Template) NewContainer(h HostRun) *Container {
 	cfg.HostSeed, cfg.Epoch, cfg.NumCPU = h.Seed, h.Epoch, h.NumCPU
 	c := newContainer(cfg, tp.filter)
 	c.snap = tp.snap
+	c.spans = append(c.spans, obs.Span{Name: "prepare", RealNs: tp.PrepareNs})
 	return c
 }
 
@@ -100,8 +110,11 @@ func (tp *Template) CompatibleWith(cfg Config) bool {
 // Excluded on purpose: the [host] fields (HostSeed, Epoch, NumCPU) — those
 // vary per run by design and must not affect output; Image — content is
 // keyed separately via Image.Hash, so caches can share one config hash
-// across many images; Debug (an observer) and DisableTemplateReuse (a
-// mechanism ablation whose whole contract is behavioural invisibility).
+// across many images; Debug (an observer); and the mechanism ablations
+// whose whole contract is behavioural invisibility — DisableTemplateReuse,
+// DisableObservability and RingEvents (the recorder observes, it never
+// feeds back). FaultInjectEntropy IS hashed: perturbing an entropy draw
+// changes guest-visible bytes by design.
 //
 // The Profile IS included even though it is [host]-marked: the prepared
 // filesystem bakes in profile-derived state (the readdir hash salt, the
@@ -150,6 +163,7 @@ func ConfigHash(cfg Config) uint64 {
 	flag(cfg.ExperimentalSockets)
 	flag(cfg.ExperimentalSignals)
 	flag(cfg.LogRealRandom)
+	num(uint64(cfg.FaultInjectEntropy))
 	num(uint64(len(cfg.RandomReplay)))
 	mix(cfg.RandomReplay)
 	urls := make([]string, 0, len(cfg.Downloads))

@@ -147,6 +147,9 @@ func (n *Inode) breakCOWData() {
 	if n.cowData {
 		n.Data = append([]byte(nil), n.Data...)
 		n.cowData = false
+		if n.fs != nil && n.fs.OnCOWBreak != nil {
+			n.fs.OnCOWBreak(int64(len(n.Data)))
+		}
 	}
 }
 

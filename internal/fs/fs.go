@@ -63,6 +63,11 @@ type FS struct {
 	base      *FS
 	clones    map[*Inode]*Inode
 	bootStamp int64 // fork boot time: the timestamp cold Populate would use
+
+	// OnCOWBreak, when non-nil, observes each copy-on-write data unshare
+	// (the copied byte count). Observation only: the callback must not
+	// touch the filesystem.
+	OnCOWBreak func(bytes int64)
 }
 
 // New creates an empty filesystem for one simulated boot of the given

@@ -37,6 +37,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/fs"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -230,6 +231,14 @@ type Config struct {
 	MaxActions int64
 	// NumCPU overrides the profile's core count (reprotest varies CPUs).
 	NumCPU int
+
+	// Obs, when non-nil, is the metrics registry this boot's counters land
+	// on (a private registry is created otherwise). Rec, when non-nil, is
+	// the flight recorder event sinks write to; a nil recorder records
+	// nothing (the DisableObservability ablation). Neither feeds back into
+	// guest-visible state.
+	Obs *obs.Registry
+	Rec *obs.Recorder
 }
 
 // Stats aggregates everything a run counted. Weighted counters account for
@@ -283,9 +292,14 @@ type Kernel struct {
 	// fastPath is non-nil when the policy implements SyscallBufferer; cached
 	// once at boot so the dispatch hot path avoids a per-call type assertion.
 	fastPath SyscallBufferer
-	// perSyscall is the dense hot-path mirror of Stats.PerSyscall, indexed by
-	// syscall number; it is folded into the map when Run returns.
-	perSyscall []int64
+
+	// Obs is this boot's metrics registry; Rec the (possibly nil) flight
+	// recorder. sysVec is the dense per-syscall table on Obs, indexed by
+	// syscall number and folded into Stats.PerSyscall when Run returns.
+	Obs         *obs.Registry
+	Rec         *obs.Recorder
+	sysVec      *obs.CounterVec
+	statsFolded bool
 
 	nextPID  int
 	procs    map[int]*Proc
@@ -356,7 +370,12 @@ func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *K
 		Console:    &Console{},
 	}
 	k.Stats.PerSyscall = make(map[abi.Sysno]int64)
-	k.perSyscall = make([]int64, abi.SysnoSlots)
+	k.Obs = cfg.Obs
+	if k.Obs == nil {
+		k.Obs = obs.NewRegistry()
+	}
+	k.Rec = cfg.Rec
+	k.sysVec = k.Obs.CounterVec("kernel_syscalls", abi.SysnoSlots)
 	cores := cfg.Profile.Cores
 	if cfg.NumCPU > 0 {
 		cores = cfg.NumCPU
@@ -376,25 +395,31 @@ func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *K
 	return k
 }
 
-// countSyscall bumps the per-syscall counter on the dense hot-path table,
-// falling back to the map for out-of-range numbers.
+// countSyscall bumps the per-syscall counter on the dense obs vector,
+// falling back to the map for out-of-range numbers. The kernel loop is the
+// only writer (lockstep), so the vector's single atomic add per call keeps
+// the old dense table's hot-path profile.
 func (k *Kernel) countSyscall(nr abi.Sysno, w int64) {
-	if nr >= 0 && int(nr) < len(k.perSyscall) {
-		k.perSyscall[nr] += w
+	if k.sysVec.InRange(int(nr)) {
+		k.sysVec.Add(int(nr), w)
 		return
 	}
 	k.Stats.PerSyscall[nr] += w
 }
 
-// foldStats merges the dense per-syscall table into the exported map.
+// foldStats merges the dense per-syscall vector into the exported map. The
+// obs registry keeps its copy untouched (the farm roll-up wants the
+// registry to still carry the totals), so the fold reads rather than
+// drains; the guard keeps repeated Run calls from double-counting.
 func (k *Kernel) foldStats() {
-	for nr, n := range k.perSyscall {
-		if n != 0 {
-			k.Stats.PerSyscall[abi.Sysno(nr)] += n
-		}
+	if k.statsFolded {
+		return
 	}
-	for i := range k.perSyscall {
-		k.perSyscall[i] = 0
+	k.statsFolded = true
+	for i := 0; i < k.sysVec.Len(); i++ {
+		if n := k.sysVec.At(i); n != 0 {
+			k.Stats.PerSyscall[abi.Sysno(i)] += n
+		}
 	}
 }
 
@@ -407,6 +432,12 @@ func (k *Kernel) WallClock() int64 { return k.epoch*1e9 + k.now }
 
 // Now returns virtual nanoseconds since boot.
 func (k *Kernel) Now() int64 { return k.now }
+
+// LNow returns logical nanoseconds since boot: the jitter-free mirror of
+// Now, maintained with nominal costs only. Flight-recorder events stamp
+// with this clock because it is a pure function of guest behaviour — no
+// host entropy, no epoch.
+func (k *Kernel) LNow() int64 { return k.lnow }
 
 // NumCores returns the number of schedulable CPUs in this boot.
 func (k *Kernel) NumCores() int { return len(k.cores) }

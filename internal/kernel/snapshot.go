@@ -3,6 +3,7 @@ package kernel
 import (
 	"repro/internal/fs"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -39,6 +40,9 @@ type BootConfig struct {
 	// Resolver overrides the snapshot's resolver when non-nil, for callers
 	// (like core.Container.Run) that receive the program registry per run.
 	Resolver Resolver
+	// Obs/Rec mirror Config.Obs/Config.Rec: per-run observability sinks.
+	Obs *obs.Registry
+	Rec *obs.Recorder
 }
 
 // Prepare builds the shareable half of a boot from the config's Profile,
@@ -79,6 +83,8 @@ func (s *Snapshot) Boot(b BootConfig) *Kernel {
 		Deadline:   b.Deadline,
 		MaxActions: b.MaxActions,
 		NumCPU:     b.NumCPU,
+		Obs:        b.Obs,
+		Rec:        b.Rec,
 	}
 	return newKernel(cfg, func(k *Kernel, fsEntropy *prng.Host) *fs.FS {
 		return s.base.Fork(k.WallClock, fsEntropy)

@@ -1,0 +1,93 @@
+package obs
+
+import "fmt"
+
+// comparableKind reports whether a kind participates in stream alignment.
+// Mechanism-level events (COW breaks happen only on template forks, span
+// markers only bracket lifecycle phases) are excluded: they vary with HOW a
+// container was set up, not with what the guest computed, and two runs that
+// differ only in setup path must still align clean.
+func comparableKind(k Kind) bool {
+	switch k {
+	case KindCOWBreak, KindSpan:
+		return false
+	default:
+		return true
+	}
+}
+
+// Divergence is the first point where two flight-recorder streams disagree.
+// Index is the position in the filtered (comparable-kind) stream; A and B
+// are the mismatching events — either may be nil when one stream ended
+// early.
+type Divergence struct {
+	Index int
+	A, B  *Event
+}
+
+// String renders the divergence for reprotest -diagnose output.
+func (d *Divergence) String() string {
+	if d == nil {
+		return "streams identical"
+	}
+	desc := func(ev *Event) string {
+		if ev == nil {
+			return "<stream ended>"
+		}
+		return fmt.Sprintf("%s num=%d pid=%d args=%#x ret=%d ltime=%d",
+			ev.Kind, ev.Num, ev.Pid, ev.Arg, ev.Ret, ev.LTime)
+	}
+	return fmt.Sprintf("first divergence at event %d:\n  A: %s\n  B: %s",
+		d.Index, desc(d.A), desc(d.B))
+}
+
+// sameEvent compares content, not logical time: LClock rates depend on the
+// visible core count, so two runs with identical guest behaviour under
+// different reprotest variations can legitimately disagree on LTime. The
+// divergence report still shows both LTimes for locating the event.
+func sameEvent(a, b Event) bool {
+	return a.Kind == b.Kind && a.Pid == b.Pid && a.Num == b.Num &&
+		a.Arg == b.Arg && a.Ret == b.Ret
+}
+
+// FirstDivergence aligns two event streams and returns the first mismatch,
+// or nil if the comparable prefixes agree. When a ring overflowed (Dropped
+// > 0 upstream) the caller should widen the ring and re-run; alignment here
+// is strictly positional over comparable events.
+func FirstDivergence(a, b []Event) *Divergence {
+	fa := filterComparable(a)
+	fb := filterComparable(b)
+	n := len(fa)
+	if len(fb) < n {
+		n = len(fb)
+	}
+	for i := 0; i < n; i++ {
+		if !sameEvent(fa[i], fb[i]) {
+			ea, eb := fa[i], fb[i]
+			return &Divergence{Index: i, A: &ea, B: &eb}
+		}
+	}
+	if len(fa) != len(fb) {
+		d := &Divergence{Index: n}
+		if len(fa) > n {
+			ev := fa[n]
+			d.A = &ev
+		}
+		if len(fb) > n {
+			ev := fb[n]
+			d.B = &ev
+		}
+		return d
+	}
+	return nil
+}
+
+func filterComparable(evs []Event) []Event {
+	out := make([]Event, 0, len(evs))
+	for _, ev := range evs {
+		if comparableKind(ev.Kind) {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

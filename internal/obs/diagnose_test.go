@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFirstDivergenceIdentical(t *testing.T) {
+	a := []Event{
+		{LTime: 1, Kind: KindSyscallEnter, Num: 1, Pid: 1},
+		{LTime: 2, Kind: KindSyscallExit, Num: 1, Pid: 1, Ret: 9},
+	}
+	if d := FirstDivergence(a, a); d != nil {
+		t.Fatalf("identical streams diverged: %v", d)
+	}
+	if got := (*Divergence)(nil).String(); got != "streams identical" {
+		t.Fatalf("nil String = %q", got)
+	}
+}
+
+func TestFirstDivergenceContent(t *testing.T) {
+	a := []Event{
+		{LTime: 1, Kind: KindSyscallEnter, Num: 1, Pid: 1, Arg: 0xaa},
+		{LTime: 2, Kind: KindEntropy, Arg: 16, Ret: 100},
+	}
+	b := []Event{
+		{LTime: 1, Kind: KindSyscallEnter, Num: 1, Pid: 1, Arg: 0xaa},
+		{LTime: 2, Kind: KindEntropy, Arg: 16, Ret: 200},
+	}
+	d := FirstDivergence(a, b)
+	if d == nil || d.Index != 1 {
+		t.Fatalf("divergence = %v, want index 1", d)
+	}
+	if d.A.Ret != 100 || d.B.Ret != 200 {
+		t.Fatalf("wrong events: %v / %v", d.A, d.B)
+	}
+	if !strings.Contains(d.String(), "entropy") {
+		t.Fatalf("String missing kind: %s", d)
+	}
+}
+
+func TestFirstDivergenceIgnoresLTimeAndMechanism(t *testing.T) {
+	a := []Event{
+		{LTime: 10, Kind: KindCOWBreak, Arg: 512},
+		{LTime: 11, Kind: KindSyscallEnter, Num: 2, Pid: 1},
+		{LTime: 12, Kind: KindSpan},
+	}
+	b := []Event{
+		{LTime: 99, Kind: KindSyscallEnter, Num: 2, Pid: 1},
+	}
+	if d := FirstDivergence(a, b); d != nil {
+		t.Fatalf("mechanism kinds / ltime should not diverge: %v", d)
+	}
+}
+
+func TestFirstDivergenceLengthMismatch(t *testing.T) {
+	a := []Event{{Kind: KindSyscallEnter, Num: 1}}
+	d := FirstDivergence(a, nil)
+	if d == nil || d.Index != 0 || d.A == nil || d.B != nil {
+		t.Fatalf("divergence = %v, want A-only at 0", d)
+	}
+	if !strings.Contains(d.String(), "<stream ended>") {
+		t.Fatalf("String missing ended marker: %s", d)
+	}
+}

@@ -1,0 +1,417 @@
+// Package obs is the deterministic observability layer: one metrics
+// registry for every counter the system keeps (the kernel's per-syscall
+// table, the tracer's stop/buffer accounting, the build farm's template and
+// LRU tallies), plus a per-container flight recorder (recorder.go), a Chrome
+// trace exporter (trace.go) and a first-divergence diagnoser (diagnose.go).
+//
+// The design constraint that shapes everything here is the paper's §3 purity
+// argument turned inward: observing a container must never perturb it.
+// Metrics are plain sharded atomics with no locks on the hot path, the
+// recorder stamps events with logical time only (no time.Now()), and nothing
+// in this package feeds back into guest-visible state — the on/off
+// equivalence tests in internal/core and internal/buildsim pin that.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// stripes is the fixed shard count of every Counter. Eight covers the farm's
+// worker-pool contention (Jobs is typically ≤ GOMAXPROCS) while keeping
+// Value() a trivial eight-term sum.
+const stripes = 8
+
+// pad64 is one cache-line-sized counter cell, padded so neighbouring stripes
+// never false-share.
+type pad64 struct {
+	v int64
+	_ [7]int64
+}
+
+// Local is a stripe selector: a client that will hammer counters from its
+// own goroutine (a farm worker, a kernel loop) acquires one Local and passes
+// it to Counter.Add so its traffic lands on a private-ish stripe. A Local is
+// registry-independent — it is just a shard index — so one Local serves every
+// counter the client touches. The zero Local is valid (stripe 0), which is
+// what the single-writer paths use via Inc.
+type Local struct{ s uint32 }
+
+var nextLocal atomic.Uint32
+
+// NewLocal assigns the next stripe round-robin. Assignment order does not
+// matter for correctness: stripe sums are commutative, so Value() is
+// independent of which client landed where.
+func NewLocal() Local { return Local{s: nextLocal.Add(1) % stripes} }
+
+// Counter is a monotone sharded counter.
+type Counter struct {
+	name string
+	v    [stripes]pad64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds n on stripe 0: the uncontended single-writer fast path.
+func (c *Counter) Inc(n int64) { atomic.AddInt64(&c.v[0].v, n) }
+
+// Add adds n on the caller's stripe.
+func (c *Counter) Add(l Local, n int64) { atomic.AddInt64(&c.v[l.s].v, n) }
+
+// Value sums the stripes.
+func (c *Counter) Value() int64 {
+	var sum int64
+	for i := range c.v {
+		sum += atomic.LoadInt64(&c.v[i].v)
+	}
+	return sum
+}
+
+// Gauge is a last-value-wins metric.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are inclusive upper edges in
+// ascending order, with an implicit +Inf bucket at the end.
+type Histogram struct {
+	name    string
+	bounds  []int64
+	buckets []int64 // len(bounds)+1, atomic
+	count   int64
+	sum     int64
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns the configured upper edges.
+func (h *Histogram) Bounds() []int64 { return append([]int64(nil), h.bounds...) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	atomic.AddInt64(&h.buckets[i], 1)
+	atomic.AddInt64(&h.count, 1)
+	atomic.AddInt64(&h.sum, v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 { return atomic.LoadInt64(&h.sum) }
+
+// Bucket returns the count in bucket i (i == len(Bounds()) is +Inf).
+func (h *Histogram) Bucket(i int) int64 { return atomic.LoadInt64(&h.buckets[i]) }
+
+// CounterVec is a dense vector of counters indexed by a small integer — the
+// shape of the kernel's per-syscall table, where the index is the syscall
+// number. Adds are single atomic ops on a flat slice: the hot-path property
+// the kernel's bespoke dense table had, kept.
+type CounterVec struct {
+	name string
+	v    []int64
+}
+
+// Name returns the vector's registry name.
+func (cv *CounterVec) Name() string { return cv.name }
+
+// Len returns the index capacity.
+func (cv *CounterVec) Len() int { return len(cv.v) }
+
+// InRange reports whether i is a valid index.
+func (cv *CounterVec) InRange(i int) bool { return i >= 0 && i < len(cv.v) }
+
+// Add bumps index i by n. Out-of-range indexes are the caller's overflow
+// problem (the kernel falls back to its map), mirroring the old dense table.
+func (cv *CounterVec) Add(i int, n int64) { atomic.AddInt64(&cv.v[i], n) }
+
+// At reads index i.
+func (cv *CounterVec) At(i int) int64 { return atomic.LoadInt64(&cv.v[i]) }
+
+// Drain calls fn for every non-zero index and resets it — the fold-and-clear
+// the kernel's stats finalization wants.
+func (cv *CounterVec) Drain(fn func(i int, v int64)) {
+	for i := range cv.v {
+		if v := atomic.SwapInt64(&cv.v[i], 0); v != 0 {
+			fn(i, v)
+		}
+	}
+}
+
+// Registry is a namespace of metrics. Lookup is mutex-guarded (cold path:
+// clients cache the returned handle); the handles themselves are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	vecs     map[string]*CounterVec
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		vecs:     make(map[string]*CounterVec),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// on first use (later calls keep the original bounds).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{
+			name:    name,
+			bounds:  append([]int64(nil), bounds...),
+			buckets: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// CounterVec returns the named dense vector, creating it with n slots on
+// first use.
+func (r *Registry) CounterVec(name string, n int) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cv, ok := r.vecs[name]
+	if !ok {
+		cv = &CounterVec{name: name, v: make([]int64, n)}
+		r.vecs[name] = cv
+	}
+	return cv
+}
+
+// Sample is one gathered metric value.
+type Sample struct {
+	Name  string
+	Value int64
+}
+
+// Gather snapshots every scalar metric, sorted by name. Histograms expand to
+// <name>_count and <name>_sum; vectors to <name>{idx} entries for non-zero
+// indexes.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Sample{Name: name + "_count", Value: h.Count()})
+		out = append(out, Sample{Name: name + "_sum", Value: h.Sum()})
+	}
+	for name, cv := range r.vecs {
+		for i := range cv.v {
+			if v := cv.At(i); v != 0 {
+				out = append(out, Sample{Name: fmt.Sprintf("%s{idx=%d}", name, i), Value: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Absorb adds every metric value of src into this registry's same-named
+// metrics, creating them as needed — the farm roll-up: each container's
+// registry folds into the farm's. Absorbing is add-only and commutative, so
+// the roll-up total is independent of worker scheduling.
+func (r *Registry) Absorb(src *Registry) {
+	if src == nil {
+		return
+	}
+	// Snapshot src without holding both locks.
+	src.mu.Lock()
+	type vecSnap struct {
+		n int
+		v []int64
+	}
+	counters := make(map[string]int64, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]struct {
+		bounds  []int64
+		buckets []int64
+		count   int64
+		sum     int64
+	}, len(src.hists))
+	for name, h := range src.hists {
+		b := make([]int64, len(h.buckets))
+		for i := range h.buckets {
+			b[i] = h.Bucket(i)
+		}
+		hists[name] = struct {
+			bounds  []int64
+			buckets []int64
+			count   int64
+			sum     int64
+		}{h.Bounds(), b, h.Count(), h.Sum()}
+	}
+	vecs := make(map[string]vecSnap, len(src.vecs))
+	for name, cv := range src.vecs {
+		s := vecSnap{n: len(cv.v), v: make([]int64, len(cv.v))}
+		for i := range cv.v {
+			s.v[i] = cv.At(i)
+		}
+		vecs[name] = s
+	}
+	src.mu.Unlock()
+
+	for name, v := range counters {
+		if v != 0 {
+			r.Counter(name).Inc(v)
+		}
+	}
+	for name, v := range gauges {
+		if v != 0 {
+			r.Gauge(name).Add(v)
+		}
+	}
+	for name, h := range hists {
+		dst := r.Histogram(name, h.bounds)
+		for i, n := range h.buckets {
+			if i < len(dst.buckets) {
+				atomic.AddInt64(&dst.buckets[i], n)
+			}
+		}
+		atomic.AddInt64(&dst.count, h.count)
+		atomic.AddInt64(&dst.sum, h.sum)
+	}
+	for name, s := range vecs {
+		dst := r.CounterVec(name, s.n)
+		for i, v := range s.v {
+			if v != 0 && dst.InRange(i) {
+				dst.Add(i, v)
+			}
+		}
+	}
+}
+
+// WriteProm writes a plain-text Prometheus-style dump: one `name value` line
+// per scalar, `name_bucket{le="..."}` lines per histogram bucket, sorted so
+// two dumps of equal registries are byte-identical.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	gnames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gnames = append(gnames, name)
+	}
+	hnames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		hnames = append(hnames, name)
+	}
+	vnames := make([]string, 0, len(r.vecs))
+	for name := range r.vecs {
+		vnames = append(vnames, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	sort.Strings(gnames)
+	sort.Strings(hnames)
+	sort.Strings(vnames)
+
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.Counter(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range gnames {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.Gauge(name).Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range hnames {
+		h := r.Histogram(name, nil)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.Bucket(i)
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Bucket(len(h.bounds))
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, cum, name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	for _, name := range vnames {
+		cv := r.CounterVec(name, 0)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", name); err != nil {
+			return err
+		}
+		for i := range cv.v {
+			if v := cv.At(i); v != 0 {
+				if _, err := fmt.Fprintf(w, "%s{idx=\"%d\"} %d\n", name, i, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterStripes(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("calls")
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		l := NewLocal()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Add(l, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	c.Inc(5)
+	if got := c.Value(); got != 16005 {
+		t.Fatalf("Value = %d, want 16005", got)
+	}
+	if r.Counter("calls") != c {
+		t.Fatal("registry did not memoize counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewRegistry().Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 0, 1} // ≤10, ≤100, ≤1000, +Inf
+	for i, w := range want {
+		if got := h.Bucket(i); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 5122 {
+		t.Fatalf("count/sum = %d/%d, want 5/5122", h.Count(), h.Sum())
+	}
+}
+
+func TestCounterVecDrain(t *testing.T) {
+	cv := NewRegistry().CounterVec("sys", 8)
+	cv.Add(1, 3)
+	cv.Add(7, 2)
+	seen := map[int]int64{}
+	cv.Drain(func(i int, v int64) { seen[i] = v })
+	if len(seen) != 2 || seen[1] != 3 || seen[7] != 2 {
+		t.Fatalf("drain saw %v", seen)
+	}
+	if cv.At(1) != 0 || cv.At(7) != 0 {
+		t.Fatal("drain did not reset")
+	}
+}
+
+func TestAbsorb(t *testing.T) {
+	farm := NewRegistry()
+	farm.Counter("hits").Inc(1)
+	child := NewRegistry()
+	child.Counter("hits").Inc(4)
+	child.Gauge("depth").Set(2)
+	child.Histogram("lat", []int64{10}).Observe(3)
+	child.CounterVec("sys", 4).Add(2, 9)
+	farm.Absorb(child)
+	farm.Absorb(nil)
+	if got := farm.Counter("hits").Value(); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+	if got := farm.Gauge("depth").Value(); got != 2 {
+		t.Fatalf("depth = %d, want 2", got)
+	}
+	if got := farm.Histogram("lat", nil).Count(); got != 1 {
+		t.Fatalf("lat count = %d, want 1", got)
+	}
+	if got := farm.CounterVec("sys", 4).At(2); got != 9 {
+		t.Fatalf("sys[2] = %d, want 9", got)
+	}
+}
+
+func TestWritePromDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("zeta").Inc(1)
+		r.Counter("alpha").Inc(2)
+		r.Gauge("g").Set(-4)
+		r.Histogram("h", []int64{5, 50}).Observe(7)
+		r.CounterVec("v", 4).Add(3, 2)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("prom dumps of equal registries differ")
+	}
+	out := a.String()
+	for _, want := range []string{"alpha 2", "zeta 1", "g -4", `h_bucket{le="+Inf"} 1`, `v{idx="3"} 2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatal("counters not sorted")
+	}
+}
+
+func TestGather(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc(1)
+	r.Counter("a").Inc(2)
+	s := r.Gather()
+	if len(s) != 2 || s[0].Name != "a" || s[1].Name != "b" {
+		t.Fatalf("gather = %v", s)
+	}
+}

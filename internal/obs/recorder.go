@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind tags a flight-recorder event.
+type Kind uint8
+
+const (
+	// KindSyscallEnter is recorded when a traced or emulated syscall is
+	// admitted: Num is the syscall number, Arg the pre-rewrite args digest.
+	KindSyscallEnter Kind = iota + 1
+	// KindSyscallExit pairs the enter: Ret is the determinized result.
+	KindSyscallExit
+	// KindBuffered is an in-tracee buffered call serviced without a stop.
+	KindBuffered
+	// KindSched is a scheduler decision: Pid is the chosen vtid, Arg the
+	// queue class it was picked from (see sched).
+	KindSched
+	// KindEntropy is a deterministic PRNG draw: Arg packs the draw index
+	// and length, Ret carries an FNV digest of the produced bytes.
+	KindEntropy
+	// KindInstr is a trapped CPU instruction (RDTSC/CPUID): Num is the
+	// trap code, Ret the determinized value handed to the guest.
+	KindInstr
+	// KindCOWBreak is a copy-on-write data break in a forked filesystem:
+	// Arg is the copied byte count. Mechanism-level: occurs only on
+	// template forks, so the diagnoser skips it during alignment.
+	KindCOWBreak
+	// KindSpan marks span begin/end instants emitted by the container
+	// lifecycle; mechanism-level like KindCOWBreak.
+	KindSpan
+)
+
+// String names the kind for human-facing diagnoser output.
+func (k Kind) String() string {
+	switch k {
+	case KindSyscallEnter:
+		return "syscall-enter"
+	case KindSyscallExit:
+		return "syscall-exit"
+	case KindBuffered:
+		return "buffered-call"
+	case KindSched:
+		return "sched"
+	case KindEntropy:
+		return "entropy"
+	case KindInstr:
+		return "instr"
+	case KindCOWBreak:
+		return "cow-break"
+	case KindSpan:
+		return "span"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one flight-recorder record. Every field is derived from logical
+// state only: LTime is the logical clock (jitter-free virtual time), Pid a
+// virtual pid/tid, and Arg/Ret determinized values or digests — never host
+// pids, host inodes, wall-clock stamps or addresses.
+type Event struct {
+	LTime int64
+	Arg   uint64
+	Ret   int64
+	Pid   int32
+	Num   int32
+	Kind  Kind
+}
+
+// eventBytes is the canonical wire size of one event (MarshalBinary).
+const eventBytes = 8 + 8 + 8 + 4 + 4 + 1
+
+// DefaultRingEvents is the default flight-recorder capacity. Big enough to
+// hold a modeled package build's full event stream; on overflow the ring
+// keeps the newest events and counts the drops.
+const DefaultRingEvents = 8192
+
+// Recorder is a bounded ring of events. It is nil-safe: every method on a
+// nil *Recorder is a no-op, which is how DisableObservability is spelled at
+// the recording sites. The recorder is written only under the kernel's
+// lockstep (exactly one guest goroutine runs at a time), so it needs no
+// locking of its own.
+type Recorder struct {
+	ring    []Event
+	next    int
+	total   int64
+	dropped int64
+}
+
+// NewRecorder returns a recorder with the given ring capacity
+// (DefaultRingEvents if n <= 0).
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = DefaultRingEvents
+	}
+	return &Recorder{ring: make([]Event, 0, n)}
+}
+
+// Record appends one event.
+func (r *Recorder) Record(ltime int64, kind Kind, num int32, pid int32, arg uint64, ret int64) {
+	if r == nil {
+		return
+	}
+	ev := Event{LTime: ltime, Arg: arg, Ret: ret, Pid: pid, Num: num, Kind: kind}
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+		r.dropped++
+	}
+	r.next = (r.next + 1) % cap(r.ring)
+	r.total++
+}
+
+// Total is the number of events ever recorded (including dropped ones).
+func (r *Recorder) Total() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Dropped is the number of events overwritten by ring wraparound.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events returns the retained events in record order (oldest first).
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if len(r.ring) < cap(r.ring) {
+		return append([]Event(nil), r.ring...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// MarshalBinary renders the retained events as canonical little-endian
+// records prefixed by a header (total, dropped). Two recorders that saw the
+// same event stream marshal byte-identically — the property the ring
+// determinism test pins.
+func (r *Recorder) MarshalBinary() []byte {
+	evs := r.Events()
+	out := make([]byte, 16, 16+len(evs)*eventBytes)
+	binary.LittleEndian.PutUint64(out[0:], uint64(r.Total()))
+	binary.LittleEndian.PutUint64(out[8:], uint64(r.Dropped()))
+	var rec [eventBytes]byte
+	for _, ev := range evs {
+		binary.LittleEndian.PutUint64(rec[0:], uint64(ev.LTime))
+		binary.LittleEndian.PutUint64(rec[8:], ev.Arg)
+		binary.LittleEndian.PutUint64(rec[16:], uint64(ev.Ret))
+		binary.LittleEndian.PutUint32(rec[24:], uint32(ev.Pid))
+		binary.LittleEndian.PutUint32(rec[28:], uint32(ev.Num))
+		rec[32] = byte(ev.Kind)
+		out = append(out, rec[:]...)
+	}
+	return out
+}
+
+// Span is one timed phase of a container's lifecycle (prepare, boot, fork,
+// run, flush). RealNs is wall-clock duration measured OUTSIDE the container
+// (host-side setup cost, like Result.SetupNs) and never feeds back into
+// guest state; LBegin/LEnd bracket the span on the logical clock where the
+// phase executes guest work (zero for host-only phases).
+type Span struct {
+	Name   string
+	RealNs int64
+	LBegin int64
+	LEnd   int64
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants used for event digests.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// DigestBytes folds a byte slice into a 64-bit FNV-1a digest — how entropy
+// draws and syscall payloads enter events without copying guest data.
+func DigestBytes(p []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// DigestU64 folds additional words into a running digest (seed with
+// DigestBytes(nil) for an empty start).
+func DigestU64(h uint64, vs ...uint64) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * fnvPrime
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, KindSyscallEnter, 2, 3, 4, 5)
+	if r.Total() != 0 || r.Dropped() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	if len(r.MarshalBinary()) != 16 {
+		t.Fatal("nil recorder marshal should be header-only")
+	}
+}
+
+func TestRecorderRingWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(int64(i), KindSched, 0, int32(i), 0, 0)
+	}
+	if r.Total() != 6 || r.Dropped() != 2 {
+		t.Fatalf("total/dropped = %d/%d, want 6/2", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.LTime != int64(i+2) {
+			t.Fatalf("event %d ltime = %d, want %d (oldest-first order)", i, ev.LTime, i+2)
+		}
+	}
+}
+
+func TestRecorderMarshalDeterministic(t *testing.T) {
+	run := func() []byte {
+		r := NewRecorder(8)
+		r.Record(10, KindSyscallEnter, 1, 1000, 0xabc, 0)
+		r.Record(20, KindSyscallExit, 1, 1000, 0, 42)
+		r.Record(30, KindEntropy, 0, 0, 1<<32|16, int64(DigestBytes([]byte("x"))))
+		return r.MarshalBinary()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical event streams marshal differently")
+	}
+	if len(a) != 16+3*eventBytes {
+		t.Fatalf("marshal len = %d, want %d", len(a), 16+3*eventBytes)
+	}
+}
+
+func TestDigests(t *testing.T) {
+	if DigestBytes([]byte("a")) == DigestBytes([]byte("b")) {
+		t.Fatal("digest collision on trivial inputs")
+	}
+	if DigestU64(0, 1, 2) == DigestU64(0, 2, 1) {
+		t.Fatal("DigestU64 should be order-sensitive")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	events := []Event{
+		{LTime: 5, Kind: KindSyscallEnter, Num: 1, Pid: 1000, Arg: 0xf},
+		{LTime: 9, Kind: KindSyscallExit, Num: 1, Pid: 1000, Ret: 3},
+		{LTime: 12, Kind: KindEntropy, Ret: 77},
+	}
+	spans := []Span{{Name: "boot", RealNs: 4000}, {Name: "run", LBegin: 5, LEnd: 20, RealNs: 100}}
+	var buf bytes.Buffer
+	namer := func(num int32) string {
+		if num == 1 {
+			return "write"
+		}
+		return ""
+	}
+	if err := WriteChromeTrace(&buf, events, spans, namer); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"name":"write","ph":"B","ts":5`, `"ph":"E","ts":9`, `"name":"entropy"`, `"name":"boot","ph":"X"`, `"name":"run","ph":"X","ts":5,"dur":15`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasPrefix(out, "[") || !strings.HasSuffix(strings.TrimSpace(out), "]") {
+		t.Fatal("trace is not a JSON array")
+	}
+	// Unknown syscall numbers fall back to sys_<n>, nil namer included.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, []Event{{Kind: KindSyscallEnter, Num: 9}}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), `"name":"sys_9"`) {
+		t.Fatal("nil namer fallback missing")
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Namer maps a syscall number to a display name for trace export. Kept as a
+// parameter so obs has no dependency on the ABI package; callers pass
+// abi.SyscallName or similar. A nil Namer falls back to "sys_<n>".
+type Namer func(num int32) string
+
+func named(n Namer, num int32) string {
+	if n != nil {
+		if s := n(num); s != "" {
+			return s
+		}
+	}
+	return fmt.Sprintf("sys_%d", num)
+}
+
+// jsonEscape covers the characters that can appear in our generated names;
+// names are ASCII identifiers so quotes/backslashes are the only hazard.
+func jsonEscape(s string) string {
+	if !strings.ContainsAny(s, `"\`) {
+		return s
+	}
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// WriteChromeTrace renders events and spans as a Chrome trace_event JSON
+// array (load with chrome://tracing or Perfetto). Logical time is mapped
+// 1:1 onto the "ts" microsecond field: the trace's time axis IS the logical
+// clock, so two deterministic runs render identical traces. Syscall
+// enter/exit become B/E duration pairs, everything else an instant, and
+// lifecycle spans become X complete events on a synthetic setup track.
+func WriteChromeTrace(w io.Writer, events []Event, spans []Span, namer Namer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) error {
+		sep := ",\n"
+		if first {
+			sep = ""
+			first = false
+		}
+		_, err := fmt.Fprintf(w, sep+format, args...)
+		return err
+	}
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindSyscallEnter:
+			if err := emit(`{"name":"%s","ph":"B","ts":%d,"pid":1,"tid":%d,"args":{"digest":"%#x"}}`,
+				jsonEscape(named(namer, ev.Num)), ev.LTime, ev.Pid, ev.Arg); err != nil {
+				return err
+			}
+		case KindSyscallExit:
+			if err := emit(`{"name":"%s","ph":"E","ts":%d,"pid":1,"tid":%d,"args":{"ret":%d}}`,
+				jsonEscape(named(namer, ev.Num)), ev.LTime, ev.Pid, ev.Ret); err != nil {
+				return err
+			}
+		case KindSpan:
+			// Span instants ride the event stream only as markers; the
+			// structured spans slice below carries the durations.
+			if err := emit(`{"name":"span","ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t"}`,
+				ev.LTime, ev.Pid); err != nil {
+				return err
+			}
+		default:
+			if err := emit(`{"name":"%s","ph":"i","ts":%d,"pid":1,"tid":%d,"s":"t","args":{"num":%d,"arg":"%#x","ret":%d}}`,
+				jsonEscape(ev.Kind.String()), ev.LTime, ev.Pid, ev.Num, ev.Arg, ev.Ret); err != nil {
+				return err
+			}
+		}
+	}
+	// Spans render on a synthetic pid-0 "setup" track; host-only spans
+	// (LBegin==LEnd==0) are laid out end-to-end by RealNs so the
+	// prepare/boot/fork sequence is visible even without guest time.
+	cursor := int64(0)
+	for _, sp := range spans {
+		ts, dur := sp.LBegin, sp.LEnd-sp.LBegin
+		if sp.LBegin == 0 && sp.LEnd == 0 {
+			ts, dur = cursor, sp.RealNs/1000
+			if dur < 1 {
+				dur = 1
+			}
+			cursor = ts + dur
+		}
+		if err := emit(`{"name":"%s","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":0,"args":{"real_ns":%d}}`,
+			jsonEscape(sp.Name), ts, dur, sp.RealNs); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}

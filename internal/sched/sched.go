@@ -24,6 +24,7 @@ import (
 	"errors"
 
 	"repro/internal/kernel"
+	"repro/internal/obs"
 )
 
 // ErrBusyWait is raised when a thread busy-waits: the serialized-thread
@@ -70,6 +71,26 @@ type Scheduler struct {
 
 	// Requests counts scheduling decisions, for Table 2.
 	Requests int64
+
+	// Rec, when non-nil, receives one KindSched event per decision: the
+	// chosen vTID and which queue it came from. Decisions are pure
+	// functions of logical history, so the event stream is too.
+	Rec *obs.Recorder
+}
+
+// Queue classes reported in KindSched events.
+const (
+	pickedParallel = iota
+	pickedRunnable
+	pickedBlocked
+)
+
+// picked records the decision and returns t unchanged.
+func (s *Scheduler) picked(t *kernel.Thread, class uint64) *kernel.Thread {
+	if t != nil {
+		s.Rec.Record(t.LClock, obs.KindSched, 0, int32(s.vtid[t]), class, 0)
+	}
+	return t
 }
 
 // arrival is one queued syscall stop.
@@ -210,16 +231,16 @@ func (s *Scheduler) Pick(k *kernel.Kernel, pending []*kernel.Thread) *kernel.Thr
 	// versa). The alternation is a turn counter — logical history only.
 	s.turn++
 	if parallel != nil && (len(s.runnable) == 0 || s.turn%2 == 0) {
-		return s.pickParallel(parallel, pending, k)
+		return s.picked(s.pickParallel(parallel, pending, k), pickedParallel)
 	}
 	if len(s.runnable) > 0 {
 		t := s.runnable[0].t
 		s.runnable = s.runnable[1:]
 		delete(s.inRunnable, t)
-		return t
+		return s.picked(t, pickedRunnable)
 	}
 	if parallel != nil {
-		return s.pickParallel(parallel, pending, k)
+		return s.picked(s.pickParallel(parallel, pending, k), pickedParallel)
 	}
 
 	// 4. Nothing runnable: revisit the Blocked queue fairly. Each visit
@@ -240,7 +261,7 @@ func (s *Scheduler) Pick(k *kernel.Kernel, pending []*kernel.Thread) *kernel.Thr
 		}
 		i := s.blockedRotor % len(parked)
 		s.blockedRotor++
-		return parked[i]
+		return s.picked(parked[i], pickedBlocked)
 	}
 	return nil
 }

@@ -14,6 +14,7 @@ package tracer
 
 import (
 	"repro/internal/abi"
+	"repro/internal/obs"
 )
 
 // Costs holds the virtual-time constants of one tracer implementation, in
@@ -88,16 +89,10 @@ func ClassOf(nr abi.Sysno) Class {
 	}
 }
 
-// Session tracks one attached tracer's accounting.
-type Session struct {
-	Costs Costs
-
-	// SingleStop is the kernel >= 4.8 optimization: seccomp delivers one
-	// combined event instead of separate pre-syscall and seccomp stops
-	// (§5.11).
-	SingleStop bool
-
-	// Counters.
+// Counters is a plain snapshot of one session's accounting, with the same
+// field names the session itself used to expose so downstream readers
+// (benchtab's JSON schema, the equivalence tests) are unchanged.
+type Counters struct {
 	MemReads  int64
 	MemWrites int64
 	ProcReads int64
@@ -109,9 +104,58 @@ type Session struct {
 	Flushes       int64
 }
 
-// NewSession returns a session with default costs.
+// Session tracks one attached tracer's accounting. The counters live on an
+// obs.Registry (under tracer_* names) so a farm can roll sessions up with
+// Registry.Absorb; Counters() snapshots them for result structs. The session
+// runs under the kernel's lockstep — single writer — so Counter.Inc's
+// stripe-0 path is the right one.
+type Session struct {
+	Costs Costs
+
+	// SingleStop is the kernel >= 4.8 optimization: seccomp delivers one
+	// combined event instead of separate pre-syscall and seccomp stops
+	// (§5.11).
+	SingleStop bool
+
+	memReads  *obs.Counter
+	memWrites *obs.Counter
+	procReads *obs.Counter
+	stops     *obs.Counter
+	buffered  *obs.Counter
+	flushes   *obs.Counter
+}
+
+// NewSession returns a session with default costs and a private metrics
+// registry. Callers that want the counters on a shared registry use
+// NewSessionOn.
 func NewSession(singleStop bool) *Session {
-	return &Session{Costs: DefaultCosts(), SingleStop: singleStop}
+	return NewSessionOn(obs.NewRegistry(), singleStop)
+}
+
+// NewSessionOn returns a session whose counters live in reg.
+func NewSessionOn(reg *obs.Registry, singleStop bool) *Session {
+	return &Session{
+		Costs:      DefaultCosts(),
+		SingleStop: singleStop,
+		memReads:   reg.Counter("tracer_mem_reads"),
+		memWrites:  reg.Counter("tracer_mem_writes"),
+		procReads:  reg.Counter("tracer_proc_reads"),
+		stops:      reg.Counter("tracer_stops"),
+		buffered:   reg.Counter("tracer_buffered_calls"),
+		flushes:    reg.Counter("tracer_flushes"),
+	}
+}
+
+// Counters snapshots the session's accounting.
+func (s *Session) Counters() Counters {
+	return Counters{
+		MemReads:      s.memReads.Value(),
+		MemWrites:     s.memWrites.Value(),
+		ProcReads:     s.procReads.Value(),
+		Stops:         s.stops.Value(),
+		BufferedCalls: s.buffered.Value(),
+		Flushes:       s.flushes.Value(),
+	}
 }
 
 // InterceptCost returns the stop overhead for one intercepted syscall event
@@ -122,7 +166,7 @@ func (s *Session) InterceptCost(weight int64) int64 {
 	if s.SingleStop {
 		stops = 1
 	}
-	s.Stops += stops * weight
+	s.stops.Inc(stops * weight)
 	return stops * s.Costs.Stop * weight
 }
 
@@ -143,34 +187,34 @@ func (s *Session) HandlerCost(nr abi.Sysno, weight int64) int64 {
 
 // ReadMem records n reads of tracee memory and returns their cost.
 func (s *Session) ReadMem(weight int64, n int64) int64 {
-	s.MemReads += n * weight
+	s.memReads.Inc(n * weight)
 	return n * s.Costs.MemOp * weight
 }
 
 // WriteMem records n writes of tracee memory and returns their cost.
 func (s *Session) WriteMem(weight int64, n int64) int64 {
-	s.MemWrites += n * weight
+	s.memWrites.Inc(n * weight)
 	return n * s.Costs.MemOp * weight
 }
 
 // ReadProc records one /proc lookup and returns its cost.
 func (s *Session) ReadProc(weight int64) int64 {
-	s.ProcReads += weight
+	s.procReads.Inc(weight)
 	return s.Costs.ProcRead * weight
 }
 
 // RecordBuffered accounts one syscall serviced through the tracee-side
 // buffer: no stop, just the wrapper's local bookkeeping.
 func (s *Session) RecordBuffered(weight int64) int64 {
-	s.BufferedCalls += weight
+	s.buffered.Inc(weight)
 	return s.Costs.BufferRecord * weight
 }
 
 // FlushCost accounts a dedicated flush of n buffered records: one combined
 // stop amortized over the batch.
 func (s *Session) FlushCost(n, weight int64) int64 {
-	s.Flushes += weight
-	s.Stops += weight
+	s.flushes.Inc(weight)
+	s.stops.Inc(weight)
 	return (s.Costs.Stop + n*s.Costs.FlushPerEntry) * weight
 }
 
@@ -181,6 +225,6 @@ func (s *Session) DrainCost(n, weight int64) int64 {
 	if n == 0 {
 		return 0
 	}
-	s.Flushes += weight
+	s.flushes.Inc(weight)
 	return n * s.Costs.FlushPerEntry * weight
 }

@@ -14,8 +14,8 @@ func TestInterceptCostStops(t *testing.T) {
 	if cd != 2*cs {
 		t.Errorf("two-stop fallback should cost twice the combined event: %d vs %d", cd, cs)
 	}
-	if single.Stops != 1 || double.Stops != 2 {
-		t.Errorf("stop counters: %d, %d", single.Stops, double.Stops)
+	if single.Counters().Stops != 1 || double.Counters().Stops != 2 {
+		t.Errorf("stop counters: %d, %d", single.Counters().Stops, double.Counters().Stops)
 	}
 }
 
@@ -73,7 +73,8 @@ func TestMemCounters(t *testing.T) {
 	s.ReadMem(10, 3)
 	s.WriteMem(2, 5)
 	s.ReadProc(7)
-	if s.MemReads != 30 || s.MemWrites != 10 || s.ProcReads != 7 {
-		t.Errorf("counters: reads=%d writes=%d proc=%d", s.MemReads, s.MemWrites, s.ProcReads)
+	c := s.Counters()
+	if c.MemReads != 30 || c.MemWrites != 10 || c.ProcReads != 7 {
+		t.Errorf("counters: reads=%d writes=%d proc=%d", c.MemReads, c.MemWrites, c.ProcReads)
 	}
 }
