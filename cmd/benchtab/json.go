@@ -43,6 +43,22 @@ type templateBench struct {
 	AvgColdSetupNs float64 `json:"avg_cold_setup_ns"`
 }
 
+// faultBench is the crash-recovery section (X15): every sampled package is
+// crashed mid-build with a deterministic fault and recovered from its last
+// checkpoint; MTTR is crash-to-completion virtual time, redone is the work
+// executed twice (the chunk-granularity number a cold replay pays in full).
+type faultBench struct {
+	Packages    int     `json:"packages"`
+	Crashed     int     `json:"crashed"`
+	Identical   int     `json:"recovered_identical"`
+	Restores    int64   `json:"checkpoint_restores"`
+	ColdReplays int64   `json:"cold_replays"`
+	AvgMTTRNs   float64 `json:"avg_mttr_ns"`
+	AvgReplayNs float64 `json:"avg_replay_ns"`
+	AvgRedoneNs float64 `json:"avg_redone_ns"`
+	MTTRSpeedup float64 `json:"mttr_speedup"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -58,8 +74,8 @@ type obsBench struct {
 }
 
 // benchReport is the BENCH_<date>.json schema. Additions ride in new keys
-// (the `obs` section); existing keys never rename, so downstream regression
-// tracking keeps parsing old and new files alike.
+// (the `obs` and `faults` sections); existing keys never rename, so
+// downstream regression tracking keeps parsing old and new files alike.
 type benchReport struct {
 	Date     string `json:"date"`
 	Seed     uint64 `json:"seed"`
@@ -74,6 +90,7 @@ type benchReport struct {
 
 	Templates templateBench `json:"templates"`
 	Obs       obsBench      `json:"obs"`
+	Faults    faultBench    `json:"faults"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -176,6 +193,18 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		AvgForkNs:      ts.AvgForkNs,
 		AvgColdSetupNs: ts.AvgColdSetupNs,
 	}
+	fs := o.RunFaultStudy(debpkg.Universe(seed, sampleOr(n, 48)))
+	rep.Faults = faultBench{
+		Packages:    fs.Packages,
+		Crashed:     fs.Crashed,
+		Identical:   fs.Identical,
+		Restores:    fs.Restores,
+		ColdReplays: fs.ColdReplays,
+		AvgMTTRNs:   fs.AvgMTTRNs,
+		AvgReplayNs: fs.AvgReplayNs,
+		AvgRedoneNs: fs.AvgRedoneNs,
+		MTTRSpeedup: fs.Speedup,
+	}
 	name := fmt.Sprintf("BENCH_%s.json", rep.Date)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -184,8 +213,9 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
-		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction)
+		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction,
+		rep.Faults.MTTRSpeedup)
 	return nil
 }

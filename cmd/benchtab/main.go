@@ -15,6 +15,7 @@
 //	benchtab -rescue            §5.9/§5.4 ablation: experimental sockets+signals
 //	benchtab -buffering         syscall-buffer ablation (Fig. 5 with/without)
 //	benchtab -templates         container-template ablation (setup cost with/without COW forks)
+//	benchtab -faults            X15 crash-recovery study (checkpoint restore vs cold replay)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -55,6 +56,7 @@ func main() {
 		rescue  = flag.Bool("rescue", false, "")
 		bufStud = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
 		tmplStd = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
+		faults  = flag.Bool("faults", false, "X15 crash-recovery study: mid-build crashes recovered from checkpoints vs cold replay")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -160,6 +162,11 @@ func main() {
 	if *all || *tmplStd {
 		section("container-template ablation: setup cost with and without COW forks")
 		fmt.Println(o.RunTemplateStudy(debpkg.Universe(*seed, sampleOr(*n, 120)), 0))
+		fmt.Println()
+	}
+	if *all || *faults {
+		section("X15: crash recovery — checkpoint restore vs cold replay")
+		fmt.Println(o.RunFaultStudy(debpkg.Universe(*seed, sampleOr(*n, 48))))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -13,6 +13,13 @@
 //
 //	reprotest -pkg 7 -diagnose
 //	reprotest -pkg 7 -diagnose -inject-entropy 3
+//
+// With -inject-crash N the tool instead runs the crash-recovery gate: build
+// the package checkpointed and uninterrupted, crash a second run at action N
+// (0 picks the midpoint), recover it from its last checkpoint, and exit
+// non-zero unless the recovered build is bitwise-identical.
+//
+//	reprotest -pkg 7 -inject-crash 0
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 		llvm     = flag.Bool("llvm", false, "build the llvm package instead")
 		diagnose = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
 		inject   = flag.Int("inject-entropy", 0, "with -diagnose: perturb the second run's N'th entropy draw")
+		crashAt  = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
 	)
 	flag.Parse()
 
@@ -59,6 +67,15 @@ func main() {
 	}
 
 	o := &buildsim.Options{Seed: *seed}
+	if *crashAt >= 0 {
+		fmt.Println()
+		report, ok := o.CrashRecovery(spec, *crashAt)
+		fmt.Println(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *diagnose {
 		fmt.Println()
 		fmt.Println(o.Diagnose(spec, *inject))

@@ -47,6 +47,10 @@ func main() {
 		Name: "node-d", Profile: machine.LegacySandyBridge(),
 		Seed: 0xDEAD, Epoch: 1_600_000_000, NumCPU: 4,
 	}
-	got, ok := cluster.Recover(log, fresh)
+	// One healthy replica's checkpointed run is the whole cluster's
+	// reference; the replacement restores from its last checkpoint and
+	// re-executes only the log suffix.
+	ref := cluster.Reference(log)
+	got, ok := cluster.Recover(log, fresh, ref)
 	fmt.Printf("  %-8s state=%s rejoined=%v\n", got.Host, got.StateHash[:16], ok)
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/abi"
@@ -88,6 +89,34 @@ type Options struct {
 	// accidents — while Out is otherwise pinned bitwise-identical across
 	// every mechanism ablation.
 	KeepTraces bool
+	// Checkpoints runs the DetTrace builds in checkpoint mode: the build
+	// driver self-execs at phase boundaries (post-configure, post-compile)
+	// and the kernel seals a restorable checkpoint at each of those quiescent
+	// stops, pinned in a bounded farm-wide LRU while the job is in flight.
+	// Checkpoint mode is its own determinism equivalence class — the extra
+	// execs advance virtual time — so its outputs are compared against other
+	// checkpointed runs, never against plain ones.
+	Checkpoints bool
+	// InjectFaults schedules deterministic faults (worker crashes, checkpoint
+	// corruption, restore failures) from per-job fault plans derived from
+	// Seed — see reprotest.PlanFor. Crashed jobs recover from their last
+	// valid checkpoint with bounded retries, degrading to a cold replay; the
+	// farm's outputs must be bitwise-unchanged by the whole ordeal (faults.go
+	// and faults_test.go pin that). Requires Checkpoints.
+	InjectFaults bool
+	// CheckpointRetries bounds restore attempts per crashed job
+	// (0 = DefaultCheckpointRetries).
+	CheckpointRetries int
+	// CheckpointCacheSize bounds the farm's checkpoint LRU
+	// (0 = DefaultCheckpointCacheSize). In-flight jobs pin their freshest
+	// seal, so eviction can only cost older fallback seals — a job that needs
+	// one after losing its freshest to corruption degrades to a cold replay.
+	CheckpointCacheSize int
+
+	// jobSeq hands each checkpointed build a farm-unique identity for its
+	// LRU entries. Scheduling-dependent, so it must never influence results —
+	// only which cache slots a job's checkpoints occupy.
+	jobSeq atomic.Uint64
 
 	// Farm-wide prepared-state caches and setup accounting (templates.go).
 	// Lazily initialized; all access is concurrency-safe, so one Options may
@@ -430,6 +459,7 @@ type dtRun struct {
 	prog      []byte // the built binary, for post-build selftests (§7.2)
 	exit      int
 	wall      int64
+	actions   int64 // deterministic kernel action count, for fault targeting
 	timeout   bool
 	unsup     string
 	err       error
@@ -472,9 +502,25 @@ var containerEnv = []string{
 // cached core.Template keyed on (image hash, config hash) — mod runs first,
 // so an ablated config can never be served a mismatched template.
 func (o *Options) buildDT(l obs.Local, spec *debpkg.Spec, seed uint64, v reprotest.Variation, mod func(*core.Config)) dtRun {
-	sc := o.sc()
 	img, pkgdir, imgHash := o.pkgImage(l, spec, "/build")
-	cfg := core.Config{
+	cfg := o.dtConfig(img, pkgdir, seed, v)
+	if mod != nil {
+		mod(&cfg)
+	}
+	if o.Checkpoints {
+		var plan reprotest.FaultPlan
+		if o.InjectFaults {
+			plan = reprotest.PlanFor(seed ^ v.HostSeed)
+		}
+		return o.buildDTFault(l, spec, plan, cfg, img, imgHash, pkgdir)
+	}
+	res := o.runContainer(l, cfg, img, imgHash, containerEnv)
+	return dtRunFrom(res, spec, pkgdir)
+}
+
+// dtConfig is the canonical DetTrace container configuration for one build.
+func (o *Options) dtConfig(img *fs.Image, pkgdir string, seed uint64, v reprotest.Variation) core.Config {
+	return core.Config{
 		Image:                img,
 		Profile:              machine.CloudLabC220G5(),
 		HostSeed:             v.HostSeed,
@@ -488,19 +534,28 @@ func (o *Options) buildDT(l obs.Local, spec *debpkg.Spec, seed uint64, v reprote
 		DisableSyscallBuf:    o.NoSyscallBuf,
 		DisableObservability: o.NoObservability,
 	}
-	if mod != nil {
-		mod(&cfg)
-	}
+}
+
+// runContainer builds the container for cfg — forked from a cached template
+// unless an ablation or a fault knob forces the cold path — runs the package
+// build in it, and books the setup accounting. Crash-carrying configs always
+// cold-boot: their config hash differs by design, and preparing a template
+// for a run doomed to die mid-flight would only churn the cache (forked and
+// cold boots are pinned bitwise-identical, so the detour is invisible).
+func (o *Options) runContainer(l obs.Local, cfg core.Config, img *fs.Image, imgHash uint64, env []string) *core.Result {
+	sc := o.sc()
 	var c *core.Container
-	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img {
+	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img || cfg.FaultInjectCrash != 0 {
 		c = core.New(cfg)
 	} else {
 		c = o.template(l, imgHash, cfg).NewContainer(core.HostRun{
 			Seed: cfg.HostSeed, Epoch: cfg.Epoch, NumCPU: cfg.NumCPU,
+			CheckpointSink:         cfg.CheckpointSink,
+			FaultCorruptCheckpoint: cfg.FaultCorruptCheckpoint,
 		})
 	}
 	res := c.Run(registry(), "/bin/dpkg-buildpackage",
-		[]string{"dpkg-buildpackage", "-b"}, containerEnv)
+		[]string{"dpkg-buildpackage", "-b"}, env)
 	if res.Forked {
 		sc.forkBoots.Add(l, 1)
 		sc.forkNs.Add(l, res.SetupNs)
@@ -513,7 +568,13 @@ func (o *Options) buildDT(l obs.Local, spec *debpkg.Spec, seed uint64, v reprote
 	// Roll the run's own registry (kernel syscall table, tracer stops) into
 	// the farm-wide one so `benchtab -trace` can dump a single farm view.
 	o.Obs().Absorb(res.Obs)
-	r := dtRun{exit: res.ExitCode, wall: res.WallTime, events: eventsFrom(res.Stats),
+	return res
+}
+
+// dtRunFrom condenses a container result into the build's observables.
+func dtRunFrom(res *core.Result, spec *debpkg.Spec, pkgdir string) dtRun {
+	r := dtRun{exit: res.ExitCode, wall: res.WallTime, actions: res.Actions,
+		events:    eventsFrom(res.Stats),
 		recEvents: res.Trace.Total(), trace: res.Events, spans: res.Spans}
 	r.events.Stops = res.Tracer.Stops
 	r.events.Buffered = res.Tracer.BufferedCalls

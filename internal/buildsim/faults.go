@@ -1,0 +1,352 @@
+// Crash-consistent checkpointing and deterministic fault injection for the
+// build farm: the robustness half of the evaluation.
+//
+// In checkpoint mode every DetTrace build runs its driver as a trampoline
+// (workload.dpkgBuildpackageMain): at each build-phase boundary the driver
+// journals its progress and self-execs, handing the kernel a quiescent
+// traced stop to seal a restorable checkpoint at. Seals land in a bounded
+// farm-wide LRU; the in-flight job pins its freshest seal so cache pressure
+// can never evict the one checkpoint a crash is about to need.
+//
+// Faults are scheduled on the container's logical clock (reprotest.FaultPlan
+// — an action count to die at, a checkpoint ordinal to corrupt, a restore
+// attempt to lose), so every failure is exactly reproducible. A crashed job
+// restores from its freshest valid seal with bounded retries and
+// exponential virtual-time backoff, falling back to older seals on
+// validation failure and to a full cold replay when no usable seal remains.
+// The determinism contract makes every path land on the same bits: a
+// resumed run is bitwise-identical to the uninterrupted run (pinned in
+// internal/core), and a cold replay is just the uninterrupted run — so the
+// farm's output is DeepEqual with faults on and off, which faults_test.go
+// pins across worker-pool sizes.
+package buildsim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/debpkg"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/reprotest"
+	"repro/internal/stats"
+)
+
+// DefaultCheckpointRetries bounds restore attempts per crashed job when
+// Options.CheckpointRetries is zero.
+const DefaultCheckpointRetries = 3
+
+// DefaultCheckpointCacheSize bounds the farm's checkpoint LRU when
+// Options.CheckpointCacheSize is zero. Checkpoints pin a full filesystem
+// clone each, so the cap is deliberately modest: builds seal a handful of
+// ordinals and only in-flight jobs ever read them back.
+const DefaultCheckpointCacheSize = 32
+
+// BackoffBaseNs is the first retry's virtual-time backoff; each further
+// attempt doubles it. The backoff is recovery bookkeeping (it models the
+// farm scheduler waiting out a flaky worker) charged to farm_backoff_ns —
+// it never advances any container's clock, so results cannot see it.
+const BackoffBaseNs = int64(250 * 1e6)
+
+// checkpointEnv is containerEnv plus the trampoline gate: checkpoint-mode
+// builds are their own equivalence class, compared only against other
+// checkpoint-mode builds.
+var checkpointEnv = append(append([]string{}, containerEnv...), "DETTRACE_CHECKPOINT=1")
+
+// ckptKey addresses one sealed checkpoint in the farm LRU.
+type ckptKey struct {
+	job     uint64
+	ordinal int
+}
+
+// jobCkpts is one build's window into the farm checkpoint cache. The sink
+// runs inside the container's kernel loop (single-threaded per job); it
+// keeps exactly one pin — on the freshest seal — so older ordinals age out
+// under pressure while the seal a crash would restore from cannot.
+type jobCkpts struct {
+	o      *Options
+	l      obs.Local
+	job    uint64
+	latest int
+}
+
+func (j *jobCkpts) sink(cp *core.Checkpoint) {
+	j.o.sc().ckptSealed.Add(j.l, 1)
+	cache := j.o.caches().checkpoints
+	cache.putPinned(ckptKey{j.job, cp.Ordinal()}, cp)
+	if j.latest > 0 {
+		cache.unpin(ckptKey{j.job, j.latest})
+	}
+	j.latest = cp.Ordinal()
+}
+
+// get returns the job's seal with the given ordinal, or nil if it was never
+// sealed or has been evicted.
+func (j *jobCkpts) get(ordinal int) *core.Checkpoint {
+	v, ok := j.o.caches().checkpoints.peek(ckptKey{j.job, ordinal})
+	if !ok {
+		return nil
+	}
+	return v.(*core.Checkpoint)
+}
+
+// release drops the job's last pin once the build is settled.
+func (j *jobCkpts) release() {
+	if j.latest > 0 {
+		j.o.caches().checkpoints.unpin(ckptKey{j.job, j.latest})
+		j.latest = 0
+	}
+}
+
+// buildDTFault runs one checkpoint-mode DetTrace build under plan. A zero
+// plan is the fault-free checkpointed build: same trampoline, same seals,
+// no crash. Otherwise the run dies at the planned action and is recovered
+// through recoverJob; either way the returned observables must be the bits
+// the uninterrupted run would have produced.
+func (o *Options) buildDTFault(l obs.Local, spec *debpkg.Spec, plan reprotest.FaultPlan, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string) dtRun {
+	j := &jobCkpts{o: o, l: l, job: o.jobSeq.Add(1)}
+	defer j.release()
+
+	runCfg := cfg
+	runCfg.CheckpointSink = j.sink
+	runCfg.FaultInjectCrash = plan.CrashAtAction
+	runCfg.FaultCorruptCheckpoint = plan.CorruptCheckpoint
+	res := o.runContainer(l, runCfg, img, imgHash, checkpointEnv)
+	if res.Err != nil && errors.Is(res.Err, kernel.ErrInjectedCrash) {
+		o.sc().crashes.Add(l, 1)
+		res = o.recoverJob(l, j, plan, cfg, img, imgHash, res.WallTime)
+	}
+	return dtRunFrom(res, spec, pkgdir)
+}
+
+// recoverJob brings a crashed job back: restore from the freshest seal,
+// retrying with exponential virtual-time backoff up to the retry bound,
+// stepping down to older seals when validation rejects one, and degrading
+// to a cold replay when no seal survives. Every exit produces the
+// uninterrupted run's bits. crashWall is the crashed run's virtual time of
+// death; the gap between it and the restored seal is the work executed
+// twice, charged to farm_redone_ns.
+func (o *Options) recoverJob(l obs.Local, j *jobCkpts, plan reprotest.FaultPlan, cfg core.Config, img *fs.Image, imgHash uint64, crashWall int64) *core.Result {
+	sc := o.sc()
+	retries := o.CheckpointRetries
+	if retries <= 0 {
+		retries = DefaultCheckpointRetries
+	}
+	// The recovery deliberately clears the fault knobs: the replacement
+	// worker must finish the build, not re-die. Checkpoint validation
+	// (core.Resume's recoveryHash) accounts for the cleared crash knob.
+	cfg.CheckpointSink = j.sink
+	cfg.FaultInjectCrash = 0
+	cfg.FaultCorruptCheckpoint = 0
+
+	ordinal := j.latest
+	for attempt := 0; attempt < retries && ordinal > 0; attempt++ {
+		sc.restoreAttempts.Add(l, 1)
+		sc.backoffNs.Add(l, BackoffBaseNs<<attempt)
+		if plan.FailRestore && attempt == 0 {
+			sc.restoreFailures.Add(l, 1)
+			continue // planned restore failure: same seal, next attempt
+		}
+		cp := j.get(ordinal)
+		if cp == nil {
+			break // evicted under pressure: nothing left to restore
+		}
+		res, err := core.Resume(cp, registry(), cfg)
+		if err != nil {
+			sc.ckptInvalid.Add(l, 1)
+			ordinal-- // corrupt or mismatched seal: fall back one ordinal
+			continue
+		}
+		sc.restores.Add(l, 1)
+		sc.mttrNs.Add(l, res.WallTime-cp.VirtualNow())
+		sc.redoneNs.Add(l, crashWall-cp.VirtualNow())
+		return res
+	}
+	sc.coldReplays.Add(l, 1)
+	res := o.runContainer(l, cfg, img, imgHash, checkpointEnv)
+	sc.replayNs.Add(l, res.WallTime)
+	sc.redoneNs.Add(l, crashWall)
+	return res
+}
+
+// FaultStats is a point-in-time snapshot of the farm's fault-plane
+// accounting. Benchmarking metadata only, like SetupStats.
+type FaultStats struct {
+	Sealed         int64 // checkpoints sealed across all builds
+	CkptEvictions  int64 // checkpoint LRU entries dropped under pressure
+	Crashes        int64 // injected crashes that fired
+	Attempts       int64 // restore attempts, including failed ones
+	Restores       int64 // successful checkpoint restores
+	RestoreFailed  int64 // injected restore failures
+	Invalid        int64 // seals rejected by validation (corruption, mismatch)
+	ColdReplays    int64 // recoveries degraded to a full replay
+	BackoffNs      int64 // virtual time spent backing off between attempts
+	MTTRNs         int64 // crash-to-completion virtual time across restores
+	ReplayNs       int64 // crash-to-completion virtual time across cold replays
+	RedoneNs       int64 // virtual work executed twice (crash point - restore point)
+}
+
+// FaultStats snapshots the farm's fault accounting so far.
+func (o *Options) FaultStats() FaultStats {
+	sc := o.sc()
+	return FaultStats{
+		Sealed:        sc.ckptSealed.Value(),
+		CkptEvictions: sc.ckptEvictions.Value(),
+		Crashes:       sc.crashes.Value(),
+		Attempts:      sc.restoreAttempts.Value(),
+		Restores:      sc.restores.Value(),
+		RestoreFailed: sc.restoreFailures.Value(),
+		Invalid:       sc.ckptInvalid.Value(),
+		ColdReplays:   sc.coldReplays.Value(),
+		BackoffNs:     sc.backoffNs.Value(),
+		MTTRNs:        sc.mttrNs.Value(),
+		ReplayNs:      sc.replayNs.Value(),
+		RedoneNs:      sc.redoneNs.Value(),
+	}
+}
+
+// FaultStudy is the X15 recovery experiment: every package built
+// checkpointed and fault-free for reference, then crashed mid-build and
+// recovered. Identical must equal Crashed — recovery is a robustness
+// mechanism, not a semantic one — and the MTTR column is the headline: how
+// much virtual work a checkpoint restore redoes versus a cold replay.
+type FaultStudy struct {
+	Packages  int // packages whose reference build completed
+	Crashed   int // packages whose planned crash fired
+	Identical int // crashed packages recovered to the reference bits
+
+	Restores    int64 // recoveries via checkpoint restore
+	ColdReplays int64 // recoveries via full replay
+
+	AvgMTTRNs   float64 // crash-to-completion virtual time per restore
+	AvgReplayNs float64 // crash-to-completion virtual time for a cold replay
+	AvgRedoneNs float64 // virtual work executed twice, per recovery
+	Speedup     float64 // replay/MTTR: the recovery headline
+}
+
+// String renders the study summary.
+func (st *FaultStudy) String() string {
+	return fmt.Sprintf(
+		"packages: %d; crashed mid-build: %d; recovered bitwise-identical: %s\n"+
+			"recoveries: %d checkpoint restores, %d cold replays\n"+
+			"MTTR: %.1f s virtual to completion per restore vs %.1f s full replay (%.1fx less)\n"+
+			"work executed twice: %.1f s virtual per recovery (chunk granularity)",
+		st.Packages, st.Crashed, stats.Pct(st.Identical, st.Crashed),
+		st.Restores, st.ColdReplays,
+		st.AvgMTTRNs/1e9, st.AvgReplayNs/1e9, st.Speedup,
+		st.AvgRedoneNs/1e9)
+}
+
+// RunFaultStudy builds each spec twice in checkpoint mode — uninterrupted,
+// then crashed at half its reference action count and recovered — and
+// compares the recovered observables bitwise against the reference.
+func (o *Options) RunFaultStudy(specs []*debpkg.Spec) *FaultStudy {
+	on := &Options{Seed: o.Seed, Jobs: o.Jobs, Experimental: o.Experimental,
+		NoSyscallBuf: o.NoSyscallBuf, NoObservability: o.NoObservability,
+		TemplateCacheSize: o.TemplateCacheSize, Checkpoints: true,
+		CheckpointRetries: o.CheckpointRetries, CheckpointCacheSize: o.CheckpointCacheSize}
+	type fOut struct {
+		ok, crashed, identical bool
+		refWall                int64
+	}
+	outs := make([]fOut, len(specs))
+	o.forEach(len(specs), func(l obs.Local, i int) {
+		spec := specs[i]
+		seed := pkgSeed(o.Seed, spec)
+		v1, _ := reprotest.Pair(seed)
+		ref := on.buildDT(l, spec, seed, v1, nil)
+		if v, _ := ref.verdict(); v != "" {
+			return
+		}
+		img, pkgdir, imgHash := on.pkgImage(l, spec, "/build")
+		cfg := on.dtConfig(img, pkgdir, seed, v1)
+		before := on.FaultStats().Crashes
+		got := on.buildDTFault(l, spec,
+			reprotest.FaultPlan{CrashAtAction: ref.actions / 2},
+			cfg, img, imgHash, pkgdir)
+		outs[i] = fOut{
+			ok:      true,
+			crashed: on.FaultStats().Crashes > before,
+			identical: got.exit == ref.exit && got.wall == ref.wall &&
+				bytes.Equal(got.deb, ref.deb) && bytes.Equal(got.log, ref.log),
+			refWall: ref.wall,
+		}
+	})
+	st := &FaultStudy{}
+	var replaySum int64
+	for _, fo := range outs {
+		if !fo.ok {
+			continue
+		}
+		st.Packages++
+		if fo.crashed {
+			st.Crashed++
+			replaySum += fo.refWall
+		}
+		if fo.crashed && fo.identical {
+			st.Identical++
+		}
+	}
+	fst := on.FaultStats()
+	st.Restores, st.ColdReplays = fst.Restores, fst.ColdReplays
+	if fst.Restores > 0 {
+		st.AvgMTTRNs = float64(fst.MTTRNs) / float64(fst.Restores)
+	}
+	if n := fst.Restores + fst.ColdReplays; n > 0 {
+		st.AvgRedoneNs = float64(fst.RedoneNs) / float64(n)
+	}
+	if st.Crashed > 0 {
+		st.AvgReplayNs = float64(replaySum) / float64(st.Crashed)
+	}
+	if st.AvgMTTRNs > 0 {
+		st.Speedup = st.AvgReplayNs / st.AvgMTTRNs
+	}
+	return st
+}
+
+// CrashRecovery is the single-package crash gate behind
+// `reprotest -inject-crash N`: build the package checkpointed and
+// uninterrupted, crash a second run at action n (n <= 0 picks the midpoint),
+// recover it, and compare bitwise. The report is human-readable; ok is the
+// machine verdict.
+func (o *Options) CrashRecovery(spec *debpkg.Spec, n int64) (report string, ok bool) {
+	on := &Options{Seed: o.Seed, Checkpoints: true}
+	l := obs.NewLocal()
+	seed := pkgSeed(o.Seed, spec)
+	v1, _ := reprotest.Pair(seed)
+	ref := on.buildDT(l, spec, seed, v1, nil)
+	if v, _ := ref.verdict(); v != "" {
+		return fmt.Sprintf("reference build did not complete: %s", v), false
+	}
+	if n <= 0 {
+		n = ref.actions / 2
+	}
+	img, pkgdir, imgHash := on.pkgImage(l, spec, "/build")
+	cfg := on.dtConfig(img, pkgdir, seed, v1)
+	got := on.buildDTFault(l, spec, reprotest.FaultPlan{CrashAtAction: n},
+		cfg, img, imgHash, pkgdir)
+	fst := on.FaultStats()
+	ok = got.exit == ref.exit && got.wall == ref.wall &&
+		bytes.Equal(got.deb, ref.deb) && bytes.Equal(got.log, ref.log)
+	verdict := "bitwise-identical to the uninterrupted build"
+	if !ok {
+		verdict = "DIVERGED from the uninterrupted build"
+	}
+	how := "completed before the crash point"
+	switch {
+	case fst.Restores > 0:
+		how = fmt.Sprintf("restored from checkpoint, %.1f s virtual redone of %.1f s",
+			float64(fst.RedoneNs)/1e9, float64(ref.wall)/1e9)
+	case fst.ColdReplays > 0:
+		how = "recovered by cold replay"
+	}
+	report = fmt.Sprintf(
+		"reference: %d actions, %.1f s virtual; %d checkpoints sealed across runs\n"+
+			"crash injected at action %d: %s\n"+
+			"recovered run %s",
+		ref.actions, float64(ref.wall)/1e9, fst.Sealed, n, how, verdict)
+	return report, ok
+}

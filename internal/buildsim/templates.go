@@ -66,6 +66,22 @@ type setupCounters struct {
 	// fork vs cold boot.
 	recEventsFork *obs.Counter
 	recEventsCold *obs.Counter
+
+	// Fault-plane accounting (faults.go): checkpoint seals, injected
+	// crashes, and how the farm recovered from them. Like all farm counters,
+	// bookkeeping only — recovery outcomes never feed back into results.
+	ckptSealed      *obs.Counter
+	ckptEvictions   *obs.Counter
+	crashes         *obs.Counter
+	restoreAttempts *obs.Counter
+	restores        *obs.Counter
+	restoreFailures *obs.Counter
+	ckptInvalid     *obs.Counter
+	coldReplays     *obs.Counter
+	backoffNs       *obs.Counter
+	mttrNs          *obs.Counter
+	replayNs        *obs.Counter
+	redoneNs        *obs.Counter
 }
 
 // SetupStats is a point-in-time snapshot of the farm's container-setup
@@ -156,6 +172,19 @@ func (o *Options) initObsLocked() {
 		coldSetupNs:    r.Counter("farm_cold_setup_ns"),
 		recEventsFork:  r.Counter("farm_rec_events_fork"),
 		recEventsCold:  r.Counter("farm_rec_events_cold"),
+
+		ckptSealed:      r.Counter("farm_checkpoints_sealed"),
+		ckptEvictions:   r.Counter("farm_checkpoint_evictions"),
+		crashes:         r.Counter("farm_crashes_injected"),
+		restoreAttempts: r.Counter("farm_restore_attempts"),
+		restores:        r.Counter("farm_restores"),
+		restoreFailures: r.Counter("farm_restore_failures"),
+		ckptInvalid:     r.Counter("farm_checkpoint_invalid"),
+		coldReplays:     r.Counter("farm_cold_replays"),
+		backoffNs:       r.Counter("farm_backoff_ns"),
+		mttrNs:          r.Counter("farm_mttr_ns"),
+		replayNs:        r.Counter("farm_replay_ns"),
+		redoneNs:        r.Counter("farm_redone_ns"),
 	}
 	o.obsReg = r
 }
@@ -182,8 +211,9 @@ type lruCache struct {
 }
 
 type lruItem struct {
-	key any
-	e   *lruEntry
+	key  any
+	e    *lruEntry
+	pins int
 }
 
 func newLRU(cap int, evictions *obs.Counter) *lruCache {
@@ -200,22 +230,75 @@ func (c *lruCache) get(key any) (*lruEntry, bool) {
 		return el.Value.(*lruItem).e, true
 	}
 	e := &lruEntry{}
-	c.items[key] = c.order.PushFront(&lruItem{key: key, e: e})
-	if c.order.Len() > c.cap {
-		back := c.order.Back()
-		c.order.Remove(back)
-		delete(c.items, back.Value.(*lruItem).key)
-		c.evictions.Inc(1) // under the cache mutex: single writer
-	}
+	c.insertLocked(key, e, 0)
 	return e, false
 }
 
+// insertLocked adds key→e at the front and, when over cap, evicts the
+// least-recently-used unpinned entry. Pinned entries are never evicted: a
+// fully pinned cache grows past cap instead, because in-flight state must
+// survive pressure (the pin is what makes eviction results-invisible).
+func (c *lruCache) insertLocked(key any, e *lruEntry, pins int) {
+	c.items[key] = c.order.PushFront(&lruItem{key: key, e: e, pins: pins})
+	if c.order.Len() <= c.cap {
+		return
+	}
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		it := el.Value.(*lruItem)
+		if it.pins > 0 {
+			continue
+		}
+		c.order.Remove(el)
+		delete(c.items, it.key)
+		c.evictions.Inc(1) // under the cache mutex: single writer
+		return
+	}
+}
+
+// putPinned stores v at key with one pin already held, atomically — the
+// value cannot be evicted between insertion and a separate pin call.
+func (c *lruCache) putPinned(key, v any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*lruItem)
+		it.e.v = v
+		it.pins++
+		c.order.MoveToFront(el)
+		return
+	}
+	c.insertLocked(key, &lruEntry{v: v}, 1)
+}
+
+// peek returns the value stored at key, without creating a slot on miss.
+func (c *lruCache) peek(key any) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).e.v, true
+}
+
+// unpin releases one pin on key; no-op if the key was already evicted.
+func (c *lruCache) unpin(key any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).pins--
+	}
+}
+
 // farmCaches is the per-Options prepared-state store: materialized images,
-// baseline kernel snapshots, and DetTrace container templates.
+// baseline kernel snapshots, DetTrace container templates, and — in
+// checkpoint mode — the sealed mid-run checkpoints of in-flight jobs.
 type farmCaches struct {
-	images    *lruCache // imageKey -> *imageEntry
-	snapshots *lruCache // uint64 image hash -> *kernel.Snapshot
-	templates *lruCache // templateKey -> *core.Template
+	images      *lruCache // imageKey -> *imageEntry
+	snapshots   *lruCache // uint64 image hash -> *kernel.Snapshot
+	templates   *lruCache // templateKey -> *core.Template
+	checkpoints *lruCache // ckptKey -> *core.Checkpoint
 }
 
 type imageKey struct {
@@ -241,12 +324,17 @@ func (o *Options) caches() *farmCaches {
 		if n <= 0 {
 			n = DefaultTemplateCacheSize
 		}
+		ckptCap := o.CheckpointCacheSize
+		if ckptCap <= 0 {
+			ckptCap = DefaultCheckpointCacheSize
+		}
 		o.cache = &farmCaches{
 			// Images back the templates, so the memo holds the native-build
 			// variants (one per build root) alongside them: twice the cap.
-			images:    newLRU(2*n, o.setup.evictions),
-			snapshots: newLRU(n, o.setup.evictions),
-			templates: newLRU(n, o.setup.evictions),
+			images:      newLRU(2*n, o.setup.evictions),
+			snapshots:   newLRU(n, o.setup.evictions),
+			templates:   newLRU(n, o.setup.evictions),
+			checkpoints: newLRU(ckptCap, o.setup.ckptEvictions),
 		}
 	}
 	return o.cache

@@ -91,6 +91,33 @@ type Config struct {
 	// [input, test-only]
 	FaultInjectEntropy int
 
+	// FaultInjectCrash, when > 0, kills the run with
+	// kernel.ErrInjectedCrash once the kernel's processed-action count
+	// reaches N — the deterministic stand-in for a machine crash,
+	// scheduled on logical history so the same N always dies at the same
+	// traced stop. It changes how far the run gets (though never what any
+	// prefix contains), so it participates in ConfigHash; recovery clears
+	// it, which is why checkpoint validation hashes it out (recoveryHash).
+	// [input, test-only]
+	FaultInjectCrash int64
+
+	// FaultCorruptCheckpoint, when > 0, corrupts the N-th checkpoint
+	// (1-based) as it is sealed: its validation digest is flipped so
+	// Resume rejects it with ErrCheckpointCorrupt and recovery must fall
+	// back to an older seal or a cold-boot replay. Mechanism-level — the
+	// running guest never observes its checkpoints — so excluded from
+	// ConfigHash like the observability knobs.
+	FaultCorruptCheckpoint int
+
+	// CheckpointSink, when non-nil, enables crash-consistent checkpoints:
+	// at every quiescent traced stop (see kernel.Config.Checkpointer for
+	// the eligibility rules) the container seals its complete state and
+	// hands the Checkpoint to the sink; latest-wins callers keep only the
+	// last one. Sealing is read-only and never perturbs the run, so this
+	// is a mechanism knob excluded from ConfigHash: output with a sink
+	// attached is bitwise identical to output without.
+	CheckpointSink func(*Checkpoint)
+
 	// WorkingDir is the container working directory (the --working-dir
 	// bind-mount target); empty selects /build when the image has it.
 	// [input]
@@ -169,7 +196,12 @@ type Result struct {
 	Err      error     // nil, *UnsupportedError (wrapped), timeout, or deadlock
 
 	WallTime int64 // virtual ns the run took on this host
-	Stats    kernel.Stats
+	// Actions is the kernel's processed-action count at the end of the
+	// run — the logical index crash faults and checkpoints schedule on.
+	// Deterministic, so crash sweeps can derive in-range injection points
+	// from a reference run's value.
+	Actions int64
+	Stats   kernel.Stats
 	Tracer   tracer.Counters // stop/memory counter snapshot
 
 	// RandomLog holds every byte of true randomness served to the
@@ -185,6 +217,10 @@ type Result struct {
 	// only: never part of the reproducibility-observable output.
 	SetupNs int64
 	Forked  bool
+	// Resumed reports the run was reconstructed from a Checkpoint rather
+	// than booted from the start. Like Forked, benchmarking metadata: a
+	// resumed result is bitwise identical to the uninterrupted one.
+	Resumed bool
 
 	// Observability metadata, like SetupNs never part of the
 	// reproducibility-observable output. Obs is the run's metrics registry
@@ -262,6 +298,10 @@ type Container struct {
 	rec          *obs.Recorder
 	entropyDraws int
 	spans        []obs.Span
+
+	// checkpoints numbers the seals handed to CheckpointSink (1-based
+	// ordinal); a resumed container continues the sealed run's numbering.
+	checkpoints int
 }
 
 // fillRandom services one randomness request per the container's policy:
@@ -366,31 +406,39 @@ func newContainer(cfg Config, filter *seccomp.Filter) *Container {
 // programs against reg. It blocks until the container finishes.
 func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *Result {
 	setupStart := time.Now()
+	var kcheck func(*kernel.Checkpoint, *kernel.Thread)
+	if c.cfg.CheckpointSink != nil {
+		kcheck = c.sealCheckpoint
+	}
 	var k *kernel.Kernel
 	forked := c.snap != nil && !c.cfg.DisableTemplateReuse
 	if forked {
 		k = c.snap.Boot(kernel.BootConfig{
-			Seed:     c.cfg.HostSeed,
-			Epoch:    c.cfg.Epoch,
-			Policy:   c,
-			Resolver: reg.Resolver(),
-			Deadline: c.cfg.Deadline,
-			NumCPU:   c.cfg.NumCPU,
-			Obs:      c.obs,
-			Rec:      c.rec,
+			Seed:          c.cfg.HostSeed,
+			Epoch:         c.cfg.Epoch,
+			Policy:        c,
+			Resolver:      reg.Resolver(),
+			Deadline:      c.cfg.Deadline,
+			NumCPU:        c.cfg.NumCPU,
+			Obs:           c.obs,
+			Rec:           c.rec,
+			CrashAtAction: c.cfg.FaultInjectCrash,
+			Checkpointer:  kcheck,
 		})
 	} else {
 		k = kernel.New(kernel.Config{
-			Profile:  c.cfg.Profile,
-			Seed:     c.cfg.HostSeed,
-			Epoch:    c.cfg.Epoch,
-			Image:    c.cfg.Image,
-			Policy:   c,
-			Resolver: reg.Resolver(),
-			Deadline: c.cfg.Deadline,
-			NumCPU:   c.cfg.NumCPU,
-			Obs:      c.obs,
-			Rec:      c.rec,
+			Profile:       c.cfg.Profile,
+			Seed:          c.cfg.HostSeed,
+			Epoch:         c.cfg.Epoch,
+			Image:         c.cfg.Image,
+			Policy:        c,
+			Resolver:      reg.Resolver(),
+			Deadline:      c.cfg.Deadline,
+			NumCPU:        c.cfg.NumCPU,
+			Obs:           c.obs,
+			Rec:           c.rec,
+			CrashAtAction: c.cfg.FaultInjectCrash,
+			Checkpointer:  kcheck,
 		})
 	}
 	setupNs := time.Since(setupStart).Nanoseconds()
@@ -410,26 +458,7 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 	if c.cfg.Debug != nil {
 		k.SetDebug(c.cfg.Debug)
 	}
-	// The container's /dev/[u]random are fed from the seeded LFSR (§5.2),
-	// or from logged/replayed true randomness when configured.
-	k.RegisterDevice("urandom", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
-	k.RegisterDevice("random", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
-
-	// /proc reports the same canonical uniprocessor the cpuid mask and
-	// sysinfo do (§5.8): no host identity reaches readers of these files.
-	k.RegisterDevice("proc:cpuinfo", kernel.TextFile(func() string {
-		return "processor\t: 0\nmodel name\t: DetTrace Virtual CPU @ 2.00GHz\nflags\t\t: fpu sse2\n\n"
-	}))
-	k.RegisterDevice("proc:uptime", kernel.TextFile(func() string {
-		// Logical uptime: one "second" per time query, like §5.3's clock.
-		return fmt.Sprintf("%d.00 %d.00\n", c.timeQueries(), c.timeQueries())
-	}))
-	k.RegisterDevice("proc:meminfo", kernel.TextFile(func() string {
-		return "MemTotal:        4194304 kB\nMemFree:         2097152 kB\n"
-	}))
-	k.RegisterDevice("proc:version", kernel.TextFile(func() string {
-		return "Linux version 4.0.0-dettrace (dettrace@dettrace) #1 SMP\n"
-	}))
+	c.registerContainerDevices(k)
 
 	// Init execs the requested command so the OnExec hook (vDSO, traps,
 	// scratch page) fires exactly as it would for any process.
@@ -464,6 +493,47 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 		Name: "run", RealNs: time.Since(runStart).Nanoseconds(), LEnd: k.LNow(),
 	})
 	flushStart := time.Now()
+	res := c.assembleResult(proc, runErr)
+	res.SetupNs = setupNs
+	res.Forked = forked
+	c.spans = append(c.spans, obs.Span{
+		Name: "flush", RealNs: time.Since(flushStart).Nanoseconds(),
+	})
+	res.Spans = c.spans
+	return res
+}
+
+// registerContainerDevices mounts the determinized device set into the
+// kernel; shared by the boot path (Run) and the checkpoint path (Resume),
+// which must agree exactly for resumed reads to be bitwise faithful.
+func (c *Container) registerContainerDevices(k *kernel.Kernel) {
+	// The container's /dev/[u]random are fed from the seeded LFSR (§5.2),
+	// or from logged/replayed true randomness when configured.
+	k.RegisterDevice("urandom", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
+	k.RegisterDevice("random", func() fs.Device { return kernel.FillFunc(c.fillRandom) })
+
+	// /proc reports the same canonical uniprocessor the cpuid mask and
+	// sysinfo do (§5.8): no host identity reaches readers of these files.
+	k.RegisterDevice("proc:cpuinfo", kernel.TextFile(func() string {
+		return "processor\t: 0\nmodel name\t: DetTrace Virtual CPU @ 2.00GHz\nflags\t\t: fpu sse2\n\n"
+	}))
+	k.RegisterDevice("proc:uptime", kernel.TextFile(func() string {
+		// Logical uptime: one "second" per time query, like §5.3's clock.
+		return fmt.Sprintf("%d.00 %d.00\n", c.timeQueries(), c.timeQueries())
+	}))
+	k.RegisterDevice("proc:meminfo", kernel.TextFile(func() string {
+		return "MemTotal:        4194304 kB\nMemFree:         2097152 kB\n"
+	}))
+	k.RegisterDevice("proc:version", kernel.TextFile(func() string {
+		return "Linux version 4.0.0-dettrace (dettrace@dettrace) #1 SMP\n"
+	}))
+}
+
+// assembleResult builds the reproducibility-observable Result from the
+// finished kernel. Shared by Run and Resume; callers layer their own
+// benchmarking metadata (SetupNs, Forked, Resumed, Spans) on top.
+func (c *Container) assembleResult(proc *kernel.Proc, runErr error) *Result {
+	k := c.k
 	counters := c.sess.Counters()
 	res := &Result{
 		ExitCode: proc.ExitCode(),
@@ -472,6 +542,7 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 		FS:       k.FS.SnapshotImage(k.FS.Root),
 		Err:      runErr,
 		WallTime: k.Now(),
+		Actions:  k.Actions(),
 		Stats:    k.Stats,
 		Tracer:   counters,
 	}
@@ -479,8 +550,6 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 	res.Stats.MemWrites = counters.MemWrites
 	res.RandomLog = c.randomLog
 	res.ReplayExhausted = c.replayExhausted
-	res.SetupNs = setupNs
-	res.Forked = forked
 	var ab *kernel.AbortError
 	if errors.As(runErr, &ab) {
 		res.Err = fmt.Errorf("dettrace: %w", ab.Err)
@@ -488,10 +557,6 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 	res.Obs = c.obs
 	res.Trace = c.rec
 	res.Events = c.rec.Events()
-	c.spans = append(c.spans, obs.Span{
-		Name: "flush", RealNs: time.Since(flushStart).Nanoseconds(),
-	})
-	res.Spans = c.spans
 	return res
 }
 

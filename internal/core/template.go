@@ -44,15 +44,26 @@ type HostRun struct {
 	Seed   uint64 // host entropy: "which physical machine boot is this"
 	Epoch  int64  // wall-clock seconds at boot
 	NumCPU int    // core count override (0 = profile's)
+
+	// CheckpointSink and FaultCorruptCheckpoint are the per-run checkpoint
+	// observers (see Config): mechanism-level, excluded from ConfigHash,
+	// and deliberately not baked into the template so each forked container
+	// gets its own.
+	CheckpointSink         func(*Checkpoint)
+	FaultCorruptCheckpoint int
 }
 
 // NewTemplate prepares a reusable container template from cfg. The [host]
 // fields of cfg (HostSeed, Epoch, NumCPU) are ignored — they arrive per
-// run via HostRun — as is Debug.
+// run via HostRun — as are the per-run observers (Debug, CheckpointSink,
+// FaultCorruptCheckpoint): baking one requester's sink closure into a shared
+// template would leak it into every container forked later.
 func NewTemplate(cfg Config) *Template {
 	normalizeConfig(&cfg)
 	cfg.HostSeed, cfg.Epoch, cfg.NumCPU = 0, 0, 0
 	cfg.Debug = nil
+	cfg.CheckpointSink = nil
+	cfg.FaultCorruptCheckpoint = 0
 	tp := &Template{
 		cfg:    cfg,
 		filter: filterFor(cfg),
@@ -78,6 +89,8 @@ func NewTemplate(cfg Config) *Template {
 func (tp *Template) NewContainer(h HostRun) *Container {
 	cfg := tp.cfg
 	cfg.HostSeed, cfg.Epoch, cfg.NumCPU = h.Seed, h.Epoch, h.NumCPU
+	cfg.CheckpointSink = h.CheckpointSink
+	cfg.FaultCorruptCheckpoint = h.FaultCorruptCheckpoint
 	c := newContainer(cfg, tp.filter)
 	c.snap = tp.snap
 	c.spans = append(c.spans, obs.Span{Name: "prepare", RealNs: tp.PrepareNs})
@@ -114,7 +127,11 @@ func (tp *Template) CompatibleWith(cfg Config) bool {
 // whose whole contract is behavioural invisibility — DisableTemplateReuse,
 // DisableObservability and RingEvents (the recorder observes, it never
 // feeds back). FaultInjectEntropy IS hashed: perturbing an entropy draw
-// changes guest-visible bytes by design.
+// changes guest-visible bytes by design. So is FaultInjectCrash — it
+// changes how far the run gets — while FaultCorruptCheckpoint and
+// CheckpointSink stay out: checkpoints observe the run, they never feed
+// back (checkpoint validation uses recoveryHash, which re-zeroes the
+// crash knob, since a recovery deliberately clears it).
 //
 // The Profile IS included even though it is [host]-marked: the prepared
 // filesystem bakes in profile-derived state (the readdir hash salt, the
@@ -164,6 +181,7 @@ func ConfigHash(cfg Config) uint64 {
 	flag(cfg.ExperimentalSignals)
 	flag(cfg.LogRealRandom)
 	num(uint64(cfg.FaultInjectEntropy))
+	num(uint64(cfg.FaultInjectCrash))
 	num(uint64(len(cfg.RandomReplay)))
 	mix(cfg.RandomReplay)
 	urls := make([]string, 0, len(cfg.Downloads))

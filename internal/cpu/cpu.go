@@ -83,6 +83,17 @@ func NewHW(p *machine.Profile, entropy *prng.Host, now func() int64) *HW {
 	}
 }
 
+// ResumeHW rebuilds the hardware executor from checkpointed state: the
+// entropy pool is already positioned at its sealed cursor and the boot-time
+// TSC offset is restored verbatim instead of being drawn again. The accident
+// happened at the original boot; a resume must relive it, not re-roll it.
+func ResumeHW(p *machine.Profile, entropy *prng.Host, now func() int64, bootTSC uint64) *HW {
+	return &HW{Profile: p, Entropy: entropy, Now: now, bootTSC: bootTSC}
+}
+
+// BootTSC exposes the boot-time TSC offset so a checkpoint can seal it.
+func (h *HW) BootTSC() uint64 { return h.bootTSC }
+
 // TSC returns the current cycle count: boot offset plus elapsed virtual time
 // scaled by the machine's TSC frequency.
 func (h *HW) TSC() uint64 {

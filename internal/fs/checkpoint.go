@@ -1,0 +1,123 @@
+package fs
+
+import "repro/internal/prng"
+
+// This file implements mid-run filesystem sealing for crash-consistent
+// checkpoints (ISSUE 5). Freeze/Fork (cow.go) solve the *boot-time* problem:
+// every inode of a template carries the same boot stamp, so a fork can
+// materialize shells lazily and stamp them all with bootStamp. A checkpoint
+// has the opposite shape — the tree has been mutated mid-run, inode times,
+// recycled numbers and COW flags all differ per inode — so a seal must be an
+// eager deep *identity* clone: every observable field copied verbatim, no
+// entropy draw, no restamping.
+//
+// Identity contract. For a resumed run to stay bitwise-equivalent to an
+// uninterrupted one, the clone preserves, per inode: Ino, Mode, UID, GID,
+// Nlink, Atime/Mtime/Ctime, Target, DevID, pipe contents, hard-link aliasing
+// (memoized like Fork's clones map), and — critically — the cowData flag.
+// Data still shared read-only with a frozen template base is aliased, not
+// copied (the base is immutable), and stays marked cowData so the resumed
+// run fires the same OnCOWBreak events at the same writes as the original
+// would have. Allocator state (inoBase, nextIno, freeInos LIFO order,
+// hashSeed, dev, stride) is copied verbatim so post-resume creations receive
+// exactly the inode numbers the uninterrupted run hands out.
+//
+// Sealing a live fork walks it through ents(), which materializes deferred
+// directory maps in the *source*. That mutation is behaviourally invisible
+// (materialization is lazy only as an allocation optimization), so sealing a
+// running filesystem does not perturb the run being sealed.
+
+// CheckpointSeal returns an immutable deep copy of a live filesystem,
+// suitable for storing in a checkpoint. The seal is frozen: it can be
+// resumed from any number of times (retries) but never mutated.
+func (f *FS) CheckpointSeal() *FS {
+	nf := f.deepClone(nil, nil)
+	nf.frozen = true
+	return nf
+}
+
+// ResumeCheckpoint builds a fresh mutable filesystem from a seal taken by
+// CheckpointSeal, bound to the resumed kernel's clock and entropy pool. The
+// seal itself is left untouched, so one checkpoint can serve bounded
+// retries. Unlike Fork, no entropy is drawn: the inode numbering base was
+// fixed at the original boot and the seal carries it verbatim.
+func (f *FS) ResumeCheckpoint(clock Clock, entropy *prng.Host) *FS {
+	if !f.frozen {
+		panic("fs: ResumeCheckpoint of a non-sealed filesystem")
+	}
+	return f.deepClone(clock, entropy)
+}
+
+// deepClone copies the whole tree eagerly, preserving identity fields.
+func (f *FS) deepClone(clock Clock, entropy *prng.Host) *FS {
+	nf := &FS{
+		profile:   f.profile,
+		clock:     clock,
+		entropy:   entropy,
+		dev:       f.dev,
+		inoBase:   f.inoBase,
+		nextIno:   f.nextIno,
+		inoStride: f.inoStride,
+		freeInos:  append([]uint64(nil), f.freeInos...),
+		hashSeed:  f.hashSeed,
+		bootStamp: f.bootStamp,
+	}
+	memo := make(map[*Inode]*Inode)
+	nf.Root = cloneInodeDeep(f.Root, nf, memo)
+	nf.Root.parent = nf.Root
+	return nf
+}
+
+// cloneInodeDeep copies one inode and (for directories) its subtree. The
+// memo keeps hard links aliased within the clone exactly as in the source.
+func cloneInodeDeep(n *Inode, nf *FS, memo map[*Inode]*Inode) *Inode {
+	if c, ok := memo[n]; ok {
+		return c
+	}
+	c := &Inode{
+		Ino: n.Ino, Mode: n.Mode, UID: n.UID, GID: n.GID, Nlink: n.Nlink,
+		Atime: n.Atime, Mtime: n.Mtime, Ctime: n.Ctime,
+		Target: n.Target, DevID: n.DevID,
+		fs: nf,
+	}
+	memo[n] = c
+	switch {
+	case n.IsDir():
+		ents := n.ents() // materialize any deferred fork map; invisible to the source
+		c.entries = make(map[string]*Inode, len(ents))
+		for name, child := range ents {
+			cc := cloneInodeDeep(child, nf, memo)
+			if cc.parent == nil {
+				cc.parent = c
+			}
+			c.entries[name] = cc
+		}
+	case n.IsRegular():
+		if n.cowData {
+			// Shared read-only with an immutable frozen base: alias it and
+			// keep the flag, so the resumed run breaks COW (and records the
+			// break) at exactly the writes the uninterrupted run would.
+			c.Data = n.Data
+			c.cowData = true
+		} else {
+			c.Data = append([]byte(nil), n.Data...)
+		}
+	case n.IsFIFO():
+		c.Pipe = n.Pipe.cloneState()
+	}
+	return c
+}
+
+// cloneState deep-copies a pipe's runtime state (buffered bytes, end
+// counts), unlike the fresh empty pipe a boot-time Fork shell gets.
+func (p *Pipe) cloneState() *Pipe {
+	if p == nil {
+		return nil
+	}
+	return &Pipe{
+		buf:      append([]byte(nil), p.buf...),
+		capacity: p.capacity,
+		readers:  p.readers,
+		writers:  p.writers,
+	}
+}

@@ -239,6 +239,20 @@ type Config struct {
 	// guest-visible state.
 	Obs *obs.Registry
 	Rec *obs.Recorder
+
+	// CrashAtAction, when > 0, is the deterministic fault plane: Run fails
+	// with ErrInjectedCrash once the processed-action count reaches it. The
+	// action count is a pure function of guest behaviour (independent of
+	// observability or templates), so the same config crashes at the same
+	// traced stop on every run.
+	CrashAtAction int64
+
+	// Checkpointer, when non-nil, is offered a sealed Checkpoint (plus the
+	// surviving thread, for policy-side sealing) at every quiescent traced
+	// stop. Sealing is read-only and fires only at stops a checkpoint-free
+	// run reaches identically, so attaching a checkpointer never perturbs
+	// guest-visible behaviour.
+	Checkpointer func(*Checkpoint, *Thread)
 }
 
 // Stats aggregates everything a run counted. Weighted counters account for
@@ -312,6 +326,13 @@ type Kernel struct {
 	actions    int64
 	abortErr   error
 
+	// Fault/checkpoint plane (checkpoint.go). lastCheckpoint guards against
+	// re-sealing the same action count: a resumed kernel starts at its seal
+	// point, which the uninterrupted run sealed exactly once.
+	crashAt        int64
+	checkpointer   func(*Checkpoint, *Thread)
+	lastCheckpoint int64
+
 	devices       map[string]func() fs.Device // device registry by DevID
 	unixListeners map[string]*socket          // AF_UNIX listeners by path
 
@@ -368,6 +389,10 @@ func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *K
 		maxActions: cfg.MaxActions,
 		devices:    make(map[string]func() fs.Device),
 		Console:    &Console{},
+
+		crashAt:        cfg.CrashAtAction,
+		checkpointer:   cfg.Checkpointer,
+		lastCheckpoint: -1,
 	}
 	k.Stats.PerSyscall = make(map[abi.Sysno]int64)
 	k.Obs = cfg.Obs
@@ -462,6 +487,11 @@ func (k *Kernel) Start(fn ProgramFn, argv, env []string) *Proc {
 	return p
 }
 
+// Actions returns the processed-action count: the logical-history index
+// fault injection (Config.CrashAtAction) and checkpoints are scheduled on.
+// Deterministic — a pure function of the container's inputs and config.
+func (k *Kernel) Actions() int64 { return k.actions }
+
 // Run drives the simulation until every process has exited, a container
 // error aborts it, or a limit trips. It returns nil on clean completion.
 func (k *Kernel) Run() error {
@@ -478,6 +508,14 @@ func (k *Kernel) run() error {
 		}
 		if len(k.pending) == 0 && len(k.kblocked) == 0 && len(k.parked) == 0 {
 			return nil // everything exited
+		}
+		// Checkpoint before the pick (the pick's scheduler event belongs to
+		// the suffix), then let an injected crash fire — a run killed at a
+		// stop that was just sealed recovers from that very seal.
+		k.maybeCheckpoint()
+		if k.crashAt > 0 && k.actions >= k.crashAt {
+			k.killEverything()
+			return ErrInjectedCrash
 		}
 		if len(k.pending) == 0 && len(k.parked) == 0 {
 			// Only kernel-blocked threads remain: time can only advance via

@@ -43,6 +43,9 @@ type BootConfig struct {
 	// Obs/Rec mirror Config.Obs/Config.Rec: per-run observability sinks.
 	Obs *obs.Registry
 	Rec *obs.Recorder
+	// CrashAtAction/Checkpointer mirror the Config fault/checkpoint plane.
+	CrashAtAction int64
+	Checkpointer  func(*Checkpoint, *Thread)
 }
 
 // Prepare builds the shareable half of a boot from the config's Profile,
@@ -82,9 +85,11 @@ func (s *Snapshot) Boot(b BootConfig) *Kernel {
 		Cost:       s.Cost,
 		Deadline:   b.Deadline,
 		MaxActions: b.MaxActions,
-		NumCPU:     b.NumCPU,
-		Obs:        b.Obs,
-		Rec:        b.Rec,
+		NumCPU:        b.NumCPU,
+		Obs:           b.Obs,
+		Rec:           b.Rec,
+		CrashAtAction: b.CrashAtAction,
+		Checkpointer:  b.Checkpointer,
 	}
 	return newKernel(cfg, func(k *Kernel, fsEntropy *prng.Host) *fs.FS {
 		return s.base.Fork(k.WallClock, fsEntropy)

@@ -9,7 +9,7 @@ import "fmt"
 // differ only in setup path must still align clean.
 func comparableKind(k Kind) bool {
 	switch k {
-	case KindCOWBreak, KindSpan:
+	case KindCOWBreak, KindSpan, KindCheckpoint:
 		return false
 	default:
 		return true

@@ -32,6 +32,13 @@ const (
 	// KindSpan marks span begin/end instants emitted by the container
 	// lifecycle; mechanism-level like KindCOWBreak.
 	KindSpan
+	// KindCheckpoint marks a crash-consistency checkpoint sealed at a
+	// quiescent traced stop: Arg is the checkpoint ordinal, Ret the kernel
+	// action count at the seal. Recorded identically by an uninterrupted run
+	// and a crash+resume of the same run (the seal happens before the crash
+	// in both), but mechanism-level like KindCOWBreak: the diagnoser skips
+	// it when aligning a checkpointing run against a non-checkpointing one.
+	KindCheckpoint
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -53,6 +60,8 @@ func (k Kind) String() string {
 		return "cow-break"
 	case KindSpan:
 		return "span"
+	case KindCheckpoint:
+		return "checkpoint"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -144,6 +153,31 @@ func (r *Recorder) Events() []Event {
 	out = append(out, r.ring[r.next:]...)
 	out = append(out, r.ring[:r.next]...)
 	return out
+}
+
+// CloneState returns an immutable deep copy of the recorder's state (ring
+// contents, write cursor, total/dropped counters) for sealing into a
+// checkpoint. Nil-safe: a nil recorder (DisableObservability) seals as nil.
+func (r *Recorder) CloneState() *Recorder {
+	if r == nil {
+		return nil
+	}
+	c := &Recorder{next: r.next, total: r.total, dropped: r.dropped}
+	c.ring = append(make([]Event, 0, cap(r.ring)), r.ring...)
+	return c
+}
+
+// RestoreState overwrites the recorder with a seal taken by CloneState, so a
+// resumed run's ring continues byte-for-byte where the sealed prefix ended.
+// The seal is copied, not aliased, and can be restored from repeatedly.
+func (r *Recorder) RestoreState(seal *Recorder) {
+	if r == nil || seal == nil {
+		return
+	}
+	r.ring = append(make([]Event, 0, cap(seal.ring)), seal.ring...)
+	r.next = seal.next
+	r.total = seal.total
+	r.dropped = seal.dropped
 }
 
 // MarshalBinary renders the retained events as canonical little-endian

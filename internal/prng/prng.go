@@ -71,6 +71,21 @@ func (l *LFSR) Uint64() uint64 {
 	return v
 }
 
+// State returns the register's current state, the complete cursor of the
+// stream. Sealing it into a checkpoint and restoring via SetState resumes
+// the byte sequence exactly where it left off.
+func (l *LFSR) State() uint64 { return l.state }
+
+// SetState rewinds or fast-forwards the register to a previously captured
+// State. The zero state is invalid and mapped to the same fixed nonzero
+// value the constructor uses.
+func (l *LFSR) SetState(s uint64) {
+	if s == 0 {
+		s = 0x1d872b41c0de5eed
+	}
+	l.state = s
+}
+
 // Host is the machine entropy pool, a splitmix64 sequence. It is
 // deliberately a different generator family from LFSR so container
 // randomness can never accidentally correlate with host randomness.
@@ -125,3 +140,10 @@ func (h *Host) Fill(p []byte) {
 
 // Fork derives an independent child pool; the parent advances one step.
 func (h *Host) Fork() *Host { return NewHost(h.Uint64()) }
+
+// State returns the pool's cursor. A splitmix64 sequence is a pure function
+// of its counter, so the single word is the complete draw position.
+func (h *Host) State() uint64 { return h.state }
+
+// SetState restores a cursor captured by State.
+func (h *Host) SetState(s uint64) { h.state = s }

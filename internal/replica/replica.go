@@ -51,6 +51,10 @@ type Result struct {
 	StateHash string // hash of /data after applying the log
 	Output    string
 	Err       error
+	// Actions is the replica's deterministic action count — identical on
+	// every host, so recovery drills can derive in-range crash points from
+	// any one healthy replica's value.
+	Actions int64
 }
 
 // Cluster executes a command log on a replicated bank state machine.
@@ -76,27 +80,67 @@ func registry() *guest.Registry {
 	return reg
 }
 
+// configFor assembles one replica's container config; crashAt/sink wire the
+// fault plane. Checkpoint mode itself is selected by bankEnv — the guest's
+// DETTRACE_CHECKPOINT trampoline gives the run quiescent stops to seal at.
+func (c *Cluster) configFor(log []string, h Host, crashAt int64, sink func(*core.Checkpoint)) core.Config {
+	return core.Config{
+		Image:            image(log),
+		Profile:          h.Profile,
+		HostSeed:         h.Seed,
+		Epoch:            h.Epoch,
+		NumCPU:           h.NumCPU,
+		PRNGSeed:         c.Seed,
+		FaultInjectCrash: crashAt,
+		CheckpointSink:   sink,
+	}
+}
+
+func bankEnv(checkpoints bool) []string {
+	if checkpoints {
+		return []string{"DETTRACE_CHECKPOINT=1"}
+	}
+	return nil
+}
+
+func toResult(h Host, res *core.Result) Result {
+	return Result{
+		Host:      h.Name,
+		StateHash: hashdeep.HashSubtree(res.FS, "/data/state").Total(),
+		Output:    res.Stdout,
+		Err:       res.Err,
+		Actions:   res.Actions,
+	}
+}
+
 // Execute runs the log on every host, under DetTrace.
 func (c *Cluster) Execute(log []string) []Result {
 	out := make([]Result, 0, len(c.Hosts))
 	for _, h := range c.Hosts {
-		cont := core.New(core.Config{
-			Image:    image(log),
-			Profile:  h.Profile,
-			HostSeed: h.Seed,
-			Epoch:    h.Epoch,
-			NumCPU:   h.NumCPU,
-			PRNGSeed: c.Seed,
-		})
-		res := cont.Run(registry(), "/bin/bank", []string{"bank"}, nil)
-		out = append(out, Result{
-			Host:      h.Name,
-			StateHash: hashdeep.HashSubtree(res.FS, "/data/state").Total(),
-			Output:    res.Stdout,
-			Err:       res.Err,
-		})
+		cont := core.New(c.configFor(log, h, 0, nil))
+		res := cont.Run(registry(), "/bin/bank", []string{"bank"}, bankEnv(false))
+		out = append(out, toResult(h, res))
 	}
 	return out
+}
+
+// ExecuteCheckpointed runs the log on every host with the checkpoint
+// trampoline enabled, returning each host's results and its latest sealed
+// checkpoint. Checkpointed execution is its own equivalence class — the
+// trampoline's self-execs advance logical time — so all replicas still agree
+// with each other, and recoveries are validated against a checkpointed
+// reference.
+func (c *Cluster) ExecuteCheckpointed(log []string) ([]Result, []*core.Checkpoint) {
+	out := make([]Result, 0, len(c.Hosts))
+	cps := make([]*core.Checkpoint, 0, len(c.Hosts))
+	for _, h := range c.Hosts {
+		var last *core.Checkpoint
+		cont := core.New(c.configFor(log, h, 0, func(cp *core.Checkpoint) { last = cp }))
+		res := cont.Run(registry(), "/bin/bank", []string{"bank"}, bankEnv(true))
+		out = append(out, toResult(h, res))
+		cps = append(cps, last)
+	}
+	return out, cps
 }
 
 // ExecuteNative runs the same log without DetTrace — the control showing why
@@ -137,31 +181,103 @@ func Agree(results []Result) bool {
 	return true
 }
 
-// Recover rebuilds a crashed replica on a fresh host by re-executing the
-// log, and reports whether it rejoined the cluster's state.
-func (c *Cluster) Recover(log []string, fresh Host) (Result, bool) {
-	healthy := c.Execute(log)
+// Reference computes the cluster's canonical checkpointed outcome once, on
+// the first host. Determinism makes any single healthy replica THE cluster
+// reference — so recovery validation costs one replica's work, not N.
+func (c *Cluster) Reference(log []string) Result {
+	one := Cluster{Hosts: c.Hosts[:1], Seed: c.Seed}
+	res, _ := one.ExecuteCheckpointed(log)
+	return res[0]
+}
+
+// Recover rebuilds a crashed replica on a fresh host by checkpoint restore
+// plus log-suffix re-execution, not whole-log replay: the replacement runs
+// with the checkpoint trampoline on and is killed mid-log at a
+// deterministic point, then resumed from its last seal — bankMain's journal
+// walks it forward over only the commands after the sealed batch boundary.
+// ref is a precomputed Reference (reused across recoveries, so total cost is
+// one reference replica + one cheap resume); recovery degrades to cold
+// whole-log replay when no checkpoint survived or validation fails.
+// The returned bool reports whether the replica rejoined the cluster state.
+func (c *Cluster) Recover(log []string, fresh Host, ref Result) (Result, bool) {
 	replacement := Cluster{Hosts: []Host{fresh}, Seed: c.Seed}
-	got := replacement.Execute(log)[0]
-	return got, got.Err == nil && len(healthy) > 0 && got.StateHash == healthy[0].StateHash
+	// Kill the replacement mid-log, deterministically: the crash point is a
+	// pure function of the reference's action count, so the drill is
+	// reproducible on any host.
+	var last *core.Checkpoint
+	crashAt := ref.Actions / 2
+	cfg := replacement.configFor(log, fresh, crashAt, func(cp *core.Checkpoint) { last = cp })
+	crashed := core.New(cfg).Run(registry(), "/bin/bank", []string{"bank"}, bankEnv(true))
+	if crashed.Err == nil {
+		// The crash point fell beyond this replica's run; it completed.
+		got := toResult(fresh, crashed)
+		return got, got.Err == nil && got.StateHash == ref.StateHash
+	}
+	if last != nil {
+		rcfg := replacement.configFor(log, fresh, 0, nil)
+		if res, err := core.Resume(last, registry(), rcfg); err == nil {
+			got := toResult(fresh, res)
+			return got, got.Err == nil && got.StateHash == ref.StateHash
+		}
+	}
+	// No usable checkpoint (none sealed, corrupted, or config drift):
+	// degrade to deterministic whole-log replay.
+	cold, _ := replacement.ExecuteCheckpointed(log)
+	got := cold[0]
+	return got, got.Err == nil && got.StateHash == ref.StateHash
 }
 
 // --- the replicated state machine -------------------------------------------------
+
+// checkpointBatch is how many log commands bankMain applies between
+// trampoline restarts in checkpoint mode.
+const checkpointBatch = 3
 
 // bankMain applies /data/log to an account store under /data/state. It is
 // deliberately sloppy in the ways real services are: every applied command
 // gets a transaction id from OS randomness and an audit timestamp from the
 // clock, and "interest" compounds based on the current time — all fine
 // under DetTrace, all divergence bombs natively.
+//
+// With DETTRACE_CHECKPOINT set it becomes crash-consistent: every
+// checkpointBatch commands it persists the account store and its progress
+// journal, then execs itself — an exec with one process, one thread and only
+// console fds is a quiescent traced stop, so the container seals a
+// checkpoint there. The restarted incarnation reloads the persisted state
+// and continues from the journaled position; a resumed run therefore
+// re-executes only the log suffix after the last sealed batch boundary.
 func bankMain(p *guest.Proc) int {
 	raw, err := p.ReadFile("/data/log")
 	if err != abi.OK {
 		p.Eprintf("bank: no log: %s\n", err)
 		return 1
 	}
+	ckpt := p.Getenv("DETTRACE_CHECKPOINT") != ""
 	p.MkdirAll("/data/state", 0o755)
 	accounts := map[string]int64{}
 	var audit strings.Builder
+	done := 0
+	if ckpt {
+		if j, jerr := p.ReadFile("/data/.checkpoint-journal"); jerr == abi.OK {
+			// Restarted incarnation: rebuild memory state from the persisted
+			// store. Go stacks are not serializable, so the journal + state
+			// files ARE the process's checkpointable memory.
+			done = int(atoi64(strings.TrimSpace(string(j))))
+			if ents, derr := p.ReadDir("/data/state"); derr == abi.OK {
+				for _, e := range ents {
+					if e.Name == "audit.log" || e.Name == "." || e.Name == ".." {
+						continue
+					}
+					if data, rerr := p.ReadFile("/data/state/" + e.Name); rerr == abi.OK {
+						accounts[e.Name] = atoi64(strings.TrimSpace(string(data)))
+					}
+				}
+			}
+			if a, rerr := p.ReadFile("/data/state/audit.log"); rerr == abi.OK {
+				audit.Write(a)
+			}
+		}
+	}
 
 	apply := func(line string) {
 		fields := strings.Fields(line)
@@ -189,17 +305,35 @@ func bankMain(p *guest.Proc) int {
 		fmt.Fprintf(&audit, "tx=%x at=%d %s\n", txid, p.Time(), line)
 		p.Work(400_000) // applying a command costs real work
 	}
-	for _, line := range strings.Split(string(raw), "\n") {
-		apply(line)
-	}
-
 	// Persist: one file per account plus the audit trail.
-	names := sortedKeys(accounts)
-	for _, a := range names {
-		p.WriteFile("/data/state/"+a, []byte(fmt.Sprintf("%d\n", accounts[a])), 0o644)
+	persist := func() int {
+		names := sortedKeys(accounts)
+		for _, a := range names {
+			p.WriteFile("/data/state/"+a, []byte(fmt.Sprintf("%d\n", accounts[a])), 0o644)
+		}
+		p.WriteFile("/data/state/audit.log", []byte(audit.String()), 0o644)
+		return len(names)
 	}
-	p.WriteFile("/data/state/audit.log", []byte(audit.String()), 0o644)
-	p.Printf("applied %d commands to %d accounts\n", strings.Count(string(raw), "\n"), len(names))
+	lines := strings.Split(string(raw), "\n")
+	for i, line := range lines {
+		if i < done {
+			continue // applied before the last trampoline restart
+		}
+		apply(line)
+		if ckpt && (i+1)%checkpointBatch == 0 && i+1 < len(lines) {
+			persist()
+			// The journal lives outside /data/state so the replicated-state
+			// hash covers exactly what the log determines.
+			p.WriteFile("/data/.checkpoint-journal", []byte(fmt.Sprintf("%d\n", i+1)), 0o644)
+			if xerr := p.Exec("/bin/bank", p.Argv(), p.Environ()); xerr != abi.OK {
+				p.Eprintf("bank: restart: %s\n", xerr)
+				return 1
+			}
+			return 127 // unreachable
+		}
+	}
+	n := persist()
+	p.Printf("applied %d commands to %d accounts\n", strings.Count(string(raw), "\n"), n)
 	return 0
 }
 

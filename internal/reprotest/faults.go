@@ -1,0 +1,52 @@
+package reprotest
+
+import "repro/internal/prng"
+
+// FaultPlan is one job's deterministic fault schedule. Faults are scheduled
+// on the container's logical clock — an action count, a checkpoint ordinal —
+// never on host time, so a plan injects the same failure at the same logical
+// instant on every machine and every retry of the run. A zero plan injects
+// nothing.
+type FaultPlan struct {
+	// CrashAtAction kills the container at the N'th kernel action (0 = no
+	// crash). Plans beyond the run's natural length simply let it complete:
+	// short builds deterministically dodge crashes long builds take.
+	CrashAtAction int64
+	// CorruptCheckpoint flips a bit in the checkpoint sealed with this
+	// ordinal (0 = none), so a later restore fails validation and recovery
+	// must fall back to an earlier seal or a cold replay.
+	CorruptCheckpoint int
+	// FailRestore makes the first restore attempt after a crash fail, to
+	// exercise the bounded-retry path.
+	FailRestore bool
+}
+
+// Crashes reports whether the plan schedules a crash at all.
+func (p FaultPlan) Crashes() bool { return p.CrashAtAction > 0 }
+
+// crashHorizon bounds planned crash points. Simulated package builds run
+// roughly 1.2k-4.5k kernel actions, so points drawn below 3000 hit most
+// builds mid-flight while a fraction land beyond the end and complete.
+const crashHorizon = 3000
+
+// PlanFor derives the fault plan for one job from its seed — a pure
+// function, like every schedule the farm derives, so the plan is independent
+// of workers, retries and scheduling. About half of all jobs crash; of
+// those, a quarter find their freshest checkpoint corrupted and a quarter
+// lose their first restore attempt.
+func PlanFor(seed uint64) FaultPlan {
+	rng := prng.NewHost(seed ^ 0xFA017)
+	var p FaultPlan
+	if rng.Uint64()%2 == 0 {
+		p.CrashAtAction = 1 + int64(rng.Uint64()%crashHorizon)
+	}
+	if rng.Uint64()%4 == 0 {
+		// Builds seal a handful of checkpoints (boot plus one per phase
+		// boundary); ordinals 2-4 target the mid-run seals.
+		p.CorruptCheckpoint = 2 + int(rng.Uint64()%3)
+	}
+	if rng.Uint64()%4 == 0 {
+		p.FailRestore = true
+	}
+	return p
+}

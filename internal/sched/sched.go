@@ -93,6 +93,58 @@ func (s *Scheduler) picked(t *kernel.Thread, class uint64) *kernel.Thread {
 	return t
 }
 
+// Seal is the scheduler's checkpointable state at a quiescent traced stop.
+// Quiescence (one process, one live thread, stopped at an unattempted execve
+// that has not yet been through Pick) empties everything transient: the
+// Runnable queue holds nothing, inRunnable is false for the survivor, and no
+// sibling can contend for the token. What remains is the counter state that
+// future decisions are a pure function of.
+type Seal struct {
+	VTID         int
+	NextVTID     int
+	Turn         int64
+	BlockedRotor int
+	Requests     int64
+	TokenHeld    bool
+	// Registered distinguishes a sealed vTID of 0 from "never Picked yet":
+	// the init thread is only Registered by its first Pick, so a seal taken
+	// at the boot execve must leave the resumed thread unregistered too —
+	// otherwise nextVTID stays 0 and the next spawn collides with vTID 0.
+	Registered bool
+}
+
+// CheckpointSeal captures the scheduler state relevant to the sole surviving
+// thread t. The caller (the kernel's quiescence check) guarantees t is the
+// only live thread and its stop has not been Picked yet.
+func (s *Scheduler) CheckpointSeal(t *kernel.Thread) Seal {
+	_, registered := s.vtid[t]
+	return Seal{
+		VTID:         s.vtid[t],
+		NextVTID:     s.nextVTID,
+		Turn:         s.turn,
+		BlockedRotor: s.blockedRotor,
+		Requests:     s.Requests,
+		TokenHeld:    s.token[t.Proc] == t,
+		Registered:   registered,
+	}
+}
+
+// RestoreSeal rebinds a seal to the resumed incarnation of the surviving
+// thread on a fresh scheduler, so the next Pick makes exactly the decision
+// the uninterrupted run made (same vTID, same turn parity, same rotor).
+func (s *Scheduler) RestoreSeal(seal Seal, t *kernel.Thread) {
+	if seal.Registered {
+		s.vtid[t] = seal.VTID
+	}
+	s.nextVTID = seal.NextVTID
+	s.turn = seal.Turn
+	s.blockedRotor = seal.BlockedRotor
+	s.Requests = seal.Requests
+	if seal.TokenHeld {
+		s.token[t.Proc] = t
+	}
+}
+
 // arrival is one queued syscall stop.
 type arrival struct {
 	t   *kernel.Thread

@@ -47,17 +47,29 @@ func parseMakefile(p *guest.Proc) (makefile, abi.Errno) {
 	return mf, abi.OK
 }
 
-// makeMain is the build driver: make [-jN].
+// makeMoreToDo is the exit status chunked make returns when it built a full
+// chunk and unbuilt units remain: not a failure, an invitation to invoke it
+// again. The checkpoint trampoline seals the partial tree between chunks.
+const makeMoreToDo = 10
+
+// makeMain is the build driver: make [-jN] [-chunkC].
 //
 // It lists the source directory in getdents order, compiles every unit —
 // with up to N concurrent compiler processes, exactly like a parallel make
 // whose jobserver reaps children as they finish — and links. When a logfile
 // is configured, completion lines are appended in *reap order*, so a -j>1
 // baseline build records its scheduling races into the tree.
+//
+// With -chunkC (checkpoint mode only) make is incremental: units whose
+// object already exists are skipped — the on-disk tree is the progress
+// record — and at most C missing units are compiled before it exits with
+// makeMoreToDo instead of linking.
 func makeMain(p *guest.Proc) int {
-	jobs := 1
+	jobs, chunk := 1, 0
 	for _, a := range p.Argv()[1:] {
-		if strings.HasPrefix(a, "-j") {
+		if strings.HasPrefix(a, "-chunk") {
+			chunk = atoiDefault(strings.TrimPrefix(a, "-chunk"), 0)
+		} else if strings.HasPrefix(a, "-j") {
 			jobs = atoiDefault(strings.TrimPrefix(a, "-j"), 1)
 		}
 	}
@@ -82,12 +94,31 @@ func makeMain(p *guest.Proc) int {
 	}
 	p.MkdirAll(mf.builddir, 0o755)
 
-	if mf.compiler == "javac" {
-		if code := javacCompile(p, mf, units, jobs); code != 0 {
+	partial := false
+	if chunk > 0 {
+		var missing []string
+		for _, u := range units {
+			obj := mf.builddir + "/" + strings.TrimSuffix(u, ".c") + ".o"
+			if p.Access(obj) != abi.OK {
+				missing = append(missing, u)
+			}
+		}
+		units = missing
+		if len(units) > chunk {
+			units, partial = units[:chunk], true
+		}
+	}
+	if len(units) > 0 {
+		if mf.compiler == "javac" {
+			if code := javacCompile(p, mf, units, jobs); code != 0 {
+				return code
+			}
+		} else if code := makeParallelCC(p, mf, units, jobs); code != 0 {
 			return code
 		}
-	} else if code := makeParallelCC(p, mf, units, jobs); code != 0 {
-		return code
+	}
+	if partial {
+		return makeMoreToDo
 	}
 
 	// Link: object list in getdents order of the build directory.
