@@ -59,6 +59,30 @@ type faultBench struct {
 	MTTRSpeedup float64 `json:"mttr_speedup"`
 }
 
+// farmBench is the distributed-farm section (X16): the same package set
+// built across farm shapes — node counts x placement seeds x fault
+// schedules — with every cell compared bitwise against the local reference.
+// identical_cells must equal cells (the determinism oracle); the rest is
+// the cost story: shard-store amortization and node-kill recovery latency.
+type farmBench struct {
+	Packages       int     `json:"packages"`
+	Cells          int     `json:"cells"`
+	Identical      int     `json:"identical_cells"`
+	NodeCounts     []int   `json:"node_counts"`
+	NodeCrashes    int64   `json:"node_crashes"`
+	Steals         int64   `json:"steals"`
+	Recoveries     int64   `json:"recoveries"`
+	ColdRecoveries int64   `json:"cold_recoveries"`
+	SealPuts       int64   `json:"seal_puts"`
+	StatePrepares  int64   `json:"state_prepares"`
+	StateFetches   int64   `json:"state_fetches"`
+	MsgsLost       int64   `json:"msgs_lost"`
+	MsgsDuplicated int64   `json:"msgs_duplicated"`
+	MsgsDeduped    int64   `json:"msgs_deduped"`
+	AvgMTTRNs      float64 `json:"avg_mttr_ns"`
+	AvgRedoneNs    float64 `json:"avg_redone_ns"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -91,6 +115,7 @@ type benchReport struct {
 	Templates templateBench `json:"templates"`
 	Obs       obsBench      `json:"obs"`
 	Faults    faultBench    `json:"faults"`
+	Farm      farmBench     `json:"farm"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -205,6 +230,25 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		AvgRedoneNs: fs.AvgRedoneNs,
 		MTTRSpeedup: fs.Speedup,
 	}
+	fm := o.RunFarmStudy(debpkg.Universe(seed, sampleOr(n, 12)))
+	rep.Farm = farmBench{
+		Packages:       fm.Packages,
+		Cells:          fm.Cells,
+		Identical:      fm.Identical,
+		NodeCounts:     fm.Nodes,
+		NodeCrashes:    fm.Crashes,
+		Steals:         fm.Steals,
+		Recoveries:     fm.Recoveries,
+		ColdRecoveries: fm.ColdRecoveries,
+		SealPuts:       fm.SealPuts,
+		StatePrepares:  fm.StateMisses,
+		StateFetches:   fm.StateHits,
+		MsgsLost:       fm.MsgsLost,
+		MsgsDuplicated: fm.MsgsDuplicated,
+		MsgsDeduped:    fm.MsgsDeduped,
+		AvgMTTRNs:      fm.AvgMTTRNs,
+		AvgRedoneNs:    fm.AvgRedoneNs,
+	}
 	name := fmt.Sprintf("BENCH_%s.json", rep.Date)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -213,9 +257,9 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
 		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction,
-		rep.Faults.MTTRSpeedup)
+		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells)
 	return nil
 }

@@ -16,6 +16,7 @@
 //	benchtab -buffering         syscall-buffer ablation (Fig. 5 with/without)
 //	benchtab -templates         container-template ablation (setup cost with/without COW forks)
 //	benchtab -faults            X15 crash-recovery study (checkpoint restore vs cold replay)
+//	benchtab -farm              X16 distributed-farm study (scaling, placement, node-kill recovery)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -38,25 +39,26 @@ import (
 
 func main() {
 	var (
-		seed    = flag.Uint64("seed", 1, "universe + environment seed")
-		n       = flag.Int("n", 1200, "package sample size (0 = full 17,145 universe)")
-		jobs    = flag.Int("jobs", 0, "parallel build workers (0 = GOMAXPROCS)")
-		nport   = flag.Int("nport", 100, "portability study size (paper: 1,000)")
-		table1  = flag.Bool("table1", false, "")
-		table2  = flag.Bool("table2", false, "")
-		fig5    = flag.Bool("fig5", false, "")
-		fig6    = flag.Bool("fig6", false, "")
-		tf      = flag.Bool("tensorflow", false, "")
-		rrFlag  = flag.Bool("rr", false, "")
-		port    = flag.Bool("portability", false, "")
-		llvm    = flag.Bool("llvm", false, "")
-		stock   = flag.Bool("baseline", false, "")
-		unsup   = flag.Bool("unsupported", false, "")
-		biorep  = flag.Bool("biorepro", false, "")
-		rescue  = flag.Bool("rescue", false, "")
-		bufStud = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
-		tmplStd = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
-		faults  = flag.Bool("faults", false, "X15 crash-recovery study: mid-build crashes recovered from checkpoints vs cold replay")
+		seed     = flag.Uint64("seed", 1, "universe + environment seed")
+		n        = flag.Int("n", 1200, "package sample size (0 = full 17,145 universe)")
+		jobs     = flag.Int("jobs", 0, "parallel build workers (0 = GOMAXPROCS)")
+		nport    = flag.Int("nport", 100, "portability study size (paper: 1,000)")
+		table1   = flag.Bool("table1", false, "")
+		table2   = flag.Bool("table2", false, "")
+		fig5     = flag.Bool("fig5", false, "")
+		fig6     = flag.Bool("fig6", false, "")
+		tf       = flag.Bool("tensorflow", false, "")
+		rrFlag   = flag.Bool("rr", false, "")
+		port     = flag.Bool("portability", false, "")
+		llvm     = flag.Bool("llvm", false, "")
+		stock    = flag.Bool("baseline", false, "")
+		unsup    = flag.Bool("unsupported", false, "")
+		biorep   = flag.Bool("biorepro", false, "")
+		rescue   = flag.Bool("rescue", false, "")
+		bufStud  = flag.Bool("buffering", false, "syscall-buffer ablation: Fig. 5 slowdown with/without the in-tracee buffer")
+		tmplStd  = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
+		faults   = flag.Bool("faults", false, "X15 crash-recovery study: mid-build crashes recovered from checkpoints vs cold replay")
+		farmStd  = flag.Bool("farm", false, "X16 distributed-farm study: node counts x placement seeds x fault schedules vs the local reference")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -167,6 +169,11 @@ func main() {
 	if *all || *faults {
 		section("X15: crash recovery — checkpoint restore vs cold replay")
 		fmt.Println(o.RunFaultStudy(debpkg.Universe(*seed, sampleOr(*n, 48))))
+		fmt.Println()
+	}
+	if *all || *farmStd {
+		section("X16: distributed farm — scaling, placement and crash recovery")
+		fmt.Println(o.RunFarmStudy(debpkg.Universe(*seed, sampleOr(*n, 12))))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -20,6 +20,15 @@
 // non-zero unless the recovered build is bitwise-identical.
 //
 //	reprotest -pkg 7 -inject-crash 0
+//
+// With -nodes N the crash-recovery gate runs distributed: the package is
+// built on an N-node farm whose fault plan kills worker -kill-node mid-build
+// (0 auto-picks the node the job lands on), the job is stolen and recovered
+// on another node from the freshest seal in the coordinator's shard store,
+// and the tool exits non-zero unless the result is bitwise-identical to a
+// single-node farm's.
+//
+//	reprotest -pkg 7 -nodes 3 -kill-node 0
 package main
 
 import (
@@ -39,6 +48,8 @@ func main() {
 		diagnose = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
 		inject   = flag.Int("inject-entropy", 0, "with -diagnose: perturb the second run's N'th entropy draw")
 		crashAt  = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
+		nodes    = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
+		killNode = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
 	)
 	flag.Parse()
 
@@ -67,6 +78,15 @@ func main() {
 	}
 
 	o := &buildsim.Options{Seed: *seed}
+	if *nodes > 0 {
+		fmt.Println()
+		report, ok := o.FarmCrashRecovery(spec, *nodes, *killNode)
+		fmt.Println(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *crashAt >= 0 {
 		fmt.Println()
 		report, ok := o.CrashRecovery(spec, *crashAt)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/baseimg"
 	"repro/internal/core"
 	"repro/internal/debpkg"
+	"repro/internal/farm"
 	"repro/internal/fs"
 	"repro/internal/guest"
 	"repro/internal/kernel"
@@ -112,6 +113,25 @@ type Options struct {
 	// seal, so eviction can only cost older fallback seals — a job that needs
 	// one after losing its freshest to corruption degrades to a cold replay.
 	CheckpointCacheSize int
+	// Distributed routes BuildAll through the internal/farm coordinator
+	// instead of the in-process pool: worker nodes register over the farm
+	// protocol, jobs are placed by rendezvous hashing, and prepared state is
+	// forked from the coordinator's content-addressed shard store. Like Jobs,
+	// the whole arrangement must not change any output byte — farm_test.go
+	// pins DeepEqual across node counts, placement seeds and fault schedules.
+	Distributed bool
+	// Nodes is the distributed farm's worker count (0 = DefaultFarmNodes).
+	Nodes int
+	// NodeSlots is each worker's concurrent-build capacity (0 = 1).
+	NodeSlots int
+	// PlacementSeed selects the distributed farm's placement schedule; it
+	// must never reach an output byte.
+	PlacementSeed uint64
+	// FarmPlan is the farm-level fault schedule (node crash, message loss
+	// and duplication — see reprotest.FarmPlanFor). A node-killing plan
+	// requires Checkpoints: the doomed build dies mid-flight and its job is
+	// recovered on another node from the freshest seal in the shard store.
+	FarmPlan reprotest.FaultPlan
 
 	// jobSeq hands each checkpointed build a farm-unique identity for its
 	// LRU entries. Scheduling-dependent, so it must never influence results —
@@ -125,6 +145,11 @@ type Options struct {
 	cache   *farmCaches
 	setup   setupCounters
 	obsReg  *obs.Registry
+
+	// lastFarm is the cluster behind the most recent distributed BuildAll,
+	// kept so FarmStats/FarmReports can expose its accounting (farm.go).
+	farmMu   sync.Mutex
+	lastFarm *farm.Cluster
 }
 
 // Out is the full record of one package's evaluation.
@@ -204,6 +229,9 @@ func (o *Options) BuildPackage(spec *debpkg.Spec) Out {
 // is ordered by spec index and bitwise-independent of Jobs; progress, when
 // non-nil, is called serially with strictly increasing done counts.
 func (o *Options) BuildAll(specs []*debpkg.Spec, progress func(done, total int)) []Out {
+	if o.Distributed {
+		return o.buildAllFarm(specs, progress)
+	}
 	outs := make([]Out, len(specs))
 	var mu sync.Mutex
 	done := 0
@@ -268,8 +296,21 @@ func pkgSeed(seed uint64, spec *debpkg.Spec) uint64 {
 	return h ^ (seed * 0x9E3779B97F4A7C15)
 }
 
-// build is the per-package protocol.
+// build is the per-package protocol on the local (single-process) path.
 func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
+	out, _ := o.buildProto(l, spec, idx, nil)
+	return out
+}
+
+// buildProto is the per-package protocol with a pluggable first DetTrace
+// build. The distributed farm overrides d1 — the run its fault plane may
+// kill and its recovery must resume from a shard-store seal — while the
+// native double build and the second DetTrace run stay on the local path:
+// the farm changes WHERE a build runs, never WHAT it computes. A non-nil
+// dt1 error aborts the package (the coordinator retries the whole job;
+// every step before the crash is a pure function of (spec, seed), so the
+// re-run recomputes identical bits).
+func (o *Options) buildProto(l obs.Local, spec *debpkg.Spec, idx int, dt1 func(obs.Local, uint64, reprotest.Variation) (dtRun, error)) (Out, error) {
 	seed := pkgSeed(o.Seed, spec)
 	v1, v2 := reprotest.Pair(seed)
 	out := Out{Spec: spec, Index: idx, Threaded: spec.Compiler == "javac"}
@@ -285,12 +326,12 @@ func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
 	}
 	if v := b1.verdict(); v != "" {
 		out.BL = v
-		return out
+		return out, nil
 	}
 	b2 := o.buildNative(l, spec, v2, BLDeadline)
 	if v := b2.verdict(); v != "" {
 		out.BL = v
-		return out
+		return out, nil
 	}
 	if bytes.Equal(stripnd.Strip(b1.deb), stripnd.Strip(b2.deb)) {
 		out.BL = Reproducible
@@ -302,7 +343,15 @@ func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
 	// but the container pins the build path, environment and PRNG seed as
 	// inputs, so only the host accidents (entropy, epoch, core count)
 	// actually vary. That is the property being measured.
-	d1 := o.buildDT(l, spec, seed, v1, nil)
+	var d1 dtRun
+	if dt1 == nil {
+		d1 = o.buildDT(l, spec, seed, v1, nil)
+	} else {
+		var err error
+		if d1, err = dt1(l, seed, v1); err != nil {
+			return Out{}, err
+		}
+	}
 	out.DTTime = d1.wall
 	out.Events = d1.events
 	if o.KeepTraces {
@@ -313,13 +362,13 @@ func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
 	if v, reason := d1.verdict(); v != "" {
 		out.DT = v
 		out.UnsupReason = reason
-		return out
+		return out, nil
 	}
 	d2 := o.buildDT(l, spec, seed, v2, nil)
 	if v, reason := d2.verdict(); v != "" {
 		out.DT = v
 		out.UnsupReason = reason
-		return out
+		return out, nil
 	}
 	if out.BLTime > 0 {
 		out.Slowdown = float64(out.DTTime) / float64(out.BLTime)
@@ -330,7 +379,7 @@ func (o *Options) build(l obs.Local, spec *debpkg.Spec, idx int) Out {
 	} else {
 		out.DT = Irreproducible
 	}
-	return out
+	return out, nil
 }
 
 // registry is the shared toolchain program registry: read-only after

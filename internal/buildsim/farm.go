@@ -1,0 +1,465 @@
+// The distributed build farm driver: BuildAll behind Options.Distributed.
+//
+// The single-process farm (buildsim.go) proves output is independent of the
+// worker-pool size; this file raises the same claim one level: output is
+// independent of the whole cluster arrangement. Jobs are placed on worker
+// nodes by the internal/farm coordinator (rendezvous hashing over the
+// placement seed), prepared state — baseline kernel snapshots, container
+// templates, checkpoint seals — lives in the coordinator's content-addressed
+// shard store keyed by farm.KeyFor, and the X15 fault plane extends through
+// the transport: a node killed mid-build has its job stolen and recovered on
+// another node from the freshest seal. Because a DetTrace build is a pure
+// function of its declared inputs, none of that machinery may move a single
+// output byte — farm_test.go pins BuildAll DeepEqual across node counts,
+// placement seeds and fault schedules, which makes determinism the farm's
+// correctness oracle: any placement bug, stale-cache bug or botched recovery
+// shows up as a bit difference, not a heisenbug.
+//
+// Distributed mode ignores Options.InjectFaults (the per-job container fault
+// plans): the farm's fault plane is Options.FarmPlan, which schedules faults
+// at the cluster level (node crash, message loss/duplication) and injects
+// the container-level crash only into the doomed node's build.
+package buildsim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/debpkg"
+	"repro/internal/farm"
+	"repro/internal/fs"
+	"repro/internal/kernel"
+	"repro/internal/obs"
+	"repro/internal/reprotest"
+	"repro/internal/stats"
+)
+
+// DefaultFarmNodes is the worker-node count when Options.Nodes is zero.
+const DefaultFarmNodes = 3
+
+// buildAllFarm is BuildAll on the distributed path: one farm.Job per spec,
+// executed wherever the coordinator places it. Out bodies stay in-process
+// (the protocol carries digests and content addresses only), land in spec
+// order, and must be bitwise-identical to the local pool's.
+func (o *Options) buildAllFarm(specs []*debpkg.Spec, progress func(done, total int)) []Out {
+	nodes := o.Nodes
+	if nodes <= 0 {
+		nodes = DefaultFarmNodes
+	}
+	slots := o.NodeSlots
+	if slots <= 0 {
+		slots = 1
+	}
+	outs := make([]Out, len(specs))
+	var mu sync.Mutex
+	done := 0
+	exec := func(ctx *farm.ExecCtx) (uint64, error) {
+		i := int(ctx.Job.ID) - 1
+		spec := specs[i]
+		l := obs.NewLocal()
+		o.stageSnapshots(ctx, l, spec)
+		out, err := o.buildProto(l, spec, i, o.farmDT1(ctx, spec))
+		if err != nil {
+			return 0, err
+		}
+		mu.Lock()
+		outs[i] = out
+		done++
+		if progress != nil {
+			progress(done, len(specs))
+		}
+		mu.Unlock()
+		return outDigest(&out), nil
+	}
+	cl := farm.New(farm.Config{Nodes: nodes, Slots: slots,
+		PlacementSeed: o.PlacementSeed, Plan: o.FarmPlan}, exec)
+	jobs := make([]farm.Job, len(specs))
+	for i, spec := range specs {
+		// Affinity/Image are the spec's pure identity hash: placement input
+		// only, never a build input. The real image content hash is computed
+		// inside the executor (it requires materialization) and keys the
+		// shard store.
+		id := pkgSeed(0, spec)
+		jobs[i] = farm.Job{ID: uint64(i) + 1, Affinity: id, Image: id}
+	}
+	if _, err := cl.Run(jobs); err != nil {
+		// Registration failed (only possible on a custom transport): keep
+		// BuildAll's contract by building locally.
+		o.forEach(len(specs), func(l obs.Local, i int) {
+			out := o.build(l, specs[i], i)
+			mu.Lock()
+			outs[i] = out
+			done++
+			if progress != nil {
+				progress(done, len(specs))
+			}
+			mu.Unlock()
+		})
+	}
+	o.farmMu.Lock()
+	o.lastFarm = cl
+	o.farmMu.Unlock()
+	return outs
+}
+
+// outDigest condenses one Out into the digest the farm protocol reports:
+// verdicts, virtual times and headline event counts. The equivalence gates
+// compare full Out bodies DeepEqual; the protocol-level digest is what
+// remote deployments (HTTP binding) would compare across sites.
+func outDigest(out *Out) uint64 {
+	h := obs.DigestBytes([]byte(string(out.BL) + "\x00" + string(out.DT) +
+		"\x00" + out.UnsupReason))
+	return obs.DigestU64(h, uint64(out.BLTime), uint64(out.DTTime),
+		uint64(out.Events.Syscalls), uint64(out.Events.Stops))
+}
+
+// stageSnapshots routes the package's prepared baseline-kernel snapshots
+// through the coordinator's shard store: the first node to need one holds
+// the lease and prepares it, every other node forks the farm-shared copy —
+// the same fork-once-build-everywhere story templates get in
+// runFarmContainer. The staged snapshot is seeded into this node's local
+// cache so buildNative's lookup hits it. Skipped under the template
+// ablation, where every boot is deliberately cold.
+func (o *Options) stageSnapshots(ctx *farm.ExecCtx, l obs.Local, spec *debpkg.Spec) {
+	if o.DisableTemplates {
+		return
+	}
+	seed := pkgSeed(o.Seed, spec)
+	v1, v2 := reprotest.Pair(seed)
+	for _, root := range []string{v1.BuildRoot, v2.BuildRoot} {
+		img, _, imgHash := o.pkgImage(l, spec, root)
+		key := farm.KeyFor(imgHash, 0)
+		snap := ctx.Prepared(key, func() any {
+			return o.snapshot(l, imgHash, img)
+		})
+		if snap == nil {
+			continue // transport without body transfer: prepare locally later
+		}
+		e, _ := o.caches().snapshots.get(key)
+		e.once.Do(func() { e.v = snap })
+	}
+}
+
+// farmDT1 builds the hook buildProto runs instead of the local first
+// DetTrace build: the one run in the package protocol that the farm fault
+// plane may kill (ctx.Doom) and that a post-crash attempt resumes from the
+// shard store's freshest seal. In checkpoint mode seals publish to the
+// store as they land; in plain mode a doomed run still crashes but recovery
+// can only cold-replay (there are no seals to restore).
+func (o *Options) farmDT1(ctx *farm.ExecCtx, spec *debpkg.Spec) func(obs.Local, uint64, reprotest.Variation) (dtRun, error) {
+	return func(l obs.Local, seed uint64, v reprotest.Variation) (dtRun, error) {
+		img, pkgdir, imgHash := o.pkgImage(l, spec, "/build")
+		cfg := o.dtConfig(img, pkgdir, seed, v)
+		env := containerEnv
+		runCfg := cfg
+		var state farm.StateKey
+		if o.Checkpoints {
+			env = checkpointEnv
+			state = farm.KeyFor(imgHash, core.ConfigHash(cfg))
+			runCfg.CheckpointSink = func(cp *core.Checkpoint) {
+				o.sc().ckptSealed.Add(l, 1)
+				ctx.PutSeal(state, cp.Ordinal(), cp.Digest(), cp)
+			}
+		}
+		if ctx.Attempt > 0 {
+			return o.farmRecover(ctx, l, spec, state, runCfg, img, imgHash, pkgdir, env), nil
+		}
+		if ctx.Doom.Crashes() {
+			runCfg.FaultInjectCrash = ctx.Doom.CrashAtAction
+		}
+		res := o.runFarmContainer(ctx, l, runCfg, img, imgHash, env)
+		if res.Err != nil && errors.Is(res.Err, kernel.ErrInjectedCrash) {
+			o.sc().crashes.Add(l, 1)
+			return dtRun{}, &farm.Crash{Wall: res.WallTime}
+		}
+		return dtRunFrom(res, spec, pkgdir), nil
+	}
+}
+
+// farmRecover completes a stolen job on its new node: fetch the freshest
+// seal from the shard store, restore, and run the suffix — stepping down
+// ordinals past corrupted or missing seals and degrading to a cold replay
+// when none survives. The determinism contract makes every exit produce the
+// uninterrupted run's bits; the accounting (MTTR, redone work) reuses the
+// local fault plane's counters so `benchtab -farm` reports one story.
+func (o *Options) farmRecover(ctx *farm.ExecCtx, l obs.Local, spec *debpkg.Spec, state farm.StateKey, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string, env []string) dtRun {
+	sc := o.sc()
+	for ord := ctx.LatestSeal(state); ord > 0; ord-- {
+		sc.restoreAttempts.Add(l, 1)
+		sv, ok := ctx.Seal(state, ord)
+		if !ok {
+			continue
+		}
+		cp, ok := sv.(*core.Checkpoint)
+		if !ok {
+			continue // transport without body transfer: nothing to restore
+		}
+		res, err := core.Resume(cp, registry(), cfg)
+		if err != nil {
+			sc.ckptInvalid.Add(l, 1)
+			continue
+		}
+		sc.restores.Add(l, 1)
+		sc.mttrNs.Add(l, res.WallTime-cp.VirtualNow())
+		sc.redoneNs.Add(l, ctx.PrevWall-cp.VirtualNow())
+		ctx.RestoredFrom = ord
+		return dtRunFrom(res, spec, pkgdir)
+	}
+	sc.coldReplays.Add(l, 1)
+	res := o.runFarmContainer(ctx, l, cfg, img, imgHash, env)
+	sc.replayNs.Add(l, res.WallTime)
+	sc.redoneNs.Add(l, ctx.PrevWall)
+	return dtRunFrom(res, spec, pkgdir)
+}
+
+// runFarmContainer is runContainer with the prepared template served from
+// the coordinator's shard store instead of the local LRU: the first node to
+// need a (image, config) template holds the lease and prepares it; every
+// other node — and every later build on any node — forks the farm-shared
+// copy. Crash-carrying configs cold-boot exactly as on the local path (a
+// run doomed to die must not hold a prepare lease), which also keeps the
+// lease protocol deadlock-free: lease holders always complete their put.
+func (o *Options) runFarmContainer(ctx *farm.ExecCtx, l obs.Local, cfg core.Config, img *fs.Image, imgHash uint64, env []string) *core.Result {
+	sc := o.sc()
+	var c *core.Container
+	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img || cfg.FaultInjectCrash != 0 {
+		c = core.New(cfg)
+	} else {
+		key := farm.KeyFor(imgHash, core.ConfigHash(cfg))
+		v := ctx.Prepared(key, func() any {
+			start := time.Now()
+			t := core.NewTemplate(cfg)
+			sc.prepareNs.Add(l, time.Since(start).Nanoseconds())
+			return t
+		})
+		if tpl, ok := v.(*core.Template); ok {
+			c = tpl.NewContainer(core.HostRun{
+				Seed: cfg.HostSeed, Epoch: cfg.Epoch, NumCPU: cfg.NumCPU,
+				CheckpointSink:         cfg.CheckpointSink,
+				FaultCorruptCheckpoint: cfg.FaultCorruptCheckpoint,
+			})
+		} else {
+			c = core.New(cfg) // transport without body transfer: cold-boot
+		}
+	}
+	res := c.Run(registry(), "/bin/dpkg-buildpackage",
+		[]string{"dpkg-buildpackage", "-b"}, env)
+	if res.Forked {
+		sc.forkBoots.Add(l, 1)
+		sc.forkNs.Add(l, res.SetupNs)
+		sc.recEventsFork.Add(l, res.Trace.Total())
+	} else {
+		sc.coldBoots.Add(l, 1)
+		sc.coldSetupNs.Add(l, res.SetupNs)
+		sc.recEventsCold.Add(l, res.Trace.Total())
+	}
+	o.Obs().Absorb(res.Obs)
+	return res
+}
+
+// FarmStats returns the farm accounting of the most recent distributed
+// BuildAll (false before any distributed run).
+func (o *Options) FarmStats() (farm.Stats, bool) {
+	o.farmMu.Lock()
+	defer o.farmMu.Unlock()
+	if o.lastFarm == nil {
+		return farm.Stats{}, false
+	}
+	return o.lastFarm.Stats(), true
+}
+
+// FarmReports returns the per-job reports of the most recent distributed
+// BuildAll (nil before any distributed run).
+func (o *Options) FarmReports() []farm.JobReport {
+	o.farmMu.Lock()
+	cl := o.lastFarm
+	o.farmMu.Unlock()
+	if cl == nil {
+		return nil
+	}
+	reports := cl.Reports()
+	return reports
+}
+
+// FarmCrashRecovery is the single-package distributed crash gate behind
+// `reprotest -nodes N -kill-node ORD`: build the package on a single-node
+// farm for reference, then on an N-node farm whose fault plan kills the
+// chosen worker mid-build, and compare the full Out bodies bitwise. ORD <= 0
+// auto-picks the node the job lands on, so the crash is guaranteed to fire.
+// The report is human-readable; ok is the machine verdict.
+func (o *Options) FarmCrashRecovery(spec *debpkg.Spec, nodes, killNode int) (report string, ok bool) {
+	if nodes <= 0 {
+		nodes = DefaultFarmNodes
+	}
+	// Reference action count, for a mid-build crash point.
+	local := &Options{Seed: o.Seed, Checkpoints: true}
+	l := obs.NewLocal()
+	seed := pkgSeed(o.Seed, spec)
+	v1, _ := reprotest.Pair(seed)
+	ref := local.buildDT(l, spec, seed, v1, nil)
+	if v, _ := ref.verdict(); v != "" {
+		return fmt.Sprintf("reference build did not complete: %s", v), false
+	}
+	if killNode <= 0 {
+		live := make([]int, nodes)
+		for i := range live {
+			live[i] = i + 1
+		}
+		killNode = farm.Place(o.PlacementSeed, pkgSeed(0, spec), live)
+	}
+	specs := []*debpkg.Spec{spec}
+	single := &Options{Seed: o.Seed, Checkpoints: true, Distributed: true,
+		Nodes: 1, PlacementSeed: o.PlacementSeed}
+	want := single.BuildAll(specs, nil)
+	killed := &Options{Seed: o.Seed, Checkpoints: true, Distributed: true,
+		Nodes: nodes, PlacementSeed: o.PlacementSeed,
+		FarmPlan: reprotest.FaultPlan{KillNode: killNode, KillAtJob: 1,
+			CrashAtAction: ref.actions / 2}}
+	got := killed.BuildAll(specs, nil)
+	ok = reflect.DeepEqual(got, want)
+	verdict := "bitwise-identical to the single-node farm"
+	if !ok {
+		verdict = "DIVERGED from the single-node farm"
+	}
+	how := "completed before the crash point"
+	st, _ := killed.FarmStats()
+	if reps := killed.FarmReports(); len(reps) == 1 && reps[0].Recovered {
+		where := fmt.Sprintf("node %d", reps[0].Node)
+		if reps[0].Node == 0 {
+			where = "the coordinator (local fallback)"
+		}
+		if reps[0].SealOrd > 0 {
+			how = fmt.Sprintf("stolen from node %d, restored from seal ordinal %d on %s",
+				reps[0].StolenFrom, reps[0].SealOrd, where)
+		} else {
+			how = fmt.Sprintf("stolen from node %d, cold-replayed on %s",
+				reps[0].StolenFrom, where)
+		}
+	}
+	report = fmt.Sprintf(
+		"reference: %d actions, %.1f s virtual\n"+
+			"farm: %d nodes, worker %d killed mid-build at action %d\n"+
+			"job %s; %d seal puts, %d steals, %d recoveries\n"+
+			"recovered run %s",
+		ref.actions, float64(ref.wall)/1e9,
+		nodes, killNode, ref.actions/2,
+		how, st.SealPuts, st.Steals, st.Recoveries, verdict)
+	return report, ok
+}
+
+// FarmStudy is the X16 scaling-and-recovery experiment: the same package set
+// built on farms of every shape — node counts x placement seeds x fault
+// schedules — against one local reference. Identical must equal Cells (the
+// oracle); the rest is the cost story: how much setup the shard store
+// amortizes and what a node crash costs to recover from.
+type FarmStudy struct {
+	Packages  int   // packages per cell
+	Cells     int   // farm shapes run
+	Identical int   // cells whose outputs matched the local reference exactly
+	Nodes     []int // node counts swept
+
+	Crashes        int64 // worker nodes killed by the fault plans
+	Steals         int64 // jobs re-placed off dead nodes
+	Recoveries     int64 // crashed jobs completed by a later attempt
+	ColdRecoveries int64 // recoveries that degraded to a cold replay
+	SealPuts       int64 // checkpoint seals published to shard stores
+	StateMisses    int64 // prepared-state leases (one per farm-wide prepare)
+	StateHits      int64 // prepared-state fetches served from shard stores
+	MsgsLost       int64 // transmissions dropped by the fault plans
+	MsgsDuplicated int64 // deliveries duplicated by the fault plans
+	MsgsDeduped    int64 // duplicates absorbed by idempotency keys
+
+	AvgMTTRNs   float64 // virtual crash-to-completion time per seal restore
+	AvgRedoneNs float64 // virtual work executed twice per recovery
+}
+
+// String renders the study summary.
+func (st *FarmStudy) String() string {
+	return fmt.Sprintf(
+		"packages: %d x %d farm shapes (nodes %v x placement seeds x fault schedules)\n"+
+			"bitwise-identical to local reference: %s\n"+
+			"faults: %d node crashes, %d steals, %d recoveries (%d cold); "+
+			"%d lost msgs retransmitted, %d duplicated msgs deduped (%d)\n"+
+			"shard store: %d seal puts, %d prepares, %d shared fetches\n"+
+			"recovery: %.1f s virtual MTTR per restore, %.1f s work redone per recovery",
+		st.Packages, st.Cells, st.Nodes,
+		stats.Pct(st.Identical, st.Cells),
+		st.Crashes, st.Steals, st.Recoveries, st.ColdRecoveries,
+		st.MsgsLost, st.MsgsDuplicated, st.MsgsDeduped,
+		st.SealPuts, st.StateMisses, st.StateHits,
+		st.AvgMTTRNs/1e9, st.AvgRedoneNs/1e9)
+}
+
+// RunFarmStudy sweeps farm shapes over specs: node counts {1,3,8} x two
+// placement seeds x three fault schedules (fault-free, kill-a-worker,
+// duplicate-messages), every cell checkpointed and single-slot, all compared
+// DeepEqual against the local checkpointed farm's output.
+func (o *Options) RunFarmStudy(specs []*debpkg.Spec) *FarmStudy {
+	ref := (&Options{Seed: o.Seed, Jobs: o.Jobs, Checkpoints: true}).BuildAll(specs, nil)
+
+	// A mid-build crash point needs a reference action count; take the first
+	// package's (any in-range action works — the plan dodges harmlessly on
+	// packages it overshoots).
+	var crashAt int64 = 1500
+	if len(ref) > 0 && ref[0].DTTime > 0 {
+		l := obs.NewLocal()
+		spec := specs[0]
+		seed := pkgSeed(o.Seed, spec)
+		v1, _ := reprotest.Pair(seed)
+		probe := (&Options{Seed: o.Seed, Checkpoints: true}).buildDT(l, spec, seed, v1, nil)
+		if probe.actions > 1 {
+			crashAt = probe.actions / 2
+		}
+	}
+	st := &FarmStudy{Packages: len(specs), Nodes: []int{1, 3, 8}}
+	var mttrNs, redoneNs, restores int64
+	for _, nodes := range st.Nodes {
+		for _, seed := range []uint64{1, 2} {
+			kill := nodes
+			if kill > 2 {
+				kill = 2
+			}
+			plans := []reprotest.FaultPlan{
+				{},
+				{KillNode: kill, KillAtJob: 1, CrashAtAction: crashAt},
+				{DupMsg: 2},
+			}
+			for _, plan := range plans {
+				cell := &Options{Seed: o.Seed, Checkpoints: true,
+					Distributed: true, Nodes: nodes, PlacementSeed: seed,
+					FarmPlan: plan}
+				got := cell.BuildAll(specs, nil)
+				st.Cells++
+				if reflect.DeepEqual(got, ref) {
+					st.Identical++
+				}
+				fst, _ := cell.FarmStats()
+				st.Crashes += fst.NodeCrashes
+				st.Steals += fst.Steals
+				st.Recoveries += fst.Recoveries
+				st.ColdRecoveries += fst.ColdRecoveries
+				st.SealPuts += fst.SealPuts
+				st.StateMisses += fst.StateMisses
+				st.StateHits += fst.StateHits
+				st.MsgsLost += fst.MsgsLost
+				st.MsgsDuplicated += fst.MsgsDuplicated
+				st.MsgsDeduped += fst.MsgsDeduped
+				cf := cell.FaultStats()
+				mttrNs += cf.MTTRNs
+				redoneNs += cf.RedoneNs
+				restores += cf.Restores
+			}
+		}
+	}
+	if restores > 0 {
+		st.AvgMTTRNs = float64(mttrNs) / float64(restores)
+	}
+	if n := st.Recoveries; n > 0 {
+		st.AvgRedoneNs = float64(redoneNs) / float64(n)
+	}
+	return st
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/debpkg"
+	"repro/internal/farm"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -56,29 +57,30 @@ const BackoffBaseNs = int64(250 * 1e6)
 // checkpoint-mode builds.
 var checkpointEnv = append(append([]string{}, containerEnv...), "DETTRACE_CHECKPOINT=1")
 
-// ckptKey addresses one sealed checkpoint in the farm LRU.
-type ckptKey struct {
-	job     uint64
-	ordinal int
-}
-
-// jobCkpts is one build's window into the farm checkpoint cache. The sink
-// runs inside the container's kernel loop (single-threaded per job); it
-// keeps exactly one pin — on the freshest seal — so older ordinals age out
-// under pressure while the seal a crash would restore from cannot.
+// jobCkpts is one build's window into the farm checkpoint cache, addressed
+// by farm.SealKey — the same (state, job, ordinal) scheme the distributed
+// farm's shard store uses. The sink runs inside the container's kernel loop
+// (single-threaded per job); it keeps exactly one pin — on the freshest
+// seal — so older ordinals age out under pressure while the seal a crash
+// would restore from cannot.
 type jobCkpts struct {
 	o      *Options
 	l      obs.Local
+	state  farm.StateKey
 	job    uint64
 	latest int
+}
+
+func (j *jobCkpts) key(ordinal int) farm.SealKey {
+	return farm.SealKey{State: j.state, Job: j.job, Ordinal: ordinal}
 }
 
 func (j *jobCkpts) sink(cp *core.Checkpoint) {
 	j.o.sc().ckptSealed.Add(j.l, 1)
 	cache := j.o.caches().checkpoints
-	cache.putPinned(ckptKey{j.job, cp.Ordinal()}, cp)
+	cache.putPinned(j.key(cp.Ordinal()), cp)
 	if j.latest > 0 {
-		cache.unpin(ckptKey{j.job, j.latest})
+		cache.unpin(j.key(j.latest))
 	}
 	j.latest = cp.Ordinal()
 }
@@ -86,7 +88,7 @@ func (j *jobCkpts) sink(cp *core.Checkpoint) {
 // get returns the job's seal with the given ordinal, or nil if it was never
 // sealed or has been evicted.
 func (j *jobCkpts) get(ordinal int) *core.Checkpoint {
-	v, ok := j.o.caches().checkpoints.peek(ckptKey{j.job, ordinal})
+	v, ok := j.o.caches().checkpoints.peek(j.key(ordinal))
 	if !ok {
 		return nil
 	}
@@ -96,7 +98,7 @@ func (j *jobCkpts) get(ordinal int) *core.Checkpoint {
 // release drops the job's last pin once the build is settled.
 func (j *jobCkpts) release() {
 	if j.latest > 0 {
-		j.o.caches().checkpoints.unpin(ckptKey{j.job, j.latest})
+		j.o.caches().checkpoints.unpin(j.key(j.latest))
 		j.latest = 0
 	}
 }
@@ -107,7 +109,8 @@ func (j *jobCkpts) release() {
 // through recoverJob; either way the returned observables must be the bits
 // the uninterrupted run would have produced.
 func (o *Options) buildDTFault(l obs.Local, spec *debpkg.Spec, plan reprotest.FaultPlan, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string) dtRun {
-	j := &jobCkpts{o: o, l: l, job: o.jobSeq.Add(1)}
+	j := &jobCkpts{o: o, l: l, job: o.jobSeq.Add(1),
+		state: farm.KeyFor(imgHash, core.ConfigHash(cfg))}
 	defer j.release()
 
 	runCfg := cfg

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/debpkg"
+	"repro/internal/farm"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -294,11 +295,17 @@ func (c *lruCache) unpin(key any) {
 // farmCaches is the per-Options prepared-state store: materialized images,
 // baseline kernel snapshots, DetTrace container templates, and — in
 // checkpoint mode — the sealed mid-run checkpoints of in-flight jobs.
+//
+// Every prepared-state key derives through farm.KeyFor — the one shared
+// (image content hash, config hash) derivation this package and the
+// distributed farm's shard map both use — so the four caches cannot drift
+// in what "the same prepared state" means (snapshots use a zero config
+// slot: a prepared kernel depends only on the image).
 type farmCaches struct {
 	images      *lruCache // imageKey -> *imageEntry
-	snapshots   *lruCache // uint64 image hash -> *kernel.Snapshot
-	templates   *lruCache // templateKey -> *core.Template
-	checkpoints *lruCache // ckptKey -> *core.Checkpoint
+	snapshots   *lruCache // farm.StateKey (config 0) -> *kernel.Snapshot
+	templates   *lruCache // farm.StateKey -> *core.Template
+	checkpoints *lruCache // farm.SealKey -> *core.Checkpoint
 }
 
 type imageKey struct {
@@ -309,10 +316,6 @@ type imageEntry struct {
 	img    *fs.Image
 	pkgdir string
 	hash   uint64
-}
-
-type templateKey struct {
-	image, config uint64
 }
 
 func (o *Options) caches() *farmCaches {
@@ -375,7 +378,7 @@ func (o *Options) pkgImage(l obs.Local, spec *debpkg.Spec, dir string) (*fs.Imag
 // preparing it on first use.
 func (o *Options) snapshot(l obs.Local, imgHash uint64, img *fs.Image) *kernel.Snapshot {
 	sc := o.sc()
-	e, hit := o.caches().snapshots.get(imgHash)
+	e, hit := o.caches().snapshots.get(farm.KeyFor(imgHash, 0))
 	if hit {
 		sc.templateHits.Add(l, 1)
 	} else {
@@ -399,7 +402,7 @@ func (o *Options) snapshot(l obs.Local, imgHash uint64, img *fs.Image) *kernel.S
 // per-run host fields, so one template serves every perturbation of a build.
 func (o *Options) template(l obs.Local, imgHash uint64, cfg core.Config) *core.Template {
 	sc := o.sc()
-	e, hit := o.caches().templates.get(templateKey{image: imgHash, config: core.ConfigHash(cfg)})
+	e, hit := o.caches().templates.get(farm.KeyFor(imgHash, core.ConfigHash(cfg)))
 	if hit {
 		sc.templateHits.Add(l, 1)
 	} else {

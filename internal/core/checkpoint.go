@@ -78,6 +78,12 @@ func (cp *Checkpoint) VirtualNow() int64 { return cp.kern.VirtualNow() }
 // false means the checkpoint was corrupted after sealing.
 func (cp *Checkpoint) Valid() bool { return ringDigestOf(cp.ringSeal) == cp.ringDigest }
 
+// Digest returns the sealed ring-prefix digest — the checkpoint's content
+// address in the farm's seal transfer format (internal/farm): a seal travels
+// as (image hash, config hash, job, ordinal, digest), and a receiving node
+// revalidates the body it fetches against this digest before restoring.
+func (cp *Checkpoint) Digest() uint64 { return cp.ringDigest }
+
 // ringDigestOf folds a sealed ring into the validation digest. Nil-safe: a
 // DisableObservability seal digests its canonical empty header.
 func ringDigestOf(r *obs.Recorder) uint64 { return obs.DigestBytes(r.MarshalBinary()) }

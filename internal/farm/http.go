@@ -1,0 +1,82 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// This file is the net/http+JSON binding of the protocol — the deployment
+// skeleton for a farm whose nodes are real processes. Envelopes travel as
+// JSON request/response bodies on POST; prepared-state and seal bodies never
+// ride along (Envelope.Val is excluded from both codecs): a remote node
+// materialises them from its shard of the content-addressed cache by the
+// content address the envelope carries. The in-process transport remains
+// the deterministic reference — the equivalence tests run both bindings
+// against the same toy executor and require identical reports.
+
+// NewHTTPHandler serves a node's Receiver at any path: POST one JSON
+// envelope, receive the JSON response envelope.
+func NewHTTPHandler(r Receiver) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			http.Error(w, "farm: POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var env Envelope
+		if err := json.NewDecoder(req.Body).Decode(&env); err != nil {
+			http.Error(w, "farm: bad envelope: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp := r.Receive(&env)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+}
+
+// HTTPTransport sends envelopes as JSON POSTs to per-node base URLs. Safe
+// for concurrent use; URLs are fixed at construction (a node that is not
+// mapped yields ErrUnknownNode, matching the in-process transport).
+type HTTPTransport struct {
+	mu     sync.Mutex
+	urls   map[NodeID]string
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport over the given node->URL map.
+func NewHTTPTransport(urls map[NodeID]string) *HTTPTransport {
+	m := make(map[NodeID]string, len(urls))
+	for id, u := range urls {
+		m[id] = u
+	}
+	return &HTTPTransport{urls: m, client: &http.Client{}}
+}
+
+// Send implements Transport.
+func (t *HTTPTransport) Send(env *Envelope) (*Envelope, error) {
+	t.mu.Lock()
+	url, ok := t.urls[env.To]
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrUnknownNode
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := t.client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("farm: %s -> node %d: %s", env.Type, env.To, hr.Status)
+	}
+	var resp Envelope
+	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

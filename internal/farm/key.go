@@ -1,0 +1,69 @@
+// Package farm is the distributed build-farm service: a coordinator and
+// worker nodes speaking a message-typed request/response protocol (proto.go)
+// over a pluggable transport — an in-process deterministic transport for
+// tests and simulation (transport.go), and a net/http+JSON binding for real
+// deployment (http.go).
+//
+// The design premise is the paper's §3 purity argument at fleet scale: a
+// DetTrace build is a pure function of its declared inputs, so the farm
+// layer — placement, capacity, retries, message loss and duplication, node
+// crashes, checkpoint recovery — must contribute nothing to any output byte.
+// Determinism is the distributed-systems correctness oracle: the farm's
+// output must be bitwise-independent of node count, placement seed and
+// failure schedule, and internal/buildsim's farm equivalence tests gate
+// exactly that.
+//
+// Prepared state — baseline kernel snapshots, container templates (DESIGN
+// §4b) and checkpoint seals (DESIGN §4d) — lives in a content-addressed,
+// sharded cache (shards.go) keyed on (image content hash, config hash), so
+// any node can fork any prepared state instead of cold-booting, and a
+// crashed worker's job can be recovered on another node from the freshest
+// valid seal.
+package farm
+
+import "repro/internal/obs"
+
+// StateKey is the content address of one piece of prepared state: the image
+// content hash and the behaviour-relevant config hash. It is THE cache-key
+// semantics of the whole system — the buildsim snapshot, template and seal
+// caches and the farm shard map all derive their keys through KeyFor, so the
+// four caches cannot drift in what "the same prepared state" means.
+//
+// The Config slot is zero for baseline kernel snapshots: a prepared
+// kernel.Snapshot depends only on the image (the per-run BootConfig carries
+// everything else), while a core.Template additionally bakes in the
+// container policy, so its slot carries core.ConfigHash.
+type StateKey struct {
+	Image  uint64
+	Config uint64
+}
+
+// KeyFor derives the canonical cache key for prepared state built from an
+// image with the given content hash under the given config hash (zero for
+// config-free state like baseline kernel snapshots).
+func KeyFor(imageHash, configHash uint64) StateKey {
+	return StateKey{Image: imageHash, Config: configHash}
+}
+
+// Hash folds the key into one 64-bit content address, used for sharding and
+// for the wire protocol's idempotency keys.
+func (k StateKey) Hash() uint64 {
+	return obs.DigestU64(0, k.Image, k.Config)
+}
+
+// Shard maps the key onto one of n cache shards.
+func (k StateKey) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(k.Hash() % uint64(n))
+}
+
+// SealKey addresses one checkpoint seal in the content-addressed cache: the
+// prepared-state key the seal belongs to, the farm job that sealed it, and
+// the seal's 1-based ordinal within that job's run.
+type SealKey struct {
+	State   StateKey
+	Job     uint64
+	Ordinal int
+}

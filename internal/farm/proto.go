@@ -1,0 +1,230 @@
+package farm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// NodeID identifies one farm node. The coordinator is node 0; worker nodes
+// are numbered 1..N in registration order (their "ordinal").
+type NodeID int32
+
+// Coordinator is the well-known node ID of the coordinator.
+const Coordinator NodeID = 0
+
+// MsgType tags one protocol message. The protocol is strict request/response:
+// every Send carries a request type and returns the matching response type
+// (or MsgErr). See DESIGN.md §4e for the full wire specification.
+type MsgType uint8
+
+const (
+	// MsgRegister: worker -> coordinator. Advertises capacity (Slots) and
+	// pinned image hashes (Pinned). Response: MsgRegisterAck carrying the
+	// worker's assigned ordinal in Ordinal.
+	MsgRegister MsgType = iota + 1
+	MsgRegisterAck
+	// MsgAssign: coordinator -> worker. Assigns one build job (Job, Attempt,
+	// Image, Config; Wall carries the virtual time of the previous attempt's
+	// death for recovery accounting). Response: MsgResult with Status "ok"
+	// and the output Digest, or Status "crashed" with Wall = virtual time of
+	// death, or Status "down" if the worker has already failed.
+	MsgAssign
+	MsgResult
+	// MsgSealPut: worker -> coordinator. Publishes a checkpoint seal into the
+	// content-addressed store (Image, Config, Job, Ordinal, Digest; the seal
+	// body rides in Val in-process, by content address over the wire).
+	// Response: MsgSealAck.
+	MsgSealPut
+	MsgSealAck
+	// MsgSealGet: worker -> coordinator. Fetches the seal at (Image, Config,
+	// Job, Ordinal); Ordinal 0 means "the freshest". Response: MsgSealData
+	// with the found Ordinal and Digest, or Status "miss".
+	MsgSealGet
+	MsgSealData
+	// MsgStateGet: worker -> coordinator. Fetches prepared state (a kernel
+	// snapshot or container template) at (Image, Config). On a miss the
+	// coordinator leases the build to the first requester (Status "lease");
+	// concurrent requesters block until the leaseholder's MsgStatePut lands.
+	// Response: MsgStateData.
+	MsgStateGet
+	MsgStateData
+	// MsgStatePut: worker -> coordinator. Publishes prepared state built
+	// under a lease. Response: MsgStateAck.
+	MsgStatePut
+	MsgStateAck
+	// MsgDown: worker -> coordinator. Reports the worker is leaving the farm
+	// (after a planned node crash). Response: MsgDownAck.
+	MsgDown
+	MsgDownAck
+	// MsgErr is the error response to any malformed or unroutable request.
+	MsgErr
+)
+
+// String names the message type for diagnostics.
+func (t MsgType) String() string {
+	switch t {
+	case MsgRegister:
+		return "register"
+	case MsgRegisterAck:
+		return "register-ack"
+	case MsgAssign:
+		return "assign"
+	case MsgResult:
+		return "result"
+	case MsgSealPut:
+		return "seal-put"
+	case MsgSealAck:
+		return "seal-ack"
+	case MsgSealGet:
+		return "seal-get"
+	case MsgSealData:
+		return "seal-data"
+	case MsgStateGet:
+		return "state-get"
+	case MsgStateData:
+		return "state-data"
+	case MsgStatePut:
+		return "state-put"
+	case MsgStateAck:
+		return "state-ack"
+	case MsgDown:
+		return "down"
+	case MsgDownAck:
+		return "down-ack"
+	case MsgErr:
+		return "err"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// Envelope is the one message shape of the protocol: a flat, fixed field set
+// every message type draws from, so the codec is a single function and fuzzing
+// the round-trip covers the whole protocol. Unused fields are zero and omitted
+// on the JSON wire.
+type Envelope struct {
+	Type MsgType `json:"type"`
+	From NodeID  `json:"from"`
+	To   NodeID  `json:"to"`
+	// Seq is the per-link message ordinal, stamped by the transport. Fault
+	// schedules (message loss, duplication) key on Seq, so faults fire at the
+	// same logical instant regardless of host-level interleaving.
+	Seq uint64 `json:"seq,omitempty"`
+	// Idem is the idempotency key: a pure hash of the message's semantic
+	// identity (type, origin, job, attempt, content address). At-least-once
+	// delivery plus receiver-side Idem dedup yields exactly-once effect.
+	Idem    uint64 `json:"idem,omitempty"`
+	Job     uint64 `json:"job,omitempty"`
+	Attempt int32  `json:"attempt,omitempty"`
+	Image   uint64 `json:"image,omitempty"`
+	Config  uint64 `json:"config,omitempty"`
+	Ordinal int32  `json:"ordinal,omitempty"`
+	Digest  uint64 `json:"digest,omitempty"`
+	// Wall is a virtual-clock timestamp (ns): time of death in a "crashed"
+	// MsgResult, previous attempt's death in a recovery MsgAssign.
+	Wall  int64 `json:"wall,omitempty"`
+	Slots int32 `json:"slots,omitempty"`
+	// Doom marks a MsgAssign whose build the farm fault plan kills: the
+	// coordinator decides doom at placement time (the plan's KillAtJob-th
+	// job placed on the killed node), so the crash site is a pure function
+	// of the schedule, not of slot interleaving.
+	Doom   bool     `json:"doom,omitempty"`
+	Pinned []uint64 `json:"pinned,omitempty"`
+	Status string   `json:"status,omitempty"`
+	// Val is the in-process body reference (a kernel snapshot, container
+	// template or checkpoint seal). It never crosses a real wire: both codecs
+	// carry only the content address (Image, Config, Job, Ordinal, Digest),
+	// and a remote node materialises the body from its shard of the
+	// content-addressed cache. In-process, Val is the shared pointer itself.
+	Val any `json:"-"`
+}
+
+// IdemKey derives the envelope's idempotency key from its semantic identity.
+// Seq is deliberately excluded: a retransmission gets a fresh Seq but the
+// same Idem, which is exactly what lets the receiver deduplicate it.
+func (e *Envelope) IdemKey() uint64 {
+	return obs.DigestU64(uint64(e.Type),
+		uint64(uint32(e.From)), e.Job, uint64(uint32(e.Attempt)),
+		e.Image, e.Config, uint64(uint32(e.Ordinal)), e.Digest)
+}
+
+// envWireSize is the fixed portion of the binary encoding; Status and Pinned
+// are length-prefixed tails.
+const envWireSize = 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 4 + 8 + 8 + 4 + 1
+
+// MarshalBinary encodes the envelope in the compact little-endian wire
+// format (Val, the in-process body, is not encoded — see Envelope.Val).
+func (e *Envelope) MarshalBinary() []byte {
+	buf := make([]byte, 0, envWireSize+2+len(e.Status)+2+8*len(e.Pinned))
+	buf = append(buf, byte(e.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Idem)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Job)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Attempt))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Image)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Config)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Ordinal))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Digest)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Wall))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Slots))
+	var doom byte
+	if e.Doom {
+		doom = 1
+	}
+	buf = append(buf, doom)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Status)))
+	buf = append(buf, e.Status...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Pinned)))
+	for _, p := range e.Pinned {
+		buf = binary.LittleEndian.AppendUint64(buf, p)
+	}
+	return buf
+}
+
+// DecodeEnvelope decodes the binary wire format produced by MarshalBinary.
+func DecodeEnvelope(buf []byte) (*Envelope, error) {
+	if len(buf) < envWireSize+4 {
+		return nil, fmt.Errorf("farm: short envelope: %d bytes", len(buf))
+	}
+	e := &Envelope{}
+	e.Type = MsgType(buf[0])
+	e.From = NodeID(binary.LittleEndian.Uint32(buf[1:]))
+	e.To = NodeID(binary.LittleEndian.Uint32(buf[5:]))
+	e.Seq = binary.LittleEndian.Uint64(buf[9:])
+	e.Idem = binary.LittleEndian.Uint64(buf[17:])
+	e.Job = binary.LittleEndian.Uint64(buf[25:])
+	e.Attempt = int32(binary.LittleEndian.Uint32(buf[33:]))
+	e.Image = binary.LittleEndian.Uint64(buf[37:])
+	e.Config = binary.LittleEndian.Uint64(buf[45:])
+	e.Ordinal = int32(binary.LittleEndian.Uint32(buf[53:]))
+	e.Digest = binary.LittleEndian.Uint64(buf[57:])
+	e.Wall = int64(binary.LittleEndian.Uint64(buf[65:]))
+	e.Slots = int32(binary.LittleEndian.Uint32(buf[73:]))
+	e.Doom = buf[77] != 0
+	off := envWireSize
+	slen := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if len(buf) < off+slen+2 {
+		return nil, fmt.Errorf("farm: envelope truncated in status")
+	}
+	if slen > 0 {
+		e.Status = string(buf[off : off+slen])
+	}
+	off += slen
+	plen := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if len(buf) != off+8*plen {
+		return nil, fmt.Errorf("farm: envelope length %d, want %d", len(buf), off+8*plen)
+	}
+	if plen > 0 {
+		e.Pinned = make([]uint64, plen)
+		for i := range e.Pinned {
+			e.Pinned[i] = binary.LittleEndian.Uint64(buf[off+8*i:])
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,143 @@
+package farm
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/reprotest"
+)
+
+// Receiver handles one protocol request and returns the response envelope.
+// Handlers must be idempotent for redelivered requests (same Idem key): the
+// transport is at-least-once, so exactly-once effect comes from receiver-side
+// dedup, never from delivery guarantees.
+type Receiver interface {
+	Receive(*Envelope) *Envelope
+}
+
+// Transport delivers one request envelope to its destination node and
+// returns the response. The farm is strict request/response: there is no
+// one-way send, so the transport never buffers and the in-process
+// implementation is a direct call.
+type Transport interface {
+	Send(*Envelope) (*Envelope, error)
+}
+
+// ErrUnknownNode is returned by a transport for a destination that was never
+// wired into the farm.
+var ErrUnknownNode = errors.New("farm: unknown destination node")
+
+// memTransport is the in-process transport: direct dispatch to the
+// destination's Receive. Deterministic by construction — no queues, no
+// timeouts, no reordering.
+type memTransport struct {
+	mu    sync.Mutex
+	nodes map[NodeID]Receiver
+}
+
+func newMemTransport() *memTransport {
+	return &memTransport{nodes: make(map[NodeID]Receiver)}
+}
+
+func (t *memTransport) attach(id NodeID, r Receiver) {
+	t.mu.Lock()
+	t.nodes[id] = r
+	t.mu.Unlock()
+}
+
+func (t *memTransport) Send(env *Envelope) (*Envelope, error) {
+	t.mu.Lock()
+	r := t.nodes[env.To]
+	t.mu.Unlock()
+	if r == nil {
+		return nil, ErrUnknownNode
+	}
+	return r.Receive(env), nil
+}
+
+// linkKey identifies one directed link; per-link ordinal clocks make fault
+// schedules independent of cross-link interleaving.
+type linkKey struct {
+	from, to NodeID
+}
+
+// transportCounters is the transport's slice of the farm registry.
+type transportCounters struct {
+	sent    *obs.Counter
+	lost    *obs.Counter
+	retrans *obs.Counter
+	duped   *obs.Counter
+}
+
+// faultTransport decorates any Transport with the X15 fault plane's message
+// events: it stamps each envelope with its per-link ordinal (Seq), and fires
+// the plan's loss and duplication events when an ordinal matches.
+//
+// Loss is modelled as lose-then-retransmit: the doomed transmission is
+// counted lost, and the at-least-once layer immediately resends the same
+// envelope (same Idem, fresh Seq). Duplication delivers the request twice;
+// the receiver's Idem cache absorbs the second copy. Both event kinds key on
+// the link ordinals of MsgAssign carriers on coordinator->worker links: on a
+// real wire every message is at risk, but assigns are the only traffic that
+// is not idempotent by construction, so they are where dedup is load-bearing
+// and where the property tests aim the schedule.
+type faultTransport struct {
+	inner Transport
+	plan  reprotest.FaultPlan
+	c     transportCounters
+	l     obs.Local
+
+	mu  sync.Mutex
+	seq map[linkKey]uint64
+}
+
+func newFaultTransport(inner Transport, plan reprotest.FaultPlan, c transportCounters) *faultTransport {
+	return &faultTransport{inner: inner, plan: plan, c: c, l: obs.NewLocal(), seq: make(map[linkKey]uint64)}
+}
+
+func (t *faultTransport) next(env *Envelope) uint64 {
+	k := linkKey{env.From, env.To}
+	t.mu.Lock()
+	t.seq[k]++
+	s := t.seq[k]
+	t.mu.Unlock()
+	return s
+}
+
+// fires reports whether a scheduled event ordinal hits this envelope: only
+// MsgAssign carriers on coordinator->worker links are at risk (see type doc).
+func (t *faultTransport) fires(at int64, env *Envelope) bool {
+	return at > 0 && env.Type == MsgAssign && env.From == Coordinator &&
+		env.Seq == uint64(at)
+}
+
+func (t *faultTransport) Send(env *Envelope) (*Envelope, error) {
+	env.Seq = t.next(env)
+	if env.Idem == 0 {
+		env.Idem = env.IdemKey()
+	}
+	t.c.sent.Add(t.l, 1)
+	if t.fires(t.plan.LoseMsg, env) {
+		// The transmission is lost in flight; at-least-once delivery
+		// retransmits the identical envelope on the next link ordinal.
+		t.c.lost.Add(t.l, 1)
+		t.c.retrans.Add(t.l, 1)
+		env.Seq = t.next(env)
+		t.c.sent.Add(t.l, 1)
+	}
+	resp, err := t.inner.Send(env)
+	if err != nil {
+		return nil, err
+	}
+	if t.fires(t.plan.DupMsg, env) {
+		// The network delivers the request a second time; the receiver's
+		// idempotency cache must absorb it. The duplicate's response is
+		// discarded, as a real wire would drop the late reply.
+		t.c.duped.Add(t.l, 1)
+		if dup, err := t.inner.Send(env); err == nil {
+			_ = dup
+		}
+	}
+	return resp, nil
+}

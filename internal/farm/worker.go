@@ -1,0 +1,193 @@
+package farm
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Worker is one farm node: it registers with the coordinator, advertises
+// capacity (slots, pinned images), executes assigned builds, and publishes
+// checkpoint seals into the coordinator's content-addressed store. Each
+// worker owns its own metric registry — the per-node stripe of the farm's
+// observation plane — which the coordinator absorbs (commutatively) when the
+// run finishes.
+type Worker struct {
+	id NodeID
+	cl *Cluster
+
+	reg *obs.Registry
+	l   obs.Local
+	c   struct {
+		msgs    *obs.Counter
+		jobs    *obs.Counter
+		deduped *obs.Counter
+		crashes *obs.Counter
+	}
+
+	// Pins are the image content hashes this worker advertises as pinned
+	// (pre-staged locally); placement prefers a pinned node for matching
+	// jobs. Set before Run.
+	Pins []uint64
+
+	mu       sync.Mutex
+	down     bool
+	accepted int                  // accepted-assignment ordinal clock
+	idem     map[uint64]*Envelope // idempotency cache: Idem -> first response
+}
+
+func newWorker(cl *Cluster, id NodeID) *Worker {
+	w := &Worker{id: id, cl: cl}
+	w.reg = obs.NewRegistry()
+	w.l = obs.NewLocal()
+	w.c.msgs = w.reg.Counter("farm_worker_msgs")
+	w.c.jobs = w.reg.Counter("farm_worker_jobs")
+	w.c.deduped = w.reg.Counter("farm_msgs_deduped")
+	w.c.crashes = w.reg.Counter("farm_worker_crashes")
+	w.idem = make(map[uint64]*Envelope)
+	return w
+}
+
+// register announces the worker to the coordinator with its capacity.
+func (w *Worker) register() error {
+	resp, err := w.cl.tr.Send(&Envelope{
+		Type: MsgRegister, From: w.id, To: Coordinator,
+		Slots: int32(w.cl.cfg.Slots), Pinned: w.Pins,
+	})
+	if err != nil {
+		return err
+	}
+	_ = resp // MsgRegisterAck echoes the ordinal == w.id
+	return nil
+}
+
+// Receive implements Receiver: the worker's half of the protocol. Only
+// MsgAssign arrives here; everything else is a protocol error.
+func (w *Worker) Receive(env *Envelope) *Envelope {
+	w.c.msgs.Add(w.l, 1)
+	if env.Type != MsgAssign {
+		return &Envelope{Type: MsgErr, From: w.id, To: env.From,
+			Status: "unexpected " + env.Type.String()}
+	}
+
+	w.mu.Lock()
+	if w.down {
+		w.mu.Unlock()
+		return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+			Job: env.Job, Attempt: env.Attempt, Status: "down"}
+	}
+	if prev, ok := w.idem[env.Idem]; ok {
+		// Duplicate delivery of an assignment already executed (or in
+		// flight): at-least-once transport, exactly-once effect.
+		w.mu.Unlock()
+		w.c.deduped.Add(w.l, 1)
+		if prev == nil {
+			return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+				Job: env.Job, Attempt: env.Attempt, Status: "inflight"}
+		}
+		return prev
+	}
+	w.idem[env.Idem] = nil // reserve: in flight
+	w.accepted++
+	w.mu.Unlock()
+
+	resp := w.run(env)
+
+	w.mu.Lock()
+	w.idem[env.Idem] = resp
+	w.mu.Unlock()
+	return resp
+}
+
+// run executes one accepted assignment. A doomed assignment (env.Doom, set
+// by the coordinator at placement time) has the plan's container-level crash
+// injected into the build; when it fires the worker marks itself down and
+// reports "crashed" so the coordinator can steal its queue.
+func (w *Worker) run(env *Envelope) *Envelope {
+	ctx := &ExecCtx{
+		Node:     w.id,
+		Ord:      int(w.id),
+		Job:      Job{ID: env.Job, Image: env.Image, Config: env.Config},
+		Attempt:  int(env.Attempt),
+		PrevWall: env.Wall,
+		w:        w,
+		c:        w.cl,
+	}
+	if env.Doom {
+		ctx.Doom = w.cl.cfg.Plan
+	}
+	digest, err := w.cl.exec(ctx)
+	if crash, ok := err.(*Crash); ok {
+		w.c.crashes.Add(w.l, 1)
+		w.mu.Lock()
+		w.down = true
+		w.mu.Unlock()
+		return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+			Job: env.Job, Attempt: env.Attempt, Status: "crashed", Wall: crash.Wall}
+	}
+	if err != nil {
+		return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+			Job: env.Job, Attempt: env.Attempt, Status: "error: " + err.Error()}
+	}
+	w.c.jobs.Add(w.l, 1)
+	return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+		Job: env.Job, Attempt: env.Attempt, Status: "ok",
+		Digest: digest, Ordinal: int32(ctx.RestoredFrom)}
+}
+
+// The ExecCtx accessors below route a build's prepared-state and seal
+// traffic through the transport to the coordinator's store, so the executor
+// is oblivious to which node it runs on.
+
+func (c *ExecCtx) send(env *Envelope) *Envelope {
+	env.From = c.Node
+	env.To = Coordinator
+	resp, err := c.c.tr.Send(env)
+	if err != nil {
+		return &Envelope{Type: MsgErr, Status: err.Error()}
+	}
+	return resp
+}
+
+// Prepared returns the prepared state (kernel snapshot or container
+// template) at key, building it via build exactly once farm-wide: the first
+// requester holds the lease and builds; concurrent requesters block until
+// the put lands.
+func (c *ExecCtx) Prepared(key StateKey, build func() any) any {
+	resp := c.send(&Envelope{Type: MsgStateGet, Image: key.Image, Config: key.Config})
+	if resp.Status == "lease" {
+		val := build()
+		c.send(&Envelope{Type: MsgStatePut, Image: key.Image, Config: key.Config, Val: val})
+		return val
+	}
+	return resp.Val
+}
+
+// PutSeal publishes a checkpoint seal for this job into the content-
+// addressed store.
+func (c *ExecCtx) PutSeal(key StateKey, ordinal int, digest uint64, seal any) {
+	c.send(&Envelope{Type: MsgSealPut, Job: c.Job.ID,
+		Image: key.Image, Config: key.Config,
+		Ordinal: int32(ordinal), Digest: digest, Val: seal})
+}
+
+// LatestSeal returns the freshest seal ordinal published for this job (0 if
+// none).
+func (c *ExecCtx) LatestSeal(key StateKey) int {
+	resp := c.send(&Envelope{Type: MsgSealGet, Job: c.Job.ID,
+		Image: key.Image, Config: key.Config})
+	if resp.Status == "miss" {
+		return 0
+	}
+	return int(resp.Ordinal)
+}
+
+// Seal fetches the seal at the given ordinal for this job.
+func (c *ExecCtx) Seal(key StateKey, ordinal int) (any, bool) {
+	resp := c.send(&Envelope{Type: MsgSealGet, Job: c.Job.ID,
+		Image: key.Image, Config: key.Config, Ordinal: int32(ordinal)})
+	if resp.Status == "miss" || resp.Type == MsgErr {
+		return nil, false
+	}
+	return resp.Val, true
+}

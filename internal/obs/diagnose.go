@@ -9,7 +9,8 @@ import "fmt"
 // differ only in setup path must still align clean.
 func comparableKind(k Kind) bool {
 	switch k {
-	case KindCOWBreak, KindSpan, KindCheckpoint:
+	case KindCOWBreak, KindSpan, KindCheckpoint,
+		KindFarmAssign, KindFarmSteal, KindFarmRecover:
 		return false
 	default:
 		return true

@@ -39,6 +39,19 @@ const (
 	// in both), but mechanism-level like KindCOWBreak: the diagnoser skips
 	// it when aligning a checkpointing run against a non-checkpointing one.
 	KindCheckpoint
+	// KindFarmAssign marks the farm coordinator assigning a job to a worker:
+	// Pid is the worker ordinal, Arg the job ID, Ret the attempt. Farm kinds
+	// are recorded on the coordinator's own ring and are mechanism-level —
+	// they describe WHERE a build ran, which by the farm's purity contract
+	// must not affect any output byte, so the diagnoser never compares them.
+	KindFarmAssign
+	// KindFarmSteal marks a job reassigned away from a dead worker: Pid is
+	// the new worker ordinal, Arg the job ID, Ret the dead worker's ordinal.
+	KindFarmSteal
+	// KindFarmRecover marks a stolen job completed from a checkpoint seal:
+	// Pid is the recovering worker ordinal, Arg the job ID, Ret the seal
+	// ordinal restored from (0 = cold replay).
+	KindFarmRecover
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -62,6 +75,12 @@ func (k Kind) String() string {
 		return "span"
 	case KindCheckpoint:
 		return "checkpoint"
+	case KindFarmAssign:
+		return "farm-assign"
+	case KindFarmSteal:
+		return "farm-steal"
+	case KindFarmRecover:
+		return "farm-recover"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -36,7 +36,12 @@ type Host struct {
 	NumCPU  int
 }
 
-// DefaultHosts returns a deliberately heterogeneous three-node cluster.
+// DefaultHosts returns a deliberately heterogeneous three-node cluster: the
+// three machine profiles differ in CPU model, core count, entropy seed and
+// clock epoch, so anything host-dependent that leaks into replica state
+// diverges immediately. It is the adversarial default for every replication
+// demo and test in this package — agreement across these hosts is evidence
+// of determinism, not of luck; a homogeneous cluster would prove nothing.
 func DefaultHosts() []Host {
 	return []Host{
 		{Name: "node-a", Profile: machine.CloudLabC220G5(), Seed: 0xA11CE, Epoch: 1_520_000_000, NumCPU: 0},
@@ -179,6 +184,38 @@ func Agree(results []Result) bool {
 		}
 	}
 	return true
+}
+
+// Quorum generalizes Agree: it reports whether at least k healthy replicas
+// reached the same state, returning that state's hash. Under determinism a
+// quorum is degenerate — every healthy replica computes the same bits — so k
+// expresses fault tolerance, not voting: it is how many crashed, corrupted
+// or lagging replicas the caller is willing to absorb while still certifying
+// the cluster state from the survivors. Agree(results) is equivalent to
+// Quorum(results, len(results)) succeeding. The distributed build farm uses
+// the same principle job-by-job (any one completed attempt's digest IS the
+// answer); Quorum is the cluster-level form.
+func Quorum(results []Result, k int) (string, bool) {
+	if k <= 0 || k > len(results) {
+		return "", false
+	}
+	counts := make(map[string]int)
+	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		counts[r.StateHash]++
+	}
+	best, bestN := "", 0
+	for h, n := range counts {
+		if n > bestN || (n == bestN && h < best) {
+			best, bestN = h, n
+		}
+	}
+	if bestN < k {
+		return "", false
+	}
+	return best, true
 }
 
 // Reference computes the cluster's canonical checkpointed outcome once, on

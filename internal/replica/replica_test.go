@@ -158,3 +158,42 @@ func TestSeedIsADeclaredInput(t *testing.T) {
 		t.Fatal("same seed on another host must match")
 	}
 }
+
+func TestQuorumGeneralizesAgree(t *testing.T) {
+	c := &Cluster{Hosts: DefaultHosts(), Seed: 7}
+	results := c.Execute(testLog)
+	hash, ok := Quorum(results, len(results))
+	if !ok || hash != results[0].StateHash {
+		t.Fatalf("unanimous quorum failed: ok=%v hash=%q", ok, hash)
+	}
+	if ok != Agree(results) {
+		t.Fatal("Quorum(results, n) disagrees with Agree")
+	}
+
+	// One replica crashed: a 2-of-3 quorum still certifies the state, a
+	// 3-of-3 one cannot.
+	faulty := append([]Result(nil), results...)
+	faulty[1].Err = errors.New("node lost")
+	faulty[1].StateHash = ""
+	if hash, ok := Quorum(faulty, 2); !ok || hash != results[0].StateHash {
+		t.Fatalf("2-of-3 quorum with one dead replica: ok=%v hash=%q", ok, hash)
+	}
+	if _, ok := Quorum(faulty, 3); ok {
+		t.Fatal("3-of-3 quorum should fail with a dead replica")
+	}
+
+	// A diverged replica must not be counted toward the quorum hash.
+	diverged := append([]Result(nil), results...)
+	diverged[2].StateHash = "not-the-cluster-state"
+	if hash, ok := Quorum(diverged, 2); !ok || hash != results[0].StateHash {
+		t.Fatalf("quorum picked the wrong state: ok=%v hash=%q", ok, hash)
+	}
+
+	// Degenerate ks.
+	if _, ok := Quorum(results, 0); ok {
+		t.Fatal("k=0 must not certify anything")
+	}
+	if _, ok := Quorum(results, len(results)+1); ok {
+		t.Fatal("k beyond the cluster size must fail")
+	}
+}

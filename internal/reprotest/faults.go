@@ -19,6 +19,28 @@ type FaultPlan struct {
 	// FailRestore makes the first restore attempt after a crash fail, to
 	// exercise the bounded-retry path.
 	FailRestore bool
+
+	// The remaining events are the farm-level fault plane (internal/farm):
+	// node crashes and message loss/duplication, scheduled on the farm's
+	// logical clocks — accepted-job ordinals per node, message ordinals per
+	// link — never on host time or goroutine interleaving.
+
+	// KillNode names the worker ordinal (1-based) the plan kills; 0 kills no
+	// node. A farm with fewer workers than KillNode deterministically dodges
+	// the crash, the same way short builds dodge CrashAtAction.
+	KillNode int
+	// KillAtJob is the 1-based ordinal, among jobs the doomed worker
+	// accepts, of the assignment that dies mid-build (the build itself is
+	// killed via CrashAtAction so the seal/recovery machinery engages).
+	// Defaults to 1 when KillNode is set.
+	KillAtJob int
+	// LoseMsg drops the transmission with this per-link message ordinal on a
+	// coordinator->worker assign link (0 = none); at-least-once delivery
+	// retransmits it.
+	LoseMsg int64
+	// DupMsg delivers the transmission with this per-link message ordinal
+	// twice (0 = none); the receiver's idempotency cache absorbs the copy.
+	DupMsg int64
 }
 
 // Crashes reports whether the plan schedules a crash at all.
@@ -47,6 +69,28 @@ func PlanFor(seed uint64) FaultPlan {
 	}
 	if rng.Uint64()%4 == 0 {
 		p.FailRestore = true
+	}
+	return p
+}
+
+// FarmPlanFor derives a farm-level fault schedule from a seed for a farm of
+// the given worker count — again a pure function, so the same seed fires the
+// same faults on every run regardless of placement or host scheduling. About
+// half of all seeds kill a worker early in its job stream; a quarter lose an
+// assign transmission and a quarter duplicate one.
+func FarmPlanFor(seed uint64, nodes int) FaultPlan {
+	rng := prng.NewHost(seed ^ 0xFA9A17)
+	var p FaultPlan
+	if nodes > 0 && rng.Uint64()%2 == 0 {
+		p.KillNode = 1 + int(rng.Uint64()%uint64(nodes))
+		p.KillAtJob = 1 + int(rng.Uint64()%2)
+		p.CrashAtAction = 1 + int64(rng.Uint64()%crashHorizon)
+	}
+	if rng.Uint64()%4 == 0 {
+		p.LoseMsg = 1 + int64(rng.Uint64()%3)
+	}
+	if rng.Uint64()%4 == 0 {
+		p.DupMsg = 1 + int64(rng.Uint64()%3)
 	}
 	return p
 }
