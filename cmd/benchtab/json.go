@@ -13,6 +13,8 @@ import (
 	"repro"
 	"repro/internal/buildsim"
 	"repro/internal/debpkg"
+	"repro/internal/kernel"
+	"repro/internal/mlsim"
 )
 
 // syscallBench is one wall-clock microbenchmark run: a single-process guest
@@ -83,6 +85,39 @@ type farmBench struct {
 	AvgRedoneNs    float64 `json:"avg_redone_ns"`
 }
 
+// wsThreadBench is one thread point of the workspace sweep (X17): the
+// intra-op pool under DetTrace with workspaces on vs the serialized-thread
+// ablation, plus the merge accounting of the ws-on run.
+type wsThreadBench struct {
+	Workload  string  `json:"workload"`
+	Threads   int     `json:"threads"`
+	WsOnNs    int64   `json:"ws_on_ns"`
+	WsOffNs   int64   `json:"ws_off_ns"`
+	Speedup   float64 `json:"speedup_vs_serialized"`
+	Merges    int64   `json:"merges"`
+	Conflicts int64   `json:"conflicts"`
+}
+
+// workspaceBench is the thread-workspace section (X17): per-thread-count
+// speedups over the serialized ablation, the farm-level aggregate over the
+// threaded (javac) packages, and the cost-model constants behind the fork
+// and merge charges. farm_identical must equal farm_packages — workspaces
+// relax only the physical clock, never an output byte.
+type workspaceBench struct {
+	ThreadPoints []wsThreadBench `json:"thread_points"`
+
+	FarmPackages        int     `json:"farm_packages"`
+	FarmThreaded        int     `json:"farm_threaded"`
+	FarmIdentical       int     `json:"farm_identical"`
+	FarmThreadedSpeedup float64 `json:"farm_threaded_speedup"`
+	FarmAvgForks        float64 `json:"farm_avg_forks"`
+	FarmAvgMerges       float64 `json:"farm_avg_merges"`
+	FarmConflicts       int64   `json:"farm_conflicts"`
+
+	ForkNs  int64 `json:"avg_fork_ns"`
+	MergeNs int64 `json:"avg_merge_ns"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -112,10 +147,11 @@ type benchReport struct {
 	AggregateSlowdownUnbuffered float64 `json:"aggregate_slowdown_unbuffered"`
 	BitwiseIdentical            int     `json:"bitwise_identical"`
 
-	Templates templateBench `json:"templates"`
-	Obs       obsBench      `json:"obs"`
-	Faults    faultBench    `json:"faults"`
-	Farm      farmBench     `json:"farm"`
+	Templates  templateBench  `json:"templates"`
+	Obs        obsBench       `json:"obs"`
+	Faults     faultBench     `json:"faults"`
+	Farm       farmBench      `json:"farm"`
+	Workspaces workspaceBench `json:"workspaces"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -249,6 +285,23 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		AvgMTTRNs:      fm.AvgMTTRNs,
 		AvgRedoneNs:    fm.AvgRedoneNs,
 	}
+	cost := kernel.DefaultCostModel()
+	rep.Workspaces = workspaceBench{ForkNs: cost.WsForkCost, MergeNs: cost.WsMergeCost}
+	for _, r := range mlsim.RunWorkspaceSweep(seed) {
+		rep.Workspaces.ThreadPoints = append(rep.Workspaces.ThreadPoints, wsThreadBench{
+			Workload: string(r.Model), Threads: r.Threads,
+			WsOnNs: r.WsOn, WsOffNs: r.WsOff, Speedup: r.Speedup,
+			Merges: r.Merges, Conflicts: r.Conflicts,
+		})
+	}
+	ws := o.RunWorkspaceStudy(debpkg.Universe(seed, sampleOr(n, 48)))
+	rep.Workspaces.FarmPackages = ws.Packages
+	rep.Workspaces.FarmThreaded = ws.Threaded
+	rep.Workspaces.FarmIdentical = ws.Identical
+	rep.Workspaces.FarmThreadedSpeedup = ws.ThreadedSpeedup
+	rep.Workspaces.FarmAvgForks = ws.AvgForks
+	rep.Workspaces.FarmAvgMerges = ws.AvgMerges
+	rep.Workspaces.FarmConflicts = ws.Conflicts
 	name := fmt.Sprintf("BENCH_%s.json", rep.Date)
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -257,9 +310,9 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical; threaded ws speedup %.2fx)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
 		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction,
-		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells)
+		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells, rep.Workspaces.FarmThreadedSpeedup)
 	return nil
 }

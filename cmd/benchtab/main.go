@@ -17,6 +17,7 @@
 //	benchtab -templates         container-template ablation (setup cost with/without COW forks)
 //	benchtab -faults            X15 crash-recovery study (checkpoint restore vs cold replay)
 //	benchtab -farm              X16 distributed-farm study (scaling, placement, node-kill recovery)
+//	benchtab -workspaces        X17 thread-workspace ablation (farm speedup + output equivalence)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -59,6 +60,7 @@ func main() {
 		tmplStd  = flag.Bool("templates", false, "container-template ablation: farm setup cost with/without COW template forks")
 		faults   = flag.Bool("faults", false, "X15 crash-recovery study: mid-build crashes recovered from checkpoints vs cold replay")
 		farmStd  = flag.Bool("farm", false, "X16 distributed-farm study: node counts x placement seeds x fault schedules vs the local reference")
+		wsStud   = flag.Bool("workspaces", false, "X17 thread-workspace ablation: threaded-build speedup vs serialized threads, with bitwise output equivalence")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -106,6 +108,8 @@ func main() {
 	if *all || *fig6 {
 		section("Figure 6: bioinformatics speedups (1/4/16 processes)")
 		fmt.Println(bio.FormatFig6(bio.RunFig6(*seed)))
+		section("X17: pthreads builds — workspaces vs serialized threads")
+		fmt.Println(bio.FormatThreadStudy(bio.RunThreadStudy(*seed)))
 	}
 	if *all || *biorep {
 		section("§6.1: bio output reproducibility (hashdeep)")
@@ -122,6 +126,16 @@ func main() {
 			t.Row(string(r.Model), fmt.Sprintf("%.2fx", r.VsParallel), fmt.Sprintf("%.2fx", r.VsSerial))
 		}
 		fmt.Println(t.String())
+		section("X17: intra-op thread pool — workspaces vs serialized threads")
+		wt := stats.NewTable("model", "threads", "ws on", "ws off", "speedup", "merges", "conflicts")
+		for _, r := range mlsim.RunWorkspaceSweep(*seed) {
+			wt.Row(string(r.Model), fmt.Sprint(r.Threads),
+				fmt.Sprintf("%.1fs", float64(r.WsOn)/1e9),
+				fmt.Sprintf("%.1fs", float64(r.WsOff)/1e9),
+				fmt.Sprintf("%.2fx", r.Speedup),
+				fmt.Sprint(r.Merges), fmt.Sprint(r.Conflicts))
+		}
+		fmt.Println(wt.String())
 	}
 	if *all || *rrFlag {
 		section("§7.1.3: comparison with Mozilla rr")
@@ -174,6 +188,11 @@ func main() {
 	if *all || *farmStd {
 		section("X16: distributed farm — scaling, placement and crash recovery")
 		fmt.Println(o.RunFarmStudy(debpkg.Universe(*seed, sampleOr(*n, 12))))
+		fmt.Println()
+	}
+	if *all || *wsStud {
+		section("X17: thread workspaces across the farm — ablation study")
+		fmt.Println(o.RunWorkspaceStudy(debpkg.Universe(*seed, sampleOr(*n, 120))))
 		fmt.Println()
 	}
 	if *jsonOut {

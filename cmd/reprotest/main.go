@@ -29,6 +29,12 @@
 // single-node farm's.
 //
 //	reprotest -pkg 7 -nodes 3 -kill-node 0
+//
+// Multi-threaded (javac) builds run with copy-on-write thread workspaces by
+// default; -workspaces=false serializes sibling threads instead. The ablation
+// never changes a verdict or an output byte — only the modeled wall time.
+//
+//	reprotest -pkg 3 -workspaces=false
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		crashAt  = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
 		nodes    = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
 		killNode = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
+		wsFlag   = flag.Bool("workspaces", true, "thread workspaces for multi-threaded builds (false = serialized-thread ablation; never changes an output byte)")
 	)
 	flag.Parse()
 
@@ -77,7 +84,7 @@ func main() {
 		fmt.Printf("uses unsupported feature: %s\n", spec.Unsup)
 	}
 
-	o := &buildsim.Options{Seed: *seed}
+	o := &buildsim.Options{Seed: *seed, NoWorkspaces: !*wsFlag}
 	if *nodes > 0 {
 		fmt.Println()
 		report, ok := o.FarmCrashRecovery(spec, *nodes, *killNode)

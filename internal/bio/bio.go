@@ -18,6 +18,7 @@ package bio
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/abi"
 	"repro/internal/guest"
@@ -77,17 +78,25 @@ func shapeOf(tool Tool) shape {
 	}
 }
 
-// Main is the guest entry point: `<tool> -np <procs>`. It writes per-worker
-// result files under /data/out and, for raxml, streams progress to stdout
-// the way the real tool logs likelihood improvements.
+// Main is the guest entry point: `<tool> -np <procs>` for process-level
+// parallelism or `<tool> -nt <threads>` for the pthreads builds of the same
+// tools. It writes per-worker result files under /data/out and, for raxml,
+// streams progress to stdout the way the real tool logs likelihood
+// improvements.
 func Main(tool Tool) guest.Program {
 	return func(p *guest.Proc) int {
-		procs := 1
+		procs, threads := 1, 0
 		argv := p.Argv()
 		for i := 1; i < len(argv)-1; i++ {
-			if argv[i] == "-np" {
+			switch argv[i] {
+			case "-np":
 				procs = atoi(argv[i+1], 1)
+			case "-nt":
+				threads = atoi(argv[i+1], 0)
 			}
+		}
+		if threads > 0 {
+			return runThreaded(p, tool, threads)
 		}
 		sh := shapeOf(tool)
 		// Setup and process management are singular events; only the task
@@ -142,6 +151,95 @@ func Main(tool Tool) guest.Program {
 		}
 		p.Printf("%s: done (%d workers)\n", tool, procs)
 		return 0
+	}
+}
+
+// runThreaded is the pthreads build of the tool: the same task loop
+// partitioned across sibling threads of one process instead of forked
+// workers. Threads join on a futex completion counter (never spinning) —
+// the DetTrace-compatible style (§5.7). raxml's progress pipe is a
+// process-level construct; its pthreads build logs progress into each
+// thread's result file instead.
+func runThreaded(p *guest.Proc, tool Tool, threads int) int {
+	const wordDone = 0x300 // join barrier: completed-thread count
+	sh := shapeOf(tool)
+	p.MkdirAll("/data/out", 0o755)
+	input, err := p.ReadFile("/data/input.fasta")
+	if err != abi.OK {
+		p.Eprintf("%s: no input: %s\n", tool, err)
+		return 1
+	}
+	_ = input
+	p.Compute(sh.totalWork * sh.serialFrac / 100)
+
+	parallel := sh.totalWork * (100 - sh.serialFrac) / 100
+	perTask := parallel / int64(sh.tasks)
+	for i := 1; i < threads; i++ {
+		idx := i
+		p.CloneThread(func(w *guest.Proc) int {
+			runThreadWorker(w, tool, sh, idx, threads, perTask)
+			w.Add(wordDone, 1)
+			w.FutexWake(wordDone, 64)
+			return 0
+		})
+	}
+	runThreadWorker(p, tool, sh, 0, threads, perTask)
+	for p.Load(wordDone) < int64(threads-1) {
+		p.FutexWait(wordDone, p.Load(wordDone))
+	}
+	p.Printf("%s: done (%d threads)\n", tool, threads)
+	return 0
+}
+
+// runThreadWorker is one thread's stripe of the task loop. It mirrors
+// runWorker except each thread appends to its own result file and raxml's
+// pipe lines become file records.
+func runThreadWorker(c *guest.Proc, tool Tool, sh shape, idx, threads int, perTask int64) {
+	out := fmt.Sprintf("/data/out/%s.thread%02d", tool, idx)
+	fd, err := c.Open(out, abi.OCreat|abi.OWronly|abi.OAppend, 0o644)
+	if err != abi.OK {
+		return
+	}
+	defer c.Close(fd)
+	seed := uint64(0)
+	if sh.seedsRandom {
+		buf := make([]byte, 8)
+		if rfd, rerr := c.Open("/dev/urandom", abi.ORdonly, 0); rerr == abi.OK {
+			c.Read(rfd, buf)
+			c.Close(rfd)
+		}
+		for _, b := range buf {
+			seed = seed<<8 | uint64(b)
+		}
+		c.WriteString(fd, fmt.Sprintf("seed=%x\n", seed))
+	}
+	if sh.stampsTime {
+		c.WriteString(fd, fmt.Sprintf("run start=%d\n", c.Time()))
+	}
+
+	c.SetWeight(sh.weight)
+	defer c.SetWeight(1)
+	for task := idx; task < sh.tasks; task += threads {
+		c.Compute(perTask)
+		score := scoreOf(tool, task, seed)
+		// The pthreads builds accumulate each task's records in memory and
+		// flush once — there is no shared driver stream to keep fed, so the
+		// progress lines that went through raxml's pipe land here too.
+		var log strings.Builder
+		for s := 0; s < sh.writesPerTask; s++ {
+			fmt.Fprintf(&log, "task %03d metric %d value %d\n", task, s, score+int64(s))
+		}
+		for l := 0; l < sh.pipePerTask; l++ {
+			fmt.Fprintf(&log, "w%02d t%03d i%02d lnL %d\n", idx, task, l, score)
+		}
+		c.WriteString(fd, log.String())
+		if sh.readsDB {
+			if dbfd, derr := c.Open("/data/input.fasta", abi.ORdonly, 0); derr == abi.OK {
+				chunk := make([]byte, 256)
+				c.Read(dbfd, chunk)
+				c.Close(dbfd)
+			}
+		}
 	}
 }
 

@@ -41,6 +41,36 @@ func TestFig6Shapes(t *testing.T) {
 	}
 }
 
+// TestWorkspaceThreadStudy is the E8 half of the X17 acceptance gate: the
+// pthreads builds under DetTrace must improve at least 2x over the
+// serialized-thread ablation at 4+ threads, and — checked inside
+// RunThreadStudy itself, which panics on divergence — the two modes must
+// produce bitwise-identical output trees. Workspaces may only move the
+// physical clock.
+func TestWorkspaceThreadStudy(t *testing.T) {
+	cells := RunThreadStudy(41)
+	t.Logf("\n%s", FormatThreadStudy(cells))
+	for _, c := range cells {
+		if c.Threads == 1 && (c.Speedup < 0.99 || c.Speedup > 1.01) {
+			t.Errorf("%s nt=1: speedup %.2fx, want 1x (nothing to overlap)", c.Tool, c.Speedup)
+		}
+		if c.Threads >= 4 && c.Speedup < 2.0 {
+			t.Errorf("%s nt=%d: workspace speedup %.2fx, want >= 2x", c.Tool, c.Threads, c.Speedup)
+		}
+	}
+	// raxml stays the worst case: its per-task record flushes are all
+	// tracer serialization points, like the Fig. 6 pipe writes.
+	var worst ThreadCell
+	for _, c := range cells {
+		if c.Threads == 16 && (worst.Tool == "" || c.Speedup < worst.Speedup) {
+			worst = c
+		}
+	}
+	if worst.Tool != Raxml {
+		t.Errorf("worst 16-thread scaler should be raxml, got %s (%.2fx)", worst.Tool, worst.Speedup)
+	}
+}
+
 func TestReproducibilitySignatures(t *testing.T) {
 	for _, r := range VerifyRepro(21) {
 		switch r.Tool {

@@ -75,6 +75,81 @@ func RunDetTrace(tool Tool, procs int, hostSeed uint64, epoch int64) (int64, *fs
 	return res.WallTime, res.FS, res.Err
 }
 
+// RunDetTraceThreaded executes the pthreads build of the tool inside
+// DetTrace with the given sibling-thread count, optionally disabling
+// workspace mode (the serialized-thread ablation).
+func RunDetTraceThreaded(tool Tool, threads int, hostSeed uint64, epoch int64, disableWs bool) (*core.Result, error) {
+	c := core.New(core.Config{
+		Image:             image(tool),
+		Profile:           machine.BioHaswell(),
+		HostSeed:          hostSeed,
+		Epoch:             epoch,
+		NumCPU:            16,
+		PRNGSeed:          0xb10,
+		DisableWorkspaces: disableWs,
+	})
+	argv := []string{string(tool), "-nt", fmt.Sprint(threads)}
+	res := c.Run(registry(tool), "/bin/"+string(tool), argv, []string{"PATH=/bin"})
+	return res, res.Err
+}
+
+// ThreadCell is one row of the workspace thread study (X17): the pthreads
+// build under DetTrace with workspaces on vs the serialized ablation.
+type ThreadCell struct {
+	Tool    Tool
+	Threads int
+	WsOn    int64
+	WsOff   int64
+	Speedup float64 // WsOff / WsOn
+
+	// Workspace accounting of the ws-on run.
+	Forks     int64
+	Merges    int64
+	Conflicts int64
+}
+
+// RunThreadStudy measures all three tools across the Fig. 6 axis with the
+// workspace ablation. It panics if the two modes' output trees differ:
+// workspaces must be invisible to everything but the physical clock.
+func RunThreadStudy(seed uint64) []ThreadCell {
+	var cells []ThreadCell
+	for _, tool := range Tools {
+		for _, nt := range Fig6Procs {
+			on, err := RunDetTraceThreaded(tool, nt, seed+uint64(nt), 1_542_000_000, false)
+			if err != nil {
+				panic(fmt.Sprintf("bio ws-on threaded run failed: %v", err))
+			}
+			off, err := RunDetTraceThreaded(tool, nt, seed+uint64(nt), 1_542_000_000, true)
+			if err != nil {
+				panic(fmt.Sprintf("bio ws-off threaded run failed: %v", err))
+			}
+			if eq, diff := hashdeep.Equal(hashdeep.HashSubtree(on.FS, "/"), hashdeep.HashSubtree(off.FS, "/")); !eq {
+				panic(fmt.Sprintf("bio %s -nt %d: workspace ablation changed the output tree: %s", tool, nt, diff))
+			}
+			cells = append(cells, ThreadCell{
+				Tool: tool, Threads: nt, WsOn: on.WallTime, WsOff: off.WallTime,
+				Speedup:   float64(off.WallTime) / float64(on.WallTime),
+				Forks:     on.Obs.Counter("workspace_forks").Value(),
+				Merges:    on.Obs.Counter("workspace_merges").Value(),
+				Conflicts: on.Obs.Counter("workspace_conflicts").Value(),
+			})
+		}
+	}
+	return cells
+}
+
+// FormatThreadStudy renders the study as a speedup table.
+func FormatThreadStudy(cells []ThreadCell) string {
+	t := stats.NewTable("workflow", "threads", "ws on", "ws off", "speedup")
+	for _, c := range cells {
+		t.Row(string(c.Tool), fmt.Sprint(c.Threads),
+			fmt.Sprintf("%.1fs", float64(c.WsOn)/1e9),
+			fmt.Sprintf("%.1fs", float64(c.WsOff)/1e9),
+			fmt.Sprintf("%.2fx", c.Speedup))
+	}
+	return t.String()
+}
+
 // Fig6Cell is one bar of Figure 6.
 type Fig6Cell struct {
 	Tool    Tool

@@ -83,6 +83,12 @@ type Options struct {
 	// DisableTemplates it must not change any build output — the recorder
 	// observes, it never feeds back — and templates_test.go pins that.
 	NoObservability bool
+	// NoWorkspaces disables copy-on-write thread workspaces in the DetTrace
+	// runs (the ISSUE 7 ablation): sibling-thread compute serializes on the
+	// logical token again. It must not change any build output — workspaces
+	// only relax the physical clock — so only javac packages' DTTime and
+	// Slowdown move.
+	NoWorkspaces bool
 	// KeepTraces retains each package's flight-recorder ring, span list and
 	// event count in Out (for `benchtab -trace`). Off by default because the
 	// ring legitimately differs across setup paths — forked containers record
@@ -202,6 +208,13 @@ type Events struct {
 	Stops    int64
 	Buffered int64
 	Flushes  int64
+
+	// Workspace-mode counters (ISSUE 7): thread workspaces forked, merged
+	// back in vTID order, and rank-resolved merge conflicts. Zero when
+	// workspaces are disabled or the build never clones a thread.
+	WsForks     int64
+	WsMerges    int64
+	WsConflicts int64
 }
 
 func eventsFrom(st kernel.Stats) Events {
@@ -582,6 +595,7 @@ func (o *Options) dtConfig(img *fs.Image, pkgdir string, seed uint64, v reprotes
 		ExperimentalSignals:  o.Experimental,
 		DisableSyscallBuf:    o.NoSyscallBuf,
 		DisableObservability: o.NoObservability,
+		DisableWorkspaces:    o.NoWorkspaces,
 	}
 }
 
@@ -628,6 +642,11 @@ func dtRunFrom(res *core.Result, spec *debpkg.Spec, pkgdir string) dtRun {
 	r.events.Stops = res.Tracer.Stops
 	r.events.Buffered = res.Tracer.BufferedCalls
 	r.events.Flushes = res.Tracer.Flushes
+	if res.Obs != nil {
+		r.events.WsForks = res.Obs.Counter("workspace_forks").Value()
+		r.events.WsMerges = res.Obs.Counter("workspace_merges").Value()
+		r.events.WsConflicts = res.Obs.Counter("workspace_conflicts").Value()
+	}
 	if op, ok := res.Unsupported(); ok {
 		r.unsup = op
 		return r

@@ -46,6 +46,26 @@ func chainStage(n int) guest.Program {
 				return 0
 			})
 			p.Wait()
+		} else {
+			// Odd stages run a short threaded phase (futex join, §5.7), so
+			// the sweep crosses live workspace forks and merges: a crash
+			// mid-phase must resume — from the previous exec's quiescent
+			// seal — into a kernel that still runs workspaces, or the
+			// replayed phase's physical clock diverges from the reference.
+			const wordDone = 0x40
+			for i := 0; i < 2; i++ {
+				idx := i
+				p.CloneThread(func(w *guest.Proc) int {
+					w.Compute(800)
+					w.WriteFile(fmt.Sprintf("/tmp/t%d_%d", n, idx), []byte{byte(n), byte(idx)}, 0o644)
+					w.Add(wordDone, 1)
+					w.FutexWake(wordDone, 8)
+					return 0
+				})
+			}
+			for p.Load(wordDone) < 2 {
+				p.FutexWait(wordDone, p.Load(wordDone))
+			}
 		}
 		p.Compute(1000)
 		if n == lastStage {

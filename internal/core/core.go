@@ -83,6 +83,17 @@ type Config struct {
 	// behaviour, so it too stays out of ConfigHash.
 	RingEvents int
 
+	// DisableWorkspaces turns off the workspace-consistency execution mode
+	// (ISSUE 7): without workspaces, sibling threads serialize their compute
+	// bursts on the physical clock exactly as the paper's prototype does
+	// (§5.7, the Fig. 6 worst case). Like template reuse and observability,
+	// this is a mechanism ablation, not a container input: workspaces only
+	// overlap *physical* time — the logical clock stays token-serialized —
+	// so guest-visible state and output are bitwise identical with the mode
+	// on or off, the invariant the workspace equivalence gate pins.
+	// Excluded from ConfigHash for the same reason.
+	DisableWorkspaces bool
+
 	// FaultInjectEntropy, when > 0, deliberately perturbs the N-th entropy
 	// draw (1-based) served to the container — the seeded-nondeterminism
 	// hook the diagnoser tests use to prove a divergence is localized to
@@ -302,6 +313,15 @@ type Container struct {
 	// checkpoints numbers the seals handed to CheckpointSink (1-based
 	// ordinal); a resumed container continues the sealed run's numbering.
 	checkpoints int
+
+	// Workspace-consistency state (ISSUE 7): ws maps each thread to its
+	// outstanding private workspace, forked lazily at the first concurrent
+	// compute burst of a phase and merged back at the thread's next sync
+	// point. The counters land on the per-run registry for the farm roll-up.
+	ws          map[*kernel.Thread]*fs.Workspace
+	wsForks     *obs.Counter
+	wsMerges    *obs.Counter
+	wsConflicts *obs.Counter
 }
 
 // fillRandom services one randomness request per the container's policy:
@@ -388,11 +408,16 @@ func newContainer(cfg Config, filter *seccomp.Filter) *Container {
 		rdtscCount:  make(map[*kernel.Proc]int64),
 		rw:          make(map[*kernel.Thread]*rwRetry),
 		pendingOpen: make(map[*kernel.Thread]bool),
+		ws:          make(map[*kernel.Thread]*fs.Workspace),
 	}
 	if cfg.SpinLimit > 0 {
 		c.sched.SpinLimit = cfg.SpinLimit
 	}
+	c.sched.Workspace = !cfg.DisableWorkspaces
 	c.obs = obs.NewRegistry()
+	c.wsForks = c.obs.Counter("workspace_forks")
+	c.wsMerges = c.obs.Counter("workspace_merges")
+	c.wsConflicts = c.obs.Counter("workspace_conflicts")
 	if !cfg.DisableObservability {
 		c.rec = obs.NewRecorder(cfg.RingEvents)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/abi"
 	"repro/internal/cpu"
+	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -16,7 +17,10 @@ import (
 // lifecycle hooks. The per-syscall determinization logic lives in
 // handlers.go.
 
-var _ kernel.Policy = (*Container)(nil)
+var (
+	_ kernel.Policy             = (*Container)(nil)
+	_ kernel.WorkspaceScheduler = (*Container)(nil)
+)
 
 // Name implements kernel.Policy.
 func (c *Container) Name() string { return "dettrace" }
@@ -24,6 +28,78 @@ func (c *Container) Name() string { return "dettrace" }
 // ThreadsSerialized tells the kernel's time model that threads within a
 // process share one execution token (§5.7).
 func (c *Container) ThreadsSerialized() bool { return true }
+
+// ComputeConcurrent implements kernel.WorkspaceScheduler (ISSUE 7): a
+// syscall-free compute burst of a thread with live siblings may overlap on
+// the physical clock, running inside a private COW workspace forked lazily
+// at the phase's first burst. The logical clock is untouched — ordering,
+// entropy and every guest-visible byte stay identical to serialized mode —
+// so the fork must draw no entropy and the fork cost lands on the physical
+// clock only.
+// WorkspacesEnabled implements the boot-constant half of the interface: it
+// additionally gates the kernel's gap-aware tracer timeline.
+func (c *Container) WorkspacesEnabled() bool {
+	return !c.cfg.DisableWorkspaces
+}
+
+func (c *Container) ComputeConcurrent(t *kernel.Thread) bool {
+	if c.cfg.DisableWorkspaces {
+		return false
+	}
+	live := 0
+	for _, sib := range t.Proc.Threads {
+		if !sib.Dead() {
+			live++
+		}
+	}
+	if live <= 1 {
+		return false
+	}
+	if c.ws[t] == nil {
+		v := c.sched.VTID(t)
+		c.ws[t] = c.k.FS.ForkWorkspace(v)
+		t.Clock += c.k.Cost.WsForkCost
+		c.wsForks.Inc(t.Proc.Weight)
+		c.rec.Record(t.LClock, obs.KindWsFork, 0, int32(v), 0, 0)
+	}
+	return true
+}
+
+// wsSync ends the current workspace phase of t's process: every outstanding
+// sibling workspace merges back onto the shared filesystem in vTID order.
+// Called at the deterministic sync points — any kernel-loop syscall stop
+// (cross-thread effects become possible there) and thread exit (join). The
+// buffered fast path is NOT a sync point: no buffered call mutates the
+// filesystem. A merge conflict is a deterministic container abort — it is a
+// pure function of the journals, never of host completion order.
+func (c *Container) wsSync(t *kernel.Thread) {
+	if len(c.ws) == 0 {
+		return
+	}
+	var wss []*fs.Workspace
+	for _, sib := range t.Proc.Threads {
+		if w := c.ws[sib]; w != nil {
+			wss = append(wss, w)
+			delete(c.ws, sib)
+		}
+	}
+	if len(wss) == 0 {
+		return
+	}
+	stats, err := fs.MergeWorkspaces(wss)
+	t.Clock += c.k.Cost.WsMergeCost * int64(len(wss))
+	c.wsMerges.Inc(int64(len(wss)) * t.Proc.Weight)
+	v := int32(c.sched.VTID(t))
+	c.rec.Record(t.LClock, obs.KindWsMerge, 0, v, stats.Digest, int64(len(wss)))
+	if err != nil {
+		for _, w := range wss {
+			w.Discard()
+		}
+		c.wsConflicts.Inc(int64(stats.Conflicts))
+		c.rec.Record(t.LClock, obs.KindWsConflict, 0, v, stats.Digest, int64(stats.Conflicts))
+		c.k.Abort(err)
+	}
+}
 
 // PickNext delegates to the reproducible scheduler and converts its
 // busy-wait detection into a container abort.
@@ -70,6 +146,12 @@ func argsDigest(sc *abi.Syscall) uint64 {
 func (c *Container) SyscallEnter(t *kernel.Thread, sc *abi.Syscall) kernel.EnterResult {
 	w := t.Proc.Weight
 	nr := sc.Num
+	// Any syscall reaching the kernel loop is a workspace sync point: from
+	// here the call can observe or mutate state shared across threads, so
+	// the phase's private workspaces must merge first.
+	if sc.Attempts == 0 {
+		c.wsSync(t)
+	}
 	if c.rec != nil && sc.Attempts == 0 && !sc.Injected {
 		// Record before the class switch below: enter handlers rewrite
 		// arguments in place, and the event must capture the guest's view.
@@ -160,6 +242,14 @@ func (c *Container) SyscallExit(t *kernel.Thread, sc *abi.Syscall) kernel.ExitRe
 	var xr kernel.ExitResult
 	switch c.verdictOf(sc) {
 	case seccomp.Allow:
+		// Allowed calls keep the token (no stop, no context switch), but an
+		// FS or address-space write is progress a waiting sibling may be
+		// blocked on: reset the spin count so a token holder looping
+		// mkdir/rename/brk between compute bursts is not misdeclared a
+		// busy-waiter (the §5.9 false positive).
+		if isWriteSyscall(sc.Num) {
+			c.sched.NoteWrite(t)
+		}
 		return xr
 	case seccomp.Buffer:
 		// Already fully serviced (fast path or the emulating enter stop);
@@ -256,6 +346,9 @@ func (c *Container) OnExit(t *kernel.Thread) {
 		t.Clock += cost
 		t.LClock += cost
 	}
+	// Thread exit is a join: the whole phase syncs, so a workspace can
+	// never outlive its thread.
+	c.wsSync(t)
 	c.sched.Unregister(t)
 	delete(c.rw, t)
 	delete(c.pendingOpen, t)
@@ -271,6 +364,19 @@ func (c *Container) OnExec(t *kernel.Thread) {
 // the patched vDSO answers timing reads with logical time, no stop needed.
 func (c *Container) VdsoTime(t *kernel.Thread) int64 {
 	return c.logicalSeconds(t.Proc) * 1e9
+}
+
+// isWriteSyscall lists the Allow-verdict calls that mutate the filesystem
+// tree or the address space — the writes sched.NoteWrite treats as progress.
+func isWriteSyscall(nr abi.Sysno) bool {
+	switch nr {
+	case abi.SysMkdir, abi.SysRmdir, abi.SysUnlink, abi.SysUnlinkat,
+		abi.SysRename, abi.SysLink, abi.SysSymlink, abi.SysChmod,
+		abi.SysChown, abi.SysTruncate, abi.SysFtruncate,
+		abi.SysBrk, abi.SysMmap:
+		return true
+	}
+	return false
 }
 
 func isSocketCall(nr abi.Sysno) bool {

@@ -168,6 +168,7 @@ func ConfigHash(cfg Config) uint64 {
 	num(uint64(cfg.Deadline))
 	flag(cfg.DisableSeccomp)
 	flag(cfg.DisableSyscallBuf)
+	flag(cfg.DisableWorkspaces)
 	flag(cfg.DisableVdso)
 	flag(cfg.DisableDirSizes)
 	flag(cfg.DisableCpuidTrap)

@@ -244,6 +244,16 @@ func generate(idx int, class Class, rng *prng.Host) *Spec {
 		s.assignDirectives(rng)
 		s.makeTimeoutProne(rng)
 	}
+	// §7.1.1's clean threaded builds: a deterministic slice of the
+	// DT-reproducible classes compiles javac-style, with worker threads
+	// that block properly on a futex queue. Supported — slowly — under
+	// serialized threads, and the farm-level beneficiaries of thread
+	// workspaces. Keyed on the index, not the rng, so every other spec in
+	// the universe keeps its exact pre-existing shape.
+	if (class == BLRepro_DTRepro || class == BLIrrepro_DTRepro) && idx%7 == 3 {
+		s.Compiler = "javac"
+		s.Threads = "futex"
+	}
 	return s
 }
 

@@ -64,6 +64,11 @@ type FS struct {
 	clones    map[*Inode]*Inode
 	bootStamp int64 // fork boot time: the timestamp cold Populate would use
 
+	// wsOut counts forked thread workspaces (workspace.go) not yet merged
+	// or discarded. Checkpoint seals require quiescence, so it must be zero
+	// whenever a seal is taken.
+	wsOut int
+
 	// OnCOWBreak, when non-nil, observes each copy-on-write data unshare
 	// (the copied byte count). Observation only: the callback must not
 	// touch the filesystem.

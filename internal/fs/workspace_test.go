@@ -1,0 +1,226 @@
+package fs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/machine"
+	"repro/internal/prng"
+)
+
+// wsTestFS builds a small live filesystem with a fixed clock and entropy.
+func wsTestFS(t *testing.T) *FS {
+	t.Helper()
+	clock := func() int64 { return 1_000_000 }
+	f := New(machine.CloudLabC220G5(), clock, prng.NewHost(42))
+	ctx := LookupCtx{Root: f.Root, Cwd: f.Root}
+	dir, name, err := f.ResolveParent(ctx, "/out")
+	if err != abi.OK {
+		t.Fatalf("resolve /out: %v", err)
+	}
+	if _, err := f.Mkdir(dir, name, 0o755, 0, 0); err != abi.OK {
+		t.Fatalf("mkdir /out: %v", err)
+	}
+	n, err := f.CreateFile(f.Root, "seed.txt", 0o644, 0, 0)
+	if err != abi.OK {
+		t.Fatalf("create seed.txt: %v", err)
+	}
+	n.WriteAt([]byte("seed"), 0)
+	return f
+}
+
+// imageBytes serializes the tree deterministically for bitwise comparison.
+func imageBytes(f *FS) []byte {
+	var buf bytes.Buffer
+	f.Walk(f.Root, func(path string, n *Inode) {
+		fmt.Fprintf(&buf, "%s|%o|%d|%d|%q\n", path, n.Mode, n.Ino, n.Mtime, n.Data)
+	})
+	return buf.Bytes()
+}
+
+// buildWorkspaces forks three workspaces off f and journals a mixed op set:
+// disjoint writes, a same-path write resolved by rank, a mkdir, a remove.
+func buildWorkspaces(t *testing.T, f *FS) []*Workspace {
+	t.Helper()
+	w0 := f.ForkWorkspace(0)
+	w1 := f.ForkWorkspace(1)
+	w2 := f.ForkWorkspace(2)
+	must := func(e abi.Errno) {
+		t.Helper()
+		if e != abi.OK {
+			t.Fatalf("workspace op: %v", e)
+		}
+	}
+	must(w0.WriteFile("/out/a.txt", []byte("from w0"), 100))
+	must(w0.Mkdir("/out/w0dir", 110))
+	must(w0.WriteFile("/out/w0dir/nested", []byte("deep"), 120))
+	must(w1.WriteFile("/out/b.txt", []byte("from w1"), 105))
+	must(w1.WriteFile("/out/shared", []byte("w1 early"), 90))
+	must(w2.WriteFile("/out/shared", []byte("w2 late"), 130)) // higher rank wins
+	must(w2.Remove("/seed.txt", 140))
+	return []*Workspace{w0, w1, w2}
+}
+
+func permutations(n int) [][]int {
+	if n == 1 {
+		return [][]int{{0}}
+	}
+	var out [][]int
+	for _, sub := range permutations(n - 1) {
+		for i := 0; i <= len(sub); i++ {
+			p := make([]int, 0, n)
+			p = append(p, sub[:i]...)
+			p = append(p, n-1)
+			p = append(p, sub[i:]...)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestWorkspaceMergePermutationProperty is the satellite-3 property test:
+// merging the same workspace set in every permutation of host completion
+// order must yield byte-identical filesystem images and equal merge digests.
+func TestWorkspaceMergePermutationProperty(t *testing.T) {
+	var refImage []byte
+	var refDigest uint64
+	var refApplied int
+	for pi, perm := range permutations(3) {
+		f := wsTestFS(t)
+		wss := buildWorkspaces(t, f)
+		shuffled := make([]*Workspace, len(wss))
+		for i, j := range perm {
+			shuffled[i] = wss[j]
+		}
+		stats, err := MergeWorkspaces(shuffled)
+		if err != nil {
+			t.Fatalf("perm %v: merge failed: %v", perm, err)
+		}
+		if f.Outstanding() != 0 {
+			t.Fatalf("perm %v: %d workspaces still outstanding", perm, f.Outstanding())
+		}
+		img := imageBytes(f)
+		if pi == 0 {
+			refImage, refDigest, refApplied = img, stats.Digest, stats.Applied
+			continue
+		}
+		if stats.Digest != refDigest {
+			t.Errorf("perm %v: digest %#x != %#x", perm, stats.Digest, refDigest)
+		}
+		if stats.Applied != refApplied {
+			t.Errorf("perm %v: applied %d != %d", perm, stats.Applied, refApplied)
+		}
+		if !bytes.Equal(img, refImage) {
+			t.Errorf("perm %v: merged image differs from reference", perm)
+		}
+	}
+}
+
+// TestWorkspaceMergeRankWriteWins pins the write-wins rule: the higher
+// logical rank's content lands on the base regardless of vTID order.
+func TestWorkspaceMergeRankWriteWins(t *testing.T) {
+	f := wsTestFS(t)
+	w0 := f.ForkWorkspace(0)
+	w1 := f.ForkWorkspace(1)
+	w0.WriteFile("/out/x", []byte("low rank, low vtid"), 50)
+	w1.WriteFile("/out/x", []byte("high rank"), 60)
+	if _, err := MergeWorkspaces([]*Workspace{w0, w1}); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	n, errno := f.Resolve(LookupCtx{Root: f.Root, Cwd: f.Root}, "/out/x", true)
+	if errno != abi.OK {
+		t.Fatalf("resolve /out/x: %v", errno)
+	}
+	if string(n.Data) != "high rank" {
+		t.Fatalf("winner = %q, want %q", n.Data, "high rank")
+	}
+}
+
+// TestWorkspaceMergeConflictDeterministic pins conflict semantics: equal
+// rank, different effects → *MergeConflictError naming the path and both
+// vTIDs in ascending order, identically for every host completion order.
+func TestWorkspaceMergeConflictDeterministic(t *testing.T) {
+	build := func() []*Workspace {
+		f := wsTestFS(t)
+		w0 := f.ForkWorkspace(0)
+		w1 := f.ForkWorkspace(1)
+		w0.WriteFile("/out/c", []byte("A"), 77)
+		w1.WriteFile("/out/c", []byte("B"), 77)
+		return []*Workspace{w0, w1}
+	}
+	for _, order := range [][]int{{0, 1}, {1, 0}} {
+		wss := build()
+		shuffled := []*Workspace{wss[order[0]], wss[order[1]]}
+		stats, err := MergeWorkspaces(shuffled)
+		mc, ok := err.(*MergeConflictError)
+		if !ok {
+			t.Fatalf("order %v: err = %v, want *MergeConflictError", order, err)
+		}
+		if mc.Path != "/out/c" || mc.VTIDs != [2]int{0, 1} {
+			t.Fatalf("order %v: conflict = %+v", order, mc)
+		}
+		if stats.Conflicts != 1 {
+			t.Fatalf("order %v: conflicts = %d, want 1", order, stats.Conflicts)
+		}
+	}
+}
+
+// TestWorkspaceIdenticalEffectsNoConflict pins that an exact tie with the
+// same bytes is not a conflict — both threads derived the same value.
+func TestWorkspaceIdenticalEffectsNoConflict(t *testing.T) {
+	f := wsTestFS(t)
+	w0 := f.ForkWorkspace(0)
+	w1 := f.ForkWorkspace(1)
+	w0.WriteFile("/out/same", []byte("agreed"), 88)
+	w1.WriteFile("/out/same", []byte("agreed"), 88)
+	stats, err := MergeWorkspaces([]*Workspace{w0, w1})
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if stats.Conflicts != 0 || stats.Applied != 1 {
+		t.Fatalf("stats = %+v, want 0 conflicts, 1 applied", stats)
+	}
+}
+
+// TestWorkspaceForkDrawsNoEntropy pins the invisibility contract: forking
+// and discarding workspaces must not consume host entropy or bump clocks.
+func TestWorkspaceForkDrawsNoEntropy(t *testing.T) {
+	ent := prng.NewHost(7)
+	f := New(machine.CloudLabC220G5(), func() int64 { return 5 }, ent)
+	before := ent.Uint64()
+	ent2 := prng.NewHost(7)
+	f2 := New(machine.CloudLabC220G5(), func() int64 { return 5 }, ent2)
+	w := f2.ForkWorkspace(0)
+	w.Discard()
+	_ = f
+	after := ent2.Uint64()
+	if before != after {
+		t.Fatalf("workspace fork consumed entropy: %#x != %#x", before, after)
+	}
+}
+
+// TestWorkspaceReadsOverlayThenBase pins the read path: a workspace sees its
+// own writes, then the live base, and removals hide base files.
+func TestWorkspaceReadsOverlayThenBase(t *testing.T) {
+	f := wsTestFS(t)
+	w := f.ForkWorkspace(0)
+	if got, errno := w.ReadFile("/seed.txt"); errno != abi.OK || string(got) != "seed" {
+		t.Fatalf("base read = %q, %v", got, errno)
+	}
+	w.WriteFile("/seed.txt", []byte("mine"), 10)
+	if got, _ := w.ReadFile("/seed.txt"); string(got) != "mine" {
+		t.Fatalf("overlay read = %q, want %q", got, "mine")
+	}
+	w.Remove("/seed.txt", 20)
+	if _, errno := w.ReadFile("/seed.txt"); errno != abi.ENOENT {
+		t.Fatalf("removed read errno = %v, want ENOENT", errno)
+	}
+	// The base is untouched until merge.
+	n, errno := f.Resolve(LookupCtx{Root: f.Root, Cwd: f.Root}, "/seed.txt", true)
+	if errno != abi.OK || string(n.Data) != "seed" {
+		t.Fatalf("base mutated before merge: %v %q", errno, n.Data)
+	}
+	w.Discard()
+}

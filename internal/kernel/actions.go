@@ -64,7 +64,15 @@ func (k *Kernel) runCompute(t *Thread, act *yieldMsg) {
 		jd += d * (k.Entropy.Int63n(2*j+1) - j) / 1_000_000
 	}
 	serialized := k.threadsSerialized()
-	t.Clock = scheduleBurst(t.Clock, jd, k.cores, &t.Proc.threadBusyUntil, serialized, len(t.Proc.Threads))
+	// Workspace mode (ISSUE 7) splits the two clocks: a thread running in a
+	// private workspace overlaps its burst with siblings on the physical
+	// clock, while the logical clock stays token-serialized so every
+	// ordering decision — and every guest-visible byte — is unchanged.
+	physSerialized := serialized
+	if serialized && k.wsched != nil && k.wsched.ComputeConcurrent(t) {
+		physSerialized = false
+	}
+	t.Clock = scheduleBurst(t.Clock, jd, k.cores, &t.Proc.threadBusyUntil, physSerialized, len(t.Proc.Threads))
 	t.LClock = scheduleBurst(t.LClock, d, k.lcores, &t.Proc.lthreadBusyUntil, serialized, len(t.Proc.Threads))
 	k.advanceGlobal(t.Clock)
 	k.advanceLogical(t.LClock)
@@ -147,14 +155,18 @@ func (k *Kernel) runInstr(t *Thread, act *yieldMsg) {
 // makes DetTrace overhead proportional to system call rate (Fig. 5) and
 // throttles syscall-heavy parallel workloads (Fig. 6).
 func (k *Kernel) serializeTracer(t *Thread, cost int64) {
-	start := t.Clock
-	if k.tracerBusy > start {
-		start = k.tracerBusy
+	var start int64
+	if k.tracerConcurrent(t) {
+		start = k.tracerServe(t.Clock, cost)
+	} else {
+		start = t.Clock
+		if k.tracerBusy > start {
+			start = k.tracerBusy
+		}
+		k.tracerBusy = start + cost
 	}
-	end := start + cost
-	k.tracerBusy = end
 	k.Stats.TracerBusy += cost
-	t.Clock = end
+	t.Clock = start + cost
 
 	lstart := t.LClock
 	if k.ltracerBusy > lstart {
@@ -162,6 +174,68 @@ func (k *Kernel) serializeTracer(t *Thread, cost int64) {
 	}
 	k.ltracerBusy = lstart + cost
 	t.LClock = lstart + cost
+}
+
+// tracerConcurrent reports whether t's stop may fill tracer-timeline gaps:
+// workspace mode is on and t has live siblings. Single-threaded processes
+// keep the plain high-water mark, so every pre-workspace workload's physics
+// is untouched.
+func (k *Kernel) tracerConcurrent(t *Thread) bool {
+	if k.wsched == nil || !k.wsched.WorkspacesEnabled() {
+		return false
+	}
+	live := 0
+	for _, sib := range t.Proc.Threads {
+		if !sib.Dead() {
+			if live++; live > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// tracerGap is a free interval [start, end) on the physical tracer timeline.
+type tracerGap struct{ start, end int64 }
+
+// tracerServe allocates a cost-long slot for a stop that physically arrived
+// at arrival, first-fit into an earlier recorded gap when one is wide
+// enough. The kernel loop services stops in logical order, but under
+// workspace mode siblings reach the tracer at arbitrary physical times, so
+// the plain high-water mark would charge an early arrival a start after a
+// logically-earlier sibling's late burst — staggering thread spawns by whole
+// compute phases. Filling gaps restores arrival-order physics; the logical
+// timeline (and therefore every ordering decision) is untouched.
+func (k *Kernel) tracerServe(arrival, cost int64) int64 {
+	for i := range k.tracerGaps {
+		g := k.tracerGaps[i]
+		s := g.start
+		if arrival > s {
+			s = arrival
+		}
+		if s+cost > g.end {
+			continue
+		}
+		rest := append([]tracerGap(nil), k.tracerGaps[i+1:]...)
+		out := k.tracerGaps[:i]
+		if s > g.start {
+			out = append(out, tracerGap{g.start, s})
+		}
+		if s+cost < g.end {
+			out = append(out, tracerGap{s + cost, g.end})
+		}
+		k.tracerGaps = append(out, rest...)
+		return s
+	}
+	start := arrival
+	if k.tracerBusy > start {
+		start = k.tracerBusy
+	}
+	if start > k.tracerBusy && len(k.tracerGaps) < 64 {
+		k.tracerGaps = append(k.tracerGaps, tracerGap{k.tracerBusy, start})
+	}
+	k.tracerBusy = start + cost
+	return start
 }
 
 func (k *Kernel) threadsSerialized() bool {
@@ -239,7 +313,7 @@ func (k *Kernel) runSyscall(t *Thread, act *yieldMsg) {
 	}
 	k.advanceGlobal(t.Clock)
 	k.advanceLogical(t.LClock)
-	k.debug("%s %s(%d,...) = %d @%.3fs tracer=%.3fs", fmtPID(t.Proc), sc.Num, sc.Arg[0], sc.Ret, float64(t.Clock)/1e9, float64(k.tracerBusy)/1e9)
+	k.debug("%s.t%d %s(%d,...) = %d @%.3fs tracer=%.3fs", fmtPID(t.Proc), t.TID, sc.Num, sc.Arg[0], sc.Ret, float64(t.Clock)/1e9, float64(k.tracerBusy)/1e9)
 
 	// execve success unwinds the old image instead of returning.
 	if sc.Num == abi.SysExecve && sc.Err() == abi.OK {

@@ -51,6 +51,7 @@ type Checkpoint struct {
 	now, lnow               int64
 	cores, lcores           []int64
 	tracerBusy, ltracerBusy int64
+	tracerGaps              []tracerGap
 
 	actions int64
 	nextPID int
@@ -192,6 +193,7 @@ func (k *Kernel) seal(t *Thread) *Checkpoint {
 		lcores:         append([]int64(nil), k.lcores...),
 		tracerBusy:     k.tracerBusy,
 		ltracerBusy:    k.ltracerBusy,
+		tracerGaps:     append([]tracerGap(nil), k.tracerGaps...),
 		actions:        k.actions,
 		nextPID:        k.nextPID,
 		stats:          k.Stats,
@@ -302,6 +304,7 @@ func Resume(cp *Checkpoint, b BootConfig) (*Kernel, *Proc, *Thread) {
 		lcores:         append([]int64(nil), cp.lcores...),
 		tracerBusy:     cp.tracerBusy,
 		ltracerBusy:    cp.ltracerBusy,
+		tracerGaps:     append([]tracerGap(nil), cp.tracerGaps...),
 		nextPID:        cp.nextPID,
 		procs:          make(map[int]*Proc),
 		deadline:       b.Deadline,
@@ -336,6 +339,9 @@ func Resume(cp *Checkpoint, b BootConfig) (*Kernel, *Proc, *Thread) {
 	k.registerStandardDevices()
 	if fp, ok := k.Policy.(SyscallBufferer); ok {
 		k.fastPath = fp
+	}
+	if ws, ok := k.Policy.(WorkspaceScheduler); ok {
+		k.wsched = ws
 	}
 
 	ps := cp.proc

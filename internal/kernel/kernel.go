@@ -52,6 +52,8 @@ type CostModel struct {
 	VdsoCost     int64 // user-space vDSO fast path (no kernel entry)
 	InstrCost    int64 // one untrapped special instruction
 	BlockPoll    int64 // re-check interval charged when a blocked call retries
+	WsForkCost   int64 // forking one thread workspace (COW view setup)
+	WsMergeCost  int64 // merging one thread workspace at a sync point
 
 	// ComputeJitterPPM perturbs every compute burst by ±ppm/1e6, drawn from
 	// host entropy: microarchitectural timing noise. It makes racing
@@ -69,6 +71,8 @@ func DefaultCostModel() CostModel {
 		VdsoCost:         40,
 		InstrCost:        15,
 		BlockPoll:        8_000,
+		WsForkCost:       8_000,
+		WsMergeCost:      12_000,
 		ComputeJitterPPM: 4_000,
 	}
 }
@@ -178,6 +182,22 @@ type VdsoProvider interface {
 // scheduling state — decisions that need the kernel loop must return false.
 type SyscallBufferer interface {
 	BufferSyscall(t *Thread, sc *abi.Syscall) bool
+}
+
+// WorkspaceScheduler is an optional Policy extension (the workspace-
+// consistency mode of ISSUE 7): a tracer that gives sibling threads private
+// copy-on-write workspaces between sync points implements it to let their
+// compute bursts overlap on the *physical* clock. The logical clock stays
+// token-serialized either way, so every ordering decision — and therefore
+// every guest-visible byte — is identical with and without workspaces; only
+// the modeled wall time changes. ComputeConcurrent reports whether t's
+// current burst may bypass the physical serialized-thread token.
+type WorkspaceScheduler interface {
+	ComputeConcurrent(t *Thread) bool
+	// WorkspacesEnabled reports whether workspace mode is on at all for
+	// this boot, independent of any particular thread's state. Must be
+	// constant for the kernel's lifetime.
+	WorkspacesEnabled() bool
 }
 
 // Container-level errors a run can end with.
@@ -297,6 +317,12 @@ type Kernel struct {
 	cores      []int64 // per-core busy-until times
 	tracerBusy int64   // serialized tracer timeline busy-until
 
+	// tracerGaps are free intervals left behind on the physical tracer
+	// timeline when a stop was serviced later than the previous high-water
+	// mark. Only workspace mode fills them (see tracerServe); outside it the
+	// kernel processes stops in arrival order and no usable gap ever forms.
+	tracerGaps []tracerGap
+
 	// Logical mirrors of the time structures above, maintained with
 	// nominal costs so deterministic policies can order by them.
 	lnow        int64
@@ -306,6 +332,9 @@ type Kernel struct {
 	// fastPath is non-nil when the policy implements SyscallBufferer; cached
 	// once at boot so the dispatch hot path avoids a per-call type assertion.
 	fastPath SyscallBufferer
+	// wsched is non-nil when the policy implements WorkspaceScheduler;
+	// cached at boot like fastPath.
+	wsched WorkspaceScheduler
 
 	// Obs is this boot's metrics registry; Rec the (possibly nil) flight
 	// recorder. sysVec is the dense per-syscall table on Obs, indexed by
@@ -416,6 +445,9 @@ func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *K
 	}
 	if fp, ok := k.Policy.(SyscallBufferer); ok {
 		k.fastPath = fp
+	}
+	if ws, ok := k.Policy.(WorkspaceScheduler); ok {
+		k.wsched = ws
 	}
 	return k
 }

@@ -10,7 +10,8 @@ import "fmt"
 func comparableKind(k Kind) bool {
 	switch k {
 	case KindCOWBreak, KindSpan, KindCheckpoint,
-		KindFarmAssign, KindFarmSteal, KindFarmRecover:
+		KindFarmAssign, KindFarmSteal, KindFarmRecover,
+		KindWsFork, KindWsMerge, KindWsConflict:
 		return false
 	default:
 		return true

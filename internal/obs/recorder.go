@@ -52,6 +52,18 @@ const (
 	// Pid is the recovering worker ordinal, Arg the job ID, Ret the seal
 	// ordinal restored from (0 = cold replay).
 	KindFarmRecover
+	// KindWsFork marks a thread workspace fork (ISSUE 7): Pid is the
+	// forking thread's vTID. Mechanism-level like KindCOWBreak — workspaces
+	// exist only when the workspace mode is on, and never change
+	// guest-visible bytes.
+	KindWsFork
+	// KindWsMerge marks a workspace merge at a sync point: Pid is the
+	// syncing thread's vTID, Arg the deterministic merge digest, Ret the
+	// number of workspaces merged.
+	KindWsMerge
+	// KindWsConflict marks a deterministic workspace merge conflict; the
+	// container aborts reproducibly right after recording it.
+	KindWsConflict
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -81,6 +93,12 @@ func (k Kind) String() string {
 		return "farm-steal"
 	case KindFarmRecover:
 		return "farm-recover"
+	case KindWsFork:
+		return "ws-fork"
+	case KindWsMerge:
+		return "ws-merge"
+	case KindWsConflict:
+		return "ws-conflict"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -65,6 +65,16 @@ type Scheduler struct {
 
 	SpinLimit int
 
+	// Workspace marks the workspace-consistency execution mode (ISSUE 7):
+	// syscall-free sibling threads run concurrently in private COW
+	// workspaces and serialize only at sync points. In this mode a PARKED
+	// sibling is usually waiting at a merge barrier (futex join), not
+	// starving for the token, so the §5.9 spin detector must not count it —
+	// counting only PENDING siblings keeps true busy-waiters (spinning in
+	// pure compute while a sibling is stuck pending) detected identically
+	// in both modes.
+	Workspace bool
+
 	// Err is set when the scheduler detects an unsupported condition; the
 	// policy turns it into a container abort.
 	Err error
@@ -323,7 +333,7 @@ func (s *Scheduler) Pick(k *kernel.Kernel, pending []*kernel.Thread) *kernel.Thr
 // waiting for the token is a spinner the serialized-thread scheduler will
 // never preempt (§5.9).
 func (s *Scheduler) pickParallel(t *kernel.Thread, pending []*kernel.Thread, k *kernel.Kernel) *kernel.Thread {
-	if s.siblingStarved(t, pending, k.Parked()) {
+	if s.siblingStarved(t, pending, k) {
 		t.SpinCount++
 		if t.SpinCount > s.SpinLimit {
 			s.Err = ErrBusyWait
@@ -336,19 +346,39 @@ func (s *Scheduler) pickParallel(t *kernel.Thread, pending []*kernel.Thread, k *
 }
 
 // siblingStarved reports whether another thread of t's process is waiting
-// to run (pending or parked) while t holds the token.
-func (s *Scheduler) siblingStarved(t *kernel.Thread, pending, parked []*kernel.Thread) bool {
+// to run (pending or parked) while t holds the token. Under Workspace mode
+// a parked sibling whose wake condition has not fired is exempt: it is a
+// merge-barrier waiter (futex join) the workspace scheduler will release,
+// not a starved thread. A parked sibling that is already ParkedReady — its
+// condition holds but the spinning token holder keeps winning the parallel
+// pick — still counts, so genuine busy-waits abort identically in both
+// modes.
+func (s *Scheduler) siblingStarved(t *kernel.Thread, pending []*kernel.Thread, k *kernel.Kernel) bool {
 	for _, o := range pending {
 		if o != t && o.Proc == t.Proc {
 			return true
 		}
 	}
-	for _, o := range parked {
+	for _, o := range k.Parked() {
 		if o != t && o.Proc == t.Proc {
+			if s.Workspace && !k.ParkedReady(o) {
+				continue
+			}
 			return true
 		}
 	}
 	return false
+}
+
+// NoteWrite records that t, while holding the token, performed an FS or
+// memory-map write. A writer is by definition making progress toward the
+// condition a waiting sibling blocks on, so its spin count restarts — this
+// is the §5.9 false-positive fix: previously the count only reset when no
+// sibling waited at all, so a token holder looping Allow-verdict writes
+// (mkdir/rename/brk in a hot loop) with a parked sibling was eventually
+// misdeclared a busy-waiter.
+func (s *Scheduler) NoteWrite(t *kernel.Thread) {
+	t.SpinCount = 0
 }
 
 // insertRunnable places a at its (key, vTID) position, stable.
