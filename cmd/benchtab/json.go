@@ -118,6 +118,26 @@ type workspaceBench struct {
 	MergeNs int64 `json:"avg_merge_ns"`
 }
 
+// incrementalBench is the incremental-rebuild section (X18): one-file
+// patches rebuilt by forking derivation-store seals versus cold rebuilds of
+// the same patched trees. identical_rounds must equal rounds (reuse may move
+// time, never a byte); the headline is rebuild_speedup — the geometric-mean
+// cold/rebuild time ratio over seal-forking rounds, alongside the raw
+// average rebuild and cold times.
+type incrementalBench struct {
+	Packages    int     `json:"packages"`
+	Rounds      int     `json:"rounds"`
+	Identical   int     `json:"identical_rounds"`
+	Forked      int     `json:"seal_forks"`
+	ColdFalls   int     `json:"cold_falls"`
+	UnitsTotal  int64   `json:"units_total"`
+	UnitsReused int64   `json:"units_reused"`
+	UnitsRedone int64   `json:"units_redone"`
+	AvgRebuild  float64 `json:"avg_rebuild_ns"`
+	AvgCold     float64 `json:"avg_cold_ns"`
+	Speedup     float64 `json:"rebuild_speedup"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -147,11 +167,12 @@ type benchReport struct {
 	AggregateSlowdownUnbuffered float64 `json:"aggregate_slowdown_unbuffered"`
 	BitwiseIdentical            int     `json:"bitwise_identical"`
 
-	Templates  templateBench  `json:"templates"`
-	Obs        obsBench       `json:"obs"`
-	Faults     faultBench     `json:"faults"`
-	Farm       farmBench      `json:"farm"`
-	Workspaces workspaceBench `json:"workspaces"`
+	Templates   templateBench    `json:"templates"`
+	Obs         obsBench         `json:"obs"`
+	Faults      faultBench       `json:"faults"`
+	Farm        farmBench        `json:"farm"`
+	Workspaces  workspaceBench   `json:"workspaces"`
+	Incremental incrementalBench `json:"incremental"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -285,6 +306,20 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		AvgMTTRNs:      fm.AvgMTTRNs,
 		AvgRedoneNs:    fm.AvgRedoneNs,
 	}
+	is := o.RunIncrementalStudy(debpkg.Universe(seed, sampleOr(n, 120)), 0)
+	rep.Incremental = incrementalBench{
+		Packages:    is.Packages,
+		Rounds:      is.Rounds,
+		Identical:   is.Identical,
+		Forked:      is.Forked,
+		ColdFalls:   is.ColdFalls,
+		UnitsTotal:  is.UnitsTotal,
+		UnitsReused: is.UnitsReused,
+		UnitsRedone: is.UnitsRedone,
+		AvgRebuild:  is.AvgRebuildNs,
+		AvgCold:     is.AvgColdNs,
+		Speedup:     is.Speedup,
+	}
 	cost := kernel.DefaultCostModel()
 	rep.Workspaces = workspaceBench{ForkNs: cost.WsForkCost, MergeNs: cost.WsMergeCost}
 	for _, r := range mlsim.RunWorkspaceSweep(seed) {
@@ -310,9 +345,10 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical; threaded ws speedup %.2fx)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical; threaded ws speedup %.2fx; incremental rebuild %.1fx geomean speedup, %d/%d rounds identical)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
 		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction,
-		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells, rep.Workspaces.FarmThreadedSpeedup)
+		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells, rep.Workspaces.FarmThreadedSpeedup,
+		rep.Incremental.Speedup, rep.Incremental.Identical, rep.Incremental.Rounds)
 	return nil
 }

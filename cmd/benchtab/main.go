@@ -18,6 +18,7 @@
 //	benchtab -faults            X15 crash-recovery study (checkpoint restore vs cold replay)
 //	benchtab -farm              X16 distributed-farm study (scaling, placement, node-kill recovery)
 //	benchtab -workspaces        X17 thread-workspace ablation (farm speedup + output equivalence)
+//	benchtab -incremental       X18 incremental-rebuild study (derivation-store seal reuse vs cold)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -61,6 +62,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "X15 crash-recovery study: mid-build crashes recovered from checkpoints vs cold replay")
 		farmStd  = flag.Bool("farm", false, "X16 distributed-farm study: node counts x placement seeds x fault schedules vs the local reference")
 		wsStud   = flag.Bool("workspaces", false, "X17 thread-workspace ablation: threaded-build speedup vs serialized threads, with bitwise output equivalence")
+		incrStd  = flag.Bool("incremental", false, "X18 incremental-rebuild study: one-file patches rebuilt from derivation-store seals vs cold, compared bitwise")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -193,6 +195,11 @@ func main() {
 	if *all || *wsStud {
 		section("X17: thread workspaces across the farm — ablation study")
 		fmt.Println(o.RunWorkspaceStudy(debpkg.Universe(*seed, sampleOr(*n, 120))))
+		fmt.Println()
+	}
+	if *all || *incrStd {
+		section("X18: incremental rebuilds — derivation-store seal reuse vs cold")
+		fmt.Println(o.RunIncrementalStudy(debpkg.Universe(*seed, sampleOr(*n, 120)), 0))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -35,12 +35,24 @@
 // never changes a verdict or an output byte — only the modeled wall time.
 //
 //	reprotest -pkg 3 -workspaces=false
+//
+// With -patch FILE (or -patch PKG:FILE, which selects the universe package
+// inline) the tool runs the incremental-rebuild gate: build the package
+// checkpointed (sealing its derivation store), patch FILE in the source
+// tree, rebuild by forking the freshest valid seal, and exit non-zero
+// unless the rebuild is bitwise-identical to a cold build of the patched
+// tree. Paths are relative to the package directory unless absolute.
+//
+//	reprotest -pkg 7 -patch src/unit001.c
+//	reprotest -patch 7:src/unit001.c
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/buildsim"
 	"repro/internal/debpkg"
@@ -57,8 +69,17 @@ func main() {
 		nodes    = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
 		killNode = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
 		wsFlag   = flag.Bool("workspaces", true, "thread workspaces for multi-threaded builds (false = serialized-thread ablation; never changes an output byte)")
+		patch    = flag.String("patch", "", "incremental-rebuild gate: patch FILE (or PKG:FILE) in the source tree, rebuild from the derivation store, and verify the bits")
 	)
 	flag.Parse()
+
+	// -patch PKG:FILE selects the universe package inline.
+	if i := strings.IndexByte(*patch, ':'); i > 0 {
+		if n, err := strconv.Atoi((*patch)[:i]); err == nil {
+			*pkgN = n
+			*patch = (*patch)[i+1:]
+		}
+	}
 
 	var spec *debpkg.Spec
 	if *llvm {
@@ -85,6 +106,15 @@ func main() {
 	}
 
 	o := &buildsim.Options{Seed: *seed, NoWorkspaces: !*wsFlag}
+	if *patch != "" {
+		fmt.Println()
+		report, ok := o.PatchRebuild(spec, *patch)
+		fmt.Println(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *nodes > 0 {
 		fmt.Println()
 		report, ok := o.FarmCrashRecovery(spec, *nodes, *killNode)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/baseimg"
 	"repro/internal/core"
 	"repro/internal/debpkg"
+	"repro/internal/derive"
 	"repro/internal/farm"
 	"repro/internal/fs"
 	"repro/internal/guest"
@@ -119,6 +120,14 @@ type Options struct {
 	// seal, so eviction can only cost older fallback seals — a job that needs
 	// one after losing its freshest to corruption degrades to a cold replay.
 	CheckpointCacheSize int
+	// Incremental enables derivation-store rebuild reuse (ISSUE 8): patched
+	// packages fork the freshest checkpoint seal whose prefix read no dirty
+	// file instead of cold-building, re-executing only the invalidated
+	// compile units. Joined (inverted) into the container config hash as
+	// core.Config.DisableIncremental, so incremental and non-incremental
+	// runs occupy disjoint derivation-key spaces — while their outputs stay
+	// bitwise-identical, which incremental_test.go pins.
+	Incremental bool
 	// Distributed routes BuildAll through the internal/farm coordinator
 	// instead of the in-process pool: worker nodes register over the farm
 	// protocol, jobs are placed by rendezvous hashing, and prepared state is
@@ -151,6 +160,15 @@ type Options struct {
 	cache   *farmCaches
 	setup   setupCounters
 	obsReg  *obs.Registry
+
+	// deriveRec is the farm's derivation-store event ring: one KindDeriveHit
+	// or KindDeriveMiss per store lookup, at template, phase-seal and
+	// compile-unit granularity (templates.go: recordDerive). Farm-level and
+	// mutex-guarded — unlike container rings it is written by the whole
+	// worker pool.
+	deriveMu    sync.Mutex
+	deriveRec   *obs.Recorder
+	deriveLTime int64
 
 	// lastFarm is the cluster behind the most recent distributed BuildAll,
 	// kept so FarmStats/FarmReports can expose its accounting (farm.go).
@@ -301,12 +319,7 @@ func (o *Options) forEach(n int, fn func(l obs.Local, i int)) {
 // spec identity — a pure function, so results cannot depend on which worker
 // or in which order a package is built.
 func pkgSeed(seed uint64, spec *debpkg.Spec) uint64 {
-	h := uint64(14695981039346656037)
-	for _, b := range []byte(spec.Name + "/" + spec.Version) {
-		h ^= uint64(b)
-		h *= 1099511628211
-	}
-	return h ^ (seed * 0x9E3779B97F4A7C15)
+	return derive.DigestBytes([]byte(spec.Name+"/"+spec.Version)) ^ (seed * 0x9E3779B97F4A7C15)
 }
 
 // build is the per-package protocol on the local (single-process) path.
@@ -596,6 +609,7 @@ func (o *Options) dtConfig(img *fs.Image, pkgdir string, seed uint64, v reprotes
 		DisableSyscallBuf:    o.NoSyscallBuf,
 		DisableObservability: o.NoObservability,
 		DisableWorkspaces:    o.NoWorkspaces,
+		DisableIncremental:   !o.Incremental,
 	}
 }
 

@@ -6,7 +6,7 @@
 // nodes by the internal/farm coordinator (rendezvous hashing over the
 // placement seed), prepared state — baseline kernel snapshots, container
 // templates, checkpoint seals — lives in the coordinator's content-addressed
-// shard store keyed by farm.KeyFor, and the X15 fault plane extends through
+// shard store keyed by derive.KeyFor, and the X15 fault plane extends through
 // the transport: a node killed mid-build has its job stolen and recovered on
 // another node from the freshest seal. Because a DetTrace build is a pure
 // function of its declared inputs, none of that machinery may move a single
@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/debpkg"
+	"repro/internal/derive"
 	"repro/internal/farm"
 	"repro/internal/fs"
 	"repro/internal/kernel"
@@ -132,7 +133,7 @@ func (o *Options) stageSnapshots(ctx *farm.ExecCtx, l obs.Local, spec *debpkg.Sp
 	v1, v2 := reprotest.Pair(seed)
 	for _, root := range []string{v1.BuildRoot, v2.BuildRoot} {
 		img, _, imgHash := o.pkgImage(l, spec, root)
-		key := farm.KeyFor(imgHash, 0)
+		key := derive.KeyFor(imgHash, 0)
 		snap := ctx.Prepared(key, func() any {
 			return o.snapshot(l, imgHash, img)
 		})
@@ -156,10 +157,10 @@ func (o *Options) farmDT1(ctx *farm.ExecCtx, spec *debpkg.Spec) func(obs.Local, 
 		cfg := o.dtConfig(img, pkgdir, seed, v)
 		env := containerEnv
 		runCfg := cfg
-		var state farm.StateKey
+		var state derive.Key
 		if o.Checkpoints {
 			env = checkpointEnv
-			state = farm.KeyFor(imgHash, core.ConfigHash(cfg))
+			state = derive.KeyFor(imgHash, core.ConfigHash(cfg))
 			runCfg.CheckpointSink = func(cp *core.Checkpoint) {
 				o.sc().ckptSealed.Add(l, 1)
 				ctx.PutSeal(state, cp.Ordinal(), cp.Digest(), cp)
@@ -186,7 +187,7 @@ func (o *Options) farmDT1(ctx *farm.ExecCtx, spec *debpkg.Spec) func(obs.Local, 
 // when none survives. The determinism contract makes every exit produce the
 // uninterrupted run's bits; the accounting (MTTR, redone work) reuses the
 // local fault plane's counters so `benchtab -farm` reports one story.
-func (o *Options) farmRecover(ctx *farm.ExecCtx, l obs.Local, spec *debpkg.Spec, state farm.StateKey, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string, env []string) dtRun {
+func (o *Options) farmRecover(ctx *farm.ExecCtx, l obs.Local, spec *debpkg.Spec, state derive.Key, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string, env []string) dtRun {
 	sc := o.sc()
 	for ord := ctx.LatestSeal(state); ord > 0; ord-- {
 		sc.restoreAttempts.Add(l, 1)
@@ -229,7 +230,7 @@ func (o *Options) runFarmContainer(ctx *farm.ExecCtx, l obs.Local, cfg core.Conf
 	if o.DisableTemplates || cfg.DisableTemplateReuse || cfg.Image != img || cfg.FaultInjectCrash != 0 {
 		c = core.New(cfg)
 	} else {
-		key := farm.KeyFor(imgHash, core.ConfigHash(cfg))
+		key := derive.KeyFor(imgHash, core.ConfigHash(cfg))
 		v := ctx.Prepared(key, func() any {
 			start := time.Now()
 			t := core.NewTemplate(cfg)

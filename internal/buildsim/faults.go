@@ -28,7 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/debpkg"
-	"repro/internal/farm"
+	"repro/internal/derive"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -58,7 +58,7 @@ const BackoffBaseNs = int64(250 * 1e6)
 var checkpointEnv = append(append([]string{}, containerEnv...), "DETTRACE_CHECKPOINT=1")
 
 // jobCkpts is one build's window into the farm checkpoint cache, addressed
-// by farm.SealKey — the same (state, job, ordinal) scheme the distributed
+// by derive.SealKey — the same (state, job, ordinal) scheme the distributed
 // farm's shard store uses. The sink runs inside the container's kernel loop
 // (single-threaded per job); it keeps exactly one pin — on the freshest
 // seal — so older ordinals age out under pressure while the seal a crash
@@ -66,13 +66,13 @@ var checkpointEnv = append(append([]string{}, containerEnv...), "DETTRACE_CHECKP
 type jobCkpts struct {
 	o      *Options
 	l      obs.Local
-	state  farm.StateKey
+	state  derive.Key
 	job    uint64
 	latest int
 }
 
-func (j *jobCkpts) key(ordinal int) farm.SealKey {
-	return farm.SealKey{State: j.state, Job: j.job, Ordinal: ordinal}
+func (j *jobCkpts) key(ordinal int) derive.SealKey {
+	return derive.SealKey{State: j.state, Job: j.job, Ordinal: ordinal}
 }
 
 func (j *jobCkpts) sink(cp *core.Checkpoint) {
@@ -110,7 +110,7 @@ func (j *jobCkpts) release() {
 // the uninterrupted run would have produced.
 func (o *Options) buildDTFault(l obs.Local, spec *debpkg.Spec, plan reprotest.FaultPlan, cfg core.Config, img *fs.Image, imgHash uint64, pkgdir string) dtRun {
 	j := &jobCkpts{o: o, l: l, job: o.jobSeq.Add(1),
-		state: farm.KeyFor(imgHash, core.ConfigHash(cfg))}
+		state: derive.KeyFor(imgHash, core.ConfigHash(cfg))}
 	defer j.release()
 
 	runCfg := cfg
@@ -178,18 +178,18 @@ func (o *Options) recoverJob(l obs.Local, j *jobCkpts, plan reprotest.FaultPlan,
 // FaultStats is a point-in-time snapshot of the farm's fault-plane
 // accounting. Benchmarking metadata only, like SetupStats.
 type FaultStats struct {
-	Sealed         int64 // checkpoints sealed across all builds
-	CkptEvictions  int64 // checkpoint LRU entries dropped under pressure
-	Crashes        int64 // injected crashes that fired
-	Attempts       int64 // restore attempts, including failed ones
-	Restores       int64 // successful checkpoint restores
-	RestoreFailed  int64 // injected restore failures
-	Invalid        int64 // seals rejected by validation (corruption, mismatch)
-	ColdReplays    int64 // recoveries degraded to a full replay
-	BackoffNs      int64 // virtual time spent backing off between attempts
-	MTTRNs         int64 // crash-to-completion virtual time across restores
-	ReplayNs       int64 // crash-to-completion virtual time across cold replays
-	RedoneNs       int64 // virtual work executed twice (crash point - restore point)
+	Sealed        int64 // checkpoints sealed across all builds
+	CkptEvictions int64 // checkpoint LRU entries dropped under pressure
+	Crashes       int64 // injected crashes that fired
+	Attempts      int64 // restore attempts, including failed ones
+	Restores      int64 // successful checkpoint restores
+	RestoreFailed int64 // injected restore failures
+	Invalid       int64 // seals rejected by validation (corruption, mismatch)
+	ColdReplays   int64 // recoveries degraded to a full replay
+	BackoffNs     int64 // virtual time spent backing off between attempts
+	MTTRNs        int64 // crash-to-completion virtual time across restores
+	ReplayNs      int64 // crash-to-completion virtual time across cold replays
+	RedoneNs      int64 // virtual work executed twice (crash point - restore point)
 }
 
 // FaultStats snapshots the farm's fault accounting so far.

@@ -27,7 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/debpkg"
-	"repro/internal/farm"
+	"repro/internal/derive"
 	"repro/internal/fs"
 	"repro/internal/kernel"
 	"repro/internal/machine"
@@ -71,6 +71,16 @@ type setupCounters struct {
 	// Fault-plane accounting (faults.go): checkpoint seals, injected
 	// crashes, and how the farm recovered from them. Like all farm counters,
 	// bookkeeping only — recovery outcomes never feed back into results.
+	// Derivation-store accounting (ISSUE 8, incremental.go): seal forks at
+	// phase granularity, compile units reused vs re-executed, and how often
+	// an incremental rebuild went through versus degrading to cold.
+	derivePhaseHits   *obs.Counter
+	derivePhaseMisses *obs.Counter
+	deriveUnitsReused *obs.Counter
+	deriveUnitsRedone *obs.Counter
+	incrRebuilds      *obs.Counter
+	incrCold          *obs.Counter
+
 	ckptSealed      *obs.Counter
 	ckptEvictions   *obs.Counter
 	crashes         *obs.Counter
@@ -174,6 +184,13 @@ func (o *Options) initObsLocked() {
 		recEventsFork:  r.Counter("farm_rec_events_fork"),
 		recEventsCold:  r.Counter("farm_rec_events_cold"),
 
+		derivePhaseHits:   r.Counter("farm_derive_phase_hits"),
+		derivePhaseMisses: r.Counter("farm_derive_phase_misses"),
+		deriveUnitsReused: r.Counter("farm_derive_units_reused"),
+		deriveUnitsRedone: r.Counter("farm_derive_units_redone"),
+		incrRebuilds:      r.Counter("farm_incremental_rebuilds"),
+		incrCold:          r.Counter("farm_incremental_cold"),
+
 		ckptSealed:      r.Counter("farm_checkpoints_sealed"),
 		ckptEvictions:   r.Counter("farm_checkpoint_evictions"),
 		crashes:         r.Counter("farm_crashes_injected"),
@@ -188,6 +205,49 @@ func (o *Options) initObsLocked() {
 		redoneNs:        r.Counter("farm_redone_ns"),
 	}
 	o.obsReg = r
+	o.deriveRec = obs.NewRecorder(obs.DefaultRingEvents)
+}
+
+// Derivation-event granularities, carried in Event.Ret (see obs.KindDeriveHit).
+const (
+	deriveGranTemplate = 0 // prepared snapshot/template
+	deriveGranPhase    = 1 // checkpoint seal forked for a rebuild
+	deriveGranUnit     = 2 // compile units reused / re-executed (Num = count)
+)
+
+// recordDerive books one derivation-store lookup outcome on the farm's
+// derive ring (Arg = derivation key hash, Ret = granularity, Num = ordinal
+// or unit count) and bumps the phase-granularity counters. The ring is
+// farm-level metadata: lookups happen on whatever worker got there first,
+// so event order is scheduling-dependent and must never be compared across
+// runs — only aggregated.
+func (o *Options) recordDerive(l obs.Local, hit bool, gran int, keyHash uint64, n int32) {
+	sc := o.sc()
+	kind := obs.KindDeriveMiss
+	if hit {
+		kind = obs.KindDeriveHit
+	}
+	if gran == deriveGranPhase {
+		if hit {
+			sc.derivePhaseHits.Add(l, 1)
+		} else {
+			sc.derivePhaseMisses.Add(l, 1)
+		}
+	}
+	o.deriveMu.Lock()
+	o.deriveLTime++
+	o.deriveRec.Record(o.deriveLTime, kind, n, 0, keyHash, int64(gran))
+	o.deriveMu.Unlock()
+}
+
+// DeriveTrace returns the farm's retained derivation-store events (for
+// `benchtab -incremental` and debugging): reuse observability at template,
+// phase and unit granularity.
+func (o *Options) DeriveTrace() []obs.Event {
+	o.sc() // ensure initObsLocked ran
+	o.deriveMu.Lock()
+	defer o.deriveMu.Unlock()
+	return o.deriveRec.Events()
 }
 
 // lruEntry is one cache slot. Construction runs under the entry's own Once,
@@ -296,16 +356,16 @@ func (c *lruCache) unpin(key any) {
 // baseline kernel snapshots, DetTrace container templates, and — in
 // checkpoint mode — the sealed mid-run checkpoints of in-flight jobs.
 //
-// Every prepared-state key derives through farm.KeyFor — the one shared
+// Every prepared-state key derives through derive.KeyFor — the one shared
 // (image content hash, config hash) derivation this package and the
 // distributed farm's shard map both use — so the four caches cannot drift
 // in what "the same prepared state" means (snapshots use a zero config
 // slot: a prepared kernel depends only on the image).
 type farmCaches struct {
 	images      *lruCache // imageKey -> *imageEntry
-	snapshots   *lruCache // farm.StateKey (config 0) -> *kernel.Snapshot
-	templates   *lruCache // farm.StateKey -> *core.Template
-	checkpoints *lruCache // farm.SealKey -> *core.Checkpoint
+	snapshots   *lruCache // derive.Key (config 0) -> *kernel.Snapshot
+	templates   *lruCache // derive.Key -> *core.Template
+	checkpoints *lruCache // derive.SealKey -> *core.Checkpoint
 }
 
 type imageKey struct {
@@ -378,12 +438,14 @@ func (o *Options) pkgImage(l obs.Local, spec *debpkg.Spec, dir string) (*fs.Imag
 // preparing it on first use.
 func (o *Options) snapshot(l obs.Local, imgHash uint64, img *fs.Image) *kernel.Snapshot {
 	sc := o.sc()
-	e, hit := o.caches().snapshots.get(farm.KeyFor(imgHash, 0))
+	key := derive.KeyFor(imgHash, 0)
+	e, hit := o.caches().snapshots.get(key)
 	if hit {
 		sc.templateHits.Add(l, 1)
 	} else {
 		sc.templateMisses.Add(l, 1)
 	}
+	o.recordDerive(l, hit, deriveGranTemplate, key.Hash(), 0)
 	e.once.Do(func() {
 		start := time.Now()
 		e.v = kernel.Prepare(kernel.Config{
@@ -402,12 +464,14 @@ func (o *Options) snapshot(l obs.Local, imgHash uint64, img *fs.Image) *kernel.S
 // per-run host fields, so one template serves every perturbation of a build.
 func (o *Options) template(l obs.Local, imgHash uint64, cfg core.Config) *core.Template {
 	sc := o.sc()
-	e, hit := o.caches().templates.get(farm.KeyFor(imgHash, core.ConfigHash(cfg)))
+	key := derive.KeyFor(imgHash, core.ConfigHash(cfg))
+	e, hit := o.caches().templates.get(key)
 	if hit {
 		sc.templateHits.Add(l, 1)
 	} else {
 		sc.templateMisses.Add(l, 1)
 	}
+	o.recordDerive(l, hit, deriveGranTemplate, key.Hash(), 0)
 	e.once.Do(func() {
 		start := time.Now()
 		e.v = core.NewTemplate(cfg)

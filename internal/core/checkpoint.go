@@ -2,8 +2,13 @@ package core
 
 import (
 	"errors"
+	"sort"
+	"strings"
 	"time"
 
+	"repro/internal/abi"
+	"repro/internal/derive"
+	"repro/internal/fs"
 	"repro/internal/guest"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -28,6 +33,11 @@ var (
 	// ErrCheckpointCorrupt: the checkpoint's ring-prefix digest does not
 	// match its contents — the seal was corrupted in storage.
 	ErrCheckpointCorrupt = errors.New("dettrace: checkpoint failed validation (ring digest mismatch)")
+	// ErrPatchUnapplied: an incremental rebuild asked to amend a path the
+	// sealed filesystem does not hold as a regular file. The planner only
+	// forks seals for content patches, so this means the patch and the seal
+	// disagree about the tree shape — the rebuild must go cold.
+	ErrPatchUnapplied = errors.New("dettrace: incremental patch names a file absent from the seal")
 )
 
 // Checkpoint is one sealed container state: an opaque recovery token. Like
@@ -61,6 +71,39 @@ type Checkpoint struct {
 	ordinal      int
 	recoveryHash uint64 // ConfigHash minus the crash-fault knob
 	ringDigest   uint64 // digest of ringSeal at seal time (corruptible)
+}
+
+// RebuildInfo derives the checkpoint's rebuild-planning record from the
+// sealed filesystem itself (ISSUE 8). Progress is read off the tree the
+// sealed prefix left behind, never off seal position or timing: the driver
+// journals each completed phase at pkgdir/debian/.checkpoint-journal before
+// re-exec'ing itself, and chunked make's object tree is its own progress
+// record — build/<unit>.o exists iff that unit's compile ran in the prefix.
+// Reading state this way sidesteps everything salted or scheduled (compile
+// order, interleaving): only what was read and written matters, which is
+// exactly the derivation the planner's validity rule needs.
+func (cp *Checkpoint) RebuildInfo(pkgdir string) derive.SealInfo {
+	info := derive.SealInfo{Ordinal: cp.ordinal}
+	sealFS := cp.kern.FSSeal()
+	if sealFS == nil {
+		return info
+	}
+	ctx := fs.LookupCtx{Root: sealFS.Root, Cwd: sealFS.Root}
+	pkgdir = strings.TrimSuffix(pkgdir, "/")
+	if _, err := sealFS.Resolve(ctx, pkgdir+"/debian/.checkpoint-journal", true); err == abi.OK {
+		info.Configured = true
+	}
+	if dir, err := sealFS.Resolve(ctx, pkgdir+"/build", true); err == abi.OK && dir.IsDir() {
+		sealFS.Walk(dir, func(path string, n *fs.Inode) {
+			if !n.IsRegular() || !strings.HasSuffix(path, ".o") || strings.Count(path, "/") != 1 {
+				return
+			}
+			// build/<unit>.o ↔ src/<unit>.c: invert make's object naming.
+			info.Units = append(info.Units, strings.TrimSuffix(path[1:], ".o")+".c")
+		})
+		sort.Strings(info.Units)
+	}
+	return info
 }
 
 // Ordinal returns the checkpoint's 1-based sequence number within its run.
@@ -157,6 +200,23 @@ func (c *Container) sealCheckpoint(kcp *kernel.Checkpoint, t *kernel.Thread) {
 // returned Result is bitwise identical — output, ring, rolled-up metrics —
 // to what the uninterrupted run would have produced.
 func Resume(cp *Checkpoint, reg *guest.Registry, cfg Config) (*Result, error) {
+	return resume(cp, reg, cfg, nil)
+}
+
+// ResumePatched is Resume for incremental rebuilds (ISSUE 8): before the
+// suffix runs, the dirty source files are amended — content only, shape
+// untouched — into the resumed filesystem. Sound whenever the sealed prefix
+// never read any patched file (what derive.PlanRebuild guarantees when it
+// picks the seal): the prefix state is then identical to what a cold run of
+// the patched image would have reached, and the suffix reads the patched
+// bytes exactly as that cold run would. cfg must be the patched run's config
+// — in particular cfg.Image the patched image — so the result carries the
+// keys a cold build of the patch would carry.
+func ResumePatched(cp *Checkpoint, reg *guest.Registry, cfg Config, patch map[string][]byte) (*Result, error) {
+	return resume(cp, reg, cfg, patch)
+}
+
+func resume(cp *Checkpoint, reg *guest.Registry, cfg Config, patch map[string][]byte) (*Result, error) {
 	normalizeConfig(&cfg)
 	if recoveryHash(cfg) != cp.recoveryHash {
 		return nil, ErrCheckpointMismatch
@@ -226,6 +286,17 @@ func Resume(cp *Checkpoint, reg *guest.Registry, cfg Config) (*Result, error) {
 	c.registerContainerDevices(k)
 	c.rdtscCount[p] = cp.rdtscCount
 	c.sched.RestoreSeal(cp.schedSeal, t)
+
+	// Amend the incremental patch into the resumed filesystem before any
+	// guest instruction runs: the restored thread is parked at its sealed
+	// stop until k.Run(), so the suffix cannot observe the mutation happen —
+	// it simply reads the patched bytes, as a cold run of the patched image
+	// would have.
+	for path, data := range patch {
+		if !c.k.FS.Amend(path, data) {
+			return nil, ErrPatchUnapplied
+		}
+	}
 	c.spans = append(c.spans, obs.Span{Name: "resume", RealNs: setupNs})
 
 	runStart := time.Now()

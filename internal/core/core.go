@@ -63,6 +63,16 @@ type Config struct {
 	DisableInodeVirt    bool // report host inodes (§5.5)
 	DisableGetdentsSort bool // report host directory order (§5.5)
 
+	// DisableIncremental disables incremental rebuilds (ISSUE 8). The core
+	// container never reads it — incremental planning happens above, in
+	// buildsim — but it IS joined into ConfigHash: the ablation partitions
+	// the derivation-key space, so state prepared with incremental reuse on
+	// can never be served to an ablated run (or vice versa). Caching must
+	// not cross the ablation, even though the bits on both sides are
+	// provably identical — that identity is the property under test, not an
+	// assumption the cache may lean on.
+	DisableIncremental bool
+
 	// DisableTemplateReuse forces cold construction even when the container
 	// came from a Template: the kernel populates a fresh FS from the image
 	// instead of COW-forking the prepared base. A mechanism ablation, not a
@@ -213,7 +223,7 @@ type Result struct {
 	// from a reference run's value.
 	Actions int64
 	Stats   kernel.Stats
-	Tracer   tracer.Counters // stop/memory counter snapshot
+	Tracer  tracer.Counters // stop/memory counter snapshot
 
 	// RandomLog holds every byte of true randomness served to the
 	// container when Config.LogRealRandom was set; feed it back through

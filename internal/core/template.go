@@ -1,11 +1,11 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
 
+	"repro/internal/derive"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/seccomp"
@@ -131,7 +131,9 @@ func (tp *Template) CompatibleWith(cfg Config) bool {
 // changes how far the run gets — while FaultCorruptCheckpoint and
 // CheckpointSink stay out: checkpoints observe the run, they never feed
 // back (checkpoint validation uses recoveryHash, which re-zeroes the
-// crash knob, since a recovery deliberately clears it).
+// crash knob, since a recovery deliberately clears it). DisableIncremental
+// is hashed even though core never reads it: the ablation must partition
+// the derivation-key space so cached state never crosses it (ISSUE 8).
 //
 // The Profile IS included even though it is [host]-marked: the prepared
 // filesystem bakes in profile-derived state (the readdir hash salt, the
@@ -139,52 +141,30 @@ func (tp *Template) CompatibleWith(cfg Config) bool {
 // different simulated machine.
 func ConfigHash(cfg Config) uint64 {
 	normalizeConfig(&cfg)
-	h := uint64(0xcbf29ce484222325)
-	mix := func(b []byte) {
-		for _, c := range b {
-			h ^= uint64(c)
-			h *= 0x100000001b3
-		}
-	}
-	var buf [8]byte
-	num := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		mix(buf[:])
-	}
-	str := func(s string) {
-		num(uint64(len(s)))
-		mix([]byte(s))
-	}
-	flag := func(b bool) {
-		if b {
-			num(1)
-		} else {
-			num(0)
-		}
-	}
-	str(cfg.Profile.Name)
-	num(cfg.PRNGSeed)
-	num(uint64(cfg.LogicalEpoch))
-	num(uint64(cfg.Deadline))
-	flag(cfg.DisableSeccomp)
-	flag(cfg.DisableSyscallBuf)
-	flag(cfg.DisableWorkspaces)
-	flag(cfg.DisableVdso)
-	flag(cfg.DisableDirSizes)
-	flag(cfg.DisableCpuidTrap)
-	flag(cfg.DisableInodeVirt)
-	flag(cfg.DisableGetdentsSort)
-	str(cfg.WorkingDir)
-	num(uint64(cfg.SpinLimit))
-	flag(cfg.UpdateVirtualMtimes)
-	flag(cfg.FastVdso)
-	flag(cfg.ExperimentalSockets)
-	flag(cfg.ExperimentalSignals)
-	flag(cfg.LogRealRandom)
-	num(uint64(cfg.FaultInjectEntropy))
-	num(uint64(cfg.FaultInjectCrash))
-	num(uint64(len(cfg.RandomReplay)))
-	mix(cfg.RandomReplay)
+	h := derive.NewHasher()
+	h.Str(cfg.Profile.Name)
+	h.Num(cfg.PRNGSeed)
+	h.Num(uint64(cfg.LogicalEpoch))
+	h.Num(uint64(cfg.Deadline))
+	h.Flag(cfg.DisableSeccomp)
+	h.Flag(cfg.DisableSyscallBuf)
+	h.Flag(cfg.DisableWorkspaces)
+	h.Flag(cfg.DisableVdso)
+	h.Flag(cfg.DisableDirSizes)
+	h.Flag(cfg.DisableCpuidTrap)
+	h.Flag(cfg.DisableInodeVirt)
+	h.Flag(cfg.DisableGetdentsSort)
+	h.Flag(cfg.DisableIncremental)
+	h.Str(cfg.WorkingDir)
+	h.Num(uint64(cfg.SpinLimit))
+	h.Flag(cfg.UpdateVirtualMtimes)
+	h.Flag(cfg.FastVdso)
+	h.Flag(cfg.ExperimentalSockets)
+	h.Flag(cfg.ExperimentalSignals)
+	h.Flag(cfg.LogRealRandom)
+	h.Num(uint64(cfg.FaultInjectEntropy))
+	h.Num(uint64(cfg.FaultInjectCrash))
+	h.Data(cfg.RandomReplay)
 	urls := make([]string, 0, len(cfg.Downloads))
 	for u := range cfg.Downloads {
 		urls = append(urls, u)
@@ -192,12 +172,11 @@ func ConfigHash(cfg Config) uint64 {
 	sort.Strings(urls)
 	for _, u := range urls {
 		d := cfg.Downloads[u]
-		str(u)
-		str(d.SHA256)
-		num(uint64(len(d.Data)))
-		mix(d.Data)
+		h.Str(u)
+		h.Str(d.SHA256)
+		h.Data(d.Data)
 	}
-	return h
+	return h.Sum()
 }
 
 // String identifies the template in logs and cache debug output.

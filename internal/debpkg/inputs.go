@@ -1,0 +1,47 @@
+package debpkg
+
+import (
+	"fmt"
+
+	"repro/internal/derive"
+)
+
+// InputSets declares what each part of the package's build reads from its
+// source tree, in image-path namespace — the per-unit input sets of the
+// derivation key (ISSUE 8). The declaration mirrors Materialize and the
+// build's actual read pattern:
+//
+//   - Phase inputs are read by every dpkg-buildpackage invocation (the
+//     driver parses debian/rules and debian/control at startup) and by the
+//     configure phase (configure.ac). Any checkpoint sealed after the driver
+//     first ran has them in its prefix.
+//   - Shared inputs are read by every compile unit: make parses the Makefile
+//     on each invocation, and every unit #includes the full header probe
+//     sequence, so a header edit dirties all units at once.
+//   - Unit inputs are the one source file only that unit's compile reads.
+//
+// The sets deliberately over-approximate (a unit that never reaches a
+// header's content still lists it): over-approximation only costs reuse,
+// under-approximation would be unsound — derive.PlanRebuild goes cold on any
+// dirty path no set claims.
+func InputSets(s *Spec, pkgdir string) derive.Inputs {
+	in := derive.Inputs{
+		Phase: []string{
+			pkgdir + "/debian/rules",
+			pkgdir + "/debian/control",
+			pkgdir + "/configure.ac",
+		},
+		Shared: []string{pkgdir + "/Makefile"},
+		Units:  make(map[string][]string, s.Units),
+	}
+	// Only every third probe target exists (see Materialize); the input set
+	// lists what is actually in the tree.
+	for h := 0; h < s.Headers; h += 3 {
+		in.Shared = append(in.Shared, fmt.Sprintf("%s/include/h%03d.h", pkgdir, h))
+	}
+	for u := 0; u < s.Units; u++ {
+		name := fmt.Sprintf("unit%03d.c", u)
+		in.Units[name] = []string{pkgdir + "/src/" + name}
+	}
+	return in
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/derive"
 	"repro/internal/fs"
 	"repro/internal/prng"
 )
@@ -147,11 +148,4 @@ func (s *Spec) unitSource(u int, rng *prng.Host) string {
 	return b.String()
 }
 
-func hashName(s string) uint64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
+func hashName(s string) uint64 { return derive.DigestBytes([]byte(s)) }

@@ -1,0 +1,117 @@
+// Package derive is the unified derivation-key schema: the one place the
+// system says what a build output is a function of, and therefore what every
+// cache layer must key on (ISSUE 8).
+//
+// The paper's determinism guarantee makes a DetTrace build a pure function
+// of its declared inputs, which turns bitwise equality into a cache-validity
+// oracle: any state derived from the same inputs may be reused anywhere, and
+// any input change invalidates exactly the state derived from it. Before
+// this package, that keying was duplicated ad hoc — the buildsim snapshot /
+// template / checkpoint LRUs, the farm shard store and the core template
+// guard each carried their own (image hash, config hash) arithmetic and
+// their own FNV mixer. Key-skew between copies is precisely the class of bug
+// Malka et al. show plagues real-world Docker rebuilds: two layers that
+// disagree about what "the same inputs" means silently serve stale state.
+//
+// The schema has four levels, one per reuse granularity:
+//
+//	Key      (image hash, config hash)      — prepared state: snapshots, templates
+//	SealKey  (Key, job, ordinal)            — checkpoint seals of one run
+//	TreeHash (root, per-file leaves)        — the source tree, Merkle-style
+//	Inputs   (per-unit input sets)          — what each compile unit reads
+//
+// On top of the keys sits the incremental-rebuild planner (plan.go): given
+// the tree delta between a base build and a patched tree, the per-unit input
+// sets, and what each sealed checkpoint had read, PlanRebuild picks the
+// freshest seal whose prefix is untouched by the patch — the state a rebuild
+// may fork instead of cold-booting — and names the compile units that must
+// re-execute. Everything else is reused from the derivation store (store.go),
+// locally or across farm nodes.
+//
+// derive imports only the standard library, so every layer — fs, core,
+// kernel, buildsim, farm, obs — can share it without cycles.
+package derive
+
+import "encoding/binary"
+
+// fnvOffset/fnvPrime are the FNV-1a constants. Every content hash in the
+// system folds through these — the same constants obs event digests, image
+// hashes and config hashes always used, now defined once.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hasher is a streaming FNV-1a hasher with the canonical field framings:
+// numbers are 8 little-endian bytes, strings and byte fields are
+// length-prefixed, flags are 0/1 words. It deduplicates the hand-rolled
+// mixers that core.ConfigHash, fs.Image.Hash and the per-package helpers
+// each carried: one framing, one set of constants, no drift.
+type Hasher struct{ h uint64 }
+
+// NewHasher returns a hasher at the FNV-1a offset basis.
+func NewHasher() *Hasher { return &Hasher{h: fnvOffset} }
+
+// Bytes folds raw bytes (no length prefix; use Str for delimited fields).
+func (hs *Hasher) Bytes(p []byte) {
+	h := hs.h
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	hs.h = h
+}
+
+// Num folds one 64-bit word, little-endian.
+func (hs *Hasher) Num(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	hs.Bytes(buf[:])
+}
+
+// Str folds a length-prefixed string.
+func (hs *Hasher) Str(s string) {
+	hs.Num(uint64(len(s)))
+	hs.Bytes([]byte(s))
+}
+
+// Data folds a length-prefixed byte field.
+func (hs *Hasher) Data(p []byte) {
+	hs.Num(uint64(len(p)))
+	hs.Bytes(p)
+}
+
+// Flag folds a boolean as a 0/1 word.
+func (hs *Hasher) Flag(b bool) {
+	if b {
+		hs.Num(1)
+	} else {
+		hs.Num(0)
+	}
+}
+
+// Sum returns the current digest.
+func (hs *Hasher) Sum() uint64 { return hs.h }
+
+// DigestBytes folds a byte slice into a 64-bit FNV-1a digest.
+func DigestBytes(p []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range p {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	return h
+}
+
+// DigestU64 folds additional words into a running digest (0 restarts from
+// the offset basis).
+func DigestU64(h uint64, vs ...uint64) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	for _, v := range vs {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * fnvPrime
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,153 @@
+package derive
+
+import "sort"
+
+// Inputs declares what each part of a build reads from the source tree —
+// the per-unit input sets of the derivation key. Paths use the same
+// namespace as TreeHash leaves (absolute image paths).
+//
+//   - Phase: read by every driver invocation and the configure phase
+//     (debian/rules, debian/control, configure.ac). Any seal taken after the
+//     driver first ran has these in its prefix.
+//   - Shared: read by every compile-unit execution (the Makefile, parsed per
+//     make invocation, and every header — each unit includes them all).
+//   - Units: per compile unit, the sources only that unit reads.
+type Inputs struct {
+	Phase  []string
+	Shared []string
+	Units  map[string][]string
+}
+
+// SealInfo describes one sealed checkpoint's progress for rebuild planning,
+// derived from the sealed filesystem itself (core.Checkpoint.RebuildInfo) —
+// not from the seal's position in the run, so planning never depends on the
+// salted compile order.
+type SealInfo struct {
+	// Ordinal is the seal's 1-based sequence number within its run.
+	Ordinal int
+	// Configured reports whether the driver had journaled a phase boundary
+	// by seal time — i.e. the Phase inputs are in the sealed prefix. The
+	// very first seal (taken at the driver's initial execve, before any
+	// read) has Configured false: its prefix touched nothing, so it is
+	// valid under any content patch.
+	Configured bool
+	// Units are the compile units whose objects exist in the sealed tree:
+	// their input sets — and the Shared inputs — are in the sealed prefix.
+	Units []string
+}
+
+// Plan is the rebuild decision for one patched tree: which seal to fork,
+// which units re-execute, which are reused from the derivation store.
+type Plan struct {
+	// Dirty is the tree delta (sorted leaf paths whose hashes changed).
+	Dirty []string
+	// DirtyUnits are the compile units whose input sets cover a dirty leaf
+	// (sorted); every other unit's object is reusable.
+	DirtyUnits []string
+	// Ordinal is the freshest seal whose sealed prefix read no dirty input
+	// (0 = none usable).
+	Ordinal int
+	// Reused are the chosen seal's already-built units — the work the
+	// rebuild skips.
+	Reused []string
+	// Cold means no seal can be forked (tree shape changed, a dirty path is
+	// claimed by no input set, or every seal's prefix is dirty): the rebuild
+	// must run from scratch. The correctness gate is indifferent — a cold
+	// rebuild of the patched tree produces the same bits — only the
+	// rebuild-time win is lost.
+	Cold bool
+}
+
+// PlanRebuild diffs the patched tree against the base build's tree and picks
+// the freshest seal whose prefix is untouched by the patch. The validity
+// rule is read-set containment: a seal may be forked iff nothing its sealed
+// prefix read is dirty — the prefix then replays to the identical state on
+// the patched tree, and amending the dirty leaves into the sealed filesystem
+// makes the resumed suffix bitwise-equal to a cold build of the patch.
+func PlanRebuild(base, patched TreeHash, in Inputs, seals []SealInfo) Plan {
+	dirty, shape := patched.Diff(base)
+	p := Plan{Dirty: dirty}
+	if shape {
+		// Adds/removes change inode allocation order and directory-listing
+		// outcomes for the whole run: no sealed prefix is safe.
+		p.Cold = true
+		return p
+	}
+
+	dirtySet := make(map[string]bool, len(dirty))
+	for _, d := range dirty {
+		dirtySet[d] = true
+	}
+	hits := func(paths []string) bool {
+		for _, q := range paths {
+			if dirtySet[q] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Every dirty path must be claimed by an input set; an unclaimed path
+	// means the declared inputs under-approximate what the build reads, and
+	// reuse would be unsound.
+	claimed := make(map[string]bool)
+	for _, q := range in.Phase {
+		claimed[q] = true
+	}
+	for _, q := range in.Shared {
+		claimed[q] = true
+	}
+	for _, ins := range in.Units {
+		for _, q := range ins {
+			claimed[q] = true
+		}
+	}
+	for _, d := range dirty {
+		if !claimed[d] {
+			p.Cold = true
+			return p
+		}
+	}
+
+	phaseDirty := hits(in.Phase)
+	sharedDirty := hits(in.Shared)
+	dirtyUnit := make(map[string]bool)
+	for name, ins := range in.Units {
+		if sharedDirty || hits(ins) {
+			dirtyUnit[name] = true
+		}
+	}
+	p.DirtyUnits = make([]string, 0, len(dirtyUnit))
+	for name := range dirtyUnit {
+		p.DirtyUnits = append(p.DirtyUnits, name)
+	}
+	sort.Strings(p.DirtyUnits)
+
+	ordered := append([]SealInfo(nil), seals...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Ordinal > ordered[j].Ordinal })
+	for _, s := range ordered {
+		if (s.Configured || len(s.Units) > 0) && phaseDirty {
+			continue
+		}
+		if len(s.Units) > 0 {
+			if sharedDirty {
+				continue
+			}
+			bad := false
+			for _, u := range s.Units {
+				if dirtyUnit[u] {
+					bad = true
+					break
+				}
+			}
+			if bad {
+				continue
+			}
+		}
+		p.Ordinal = s.Ordinal
+		p.Reused = append([]string(nil), s.Units...)
+		return p
+	}
+	p.Cold = true
+	return p
+}

@@ -1,0 +1,116 @@
+package derive
+
+import "sync"
+
+// Store is the derivation store: content-addressed prepared state (baseline
+// kernel snapshots, container templates) plus checkpoint seals, the reusable
+// derived artifacts of a build. farm.Shards implements it at the coordinator
+// for cross-node reuse; MemStore implements it in-process for local
+// incremental rebuilds. The interface is the lease protocol the farm wire
+// format already speaks, so one store semantics serves both.
+type Store interface {
+	// GetOrLease returns the prepared state at k. The first caller for a
+	// missing key gets (nil, false): it holds the lease and must call Put.
+	// Later callers block until the lease is filled and return (val, true).
+	GetOrLease(k Key) (any, bool)
+	// Put fills the lease at k with the built state and wakes all waiters.
+	Put(k Key, val any)
+	// PutSeal stores a checkpoint seal under k and advances the
+	// freshest-ordinal marker for its (state, job). Idempotent: first wins.
+	PutSeal(k SealKey, val any, digest uint64)
+	// Seal returns the seal stored at k, its digest, and whether it exists.
+	Seal(k SealKey) (any, uint64, bool)
+	// Latest returns the freshest seal ordinal recorded for (state, job),
+	// or 0 if the job sealed nothing.
+	Latest(state Key, job uint64) int
+}
+
+// MemStore is the in-process Store used for local incremental rebuilds: one
+// shard of the same lease/seal semantics farm.Shards serves cluster-wide.
+type MemStore struct {
+	mu     sync.Mutex
+	state  map[Key]*memEntry
+	seals  map[SealKey]memSeal
+	latest map[memLatest]int
+}
+
+type memEntry struct {
+	ready chan struct{} // closed once val is set
+	val   any
+}
+
+type memSeal struct {
+	val    any
+	digest uint64
+}
+
+type memLatest struct {
+	state Key
+	job   uint64
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-process derivation store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		state:  make(map[Key]*memEntry),
+		seals:  make(map[SealKey]memSeal),
+		latest: make(map[memLatest]int),
+	}
+}
+
+func (m *MemStore) GetOrLease(k Key) (any, bool) {
+	m.mu.Lock()
+	e, ok := m.state[k]
+	if !ok {
+		m.state[k] = &memEntry{ready: make(chan struct{})}
+		m.mu.Unlock()
+		return nil, false
+	}
+	m.mu.Unlock()
+	<-e.ready
+	return e.val, true
+}
+
+func (m *MemStore) Put(k Key, val any) {
+	m.mu.Lock()
+	e := m.state[k]
+	if e == nil {
+		e = &memEntry{ready: make(chan struct{})}
+		m.state[k] = e
+	}
+	m.mu.Unlock()
+	select {
+	case <-e.ready:
+		// Redundant put; first value wins.
+	default:
+		e.val = val
+		close(e.ready)
+	}
+}
+
+func (m *MemStore) PutSeal(k SealKey, val any, digest uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.seals[k]; !ok {
+		m.seals[k] = memSeal{val: val, digest: digest}
+	}
+	lk := memLatest{k.State, k.Job}
+	if k.Ordinal > m.latest[lk] {
+		m.latest[lk] = k.Ordinal
+	}
+}
+
+func (m *MemStore) Seal(k SealKey) (any, uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.seals[k]
+	return e.val, e.digest, ok
+}
+
+func (m *MemStore) Latest(state Key, job uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest[memLatest{state, job}]
+}

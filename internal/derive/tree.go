@@ -1,0 +1,58 @@
+package derive
+
+import "sort"
+
+// TreeHash is the Merkle-style source-tree hash: one leaf digest per path
+// (covering that entry's type, ownership, contents and link target) and a
+// root fold over the sorted leaves. The root is the tree's content address —
+// fs.Image.Hash returns exactly it — and the leaves are what incremental
+// rebuilds diff: a one-file patch changes one leaf, and the planner
+// invalidates exactly the derived state whose input set covers that leaf.
+type TreeHash struct {
+	Root   uint64
+	Leaves map[string]uint64
+}
+
+// FoldLeaves computes the root digest over leaves in sorted path order.
+// The fold frames each (path, leaf) pair, so the root commits to the path
+// set as well as the contents: adding, removing or renaming an entry moves
+// the root even if every surviving leaf is unchanged.
+func FoldLeaves(leaves map[string]uint64) uint64 {
+	paths := make([]string, 0, len(leaves))
+	for p := range leaves {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	h := NewHasher()
+	for _, p := range paths {
+		h.Str(p)
+		h.Num(leaves[p])
+	}
+	return h.Sum()
+}
+
+// Diff compares this tree against a base. dirty lists, in sorted order,
+// every path whose leaf differs plus every path present in only one tree;
+// shape reports whether the path sets themselves differ (a file added,
+// removed or renamed). A shape change defeats incremental rebuilding —
+// inode allocation and directory-listing outcomes depend on the path set —
+// so the planner goes cold on it.
+func (t TreeHash) Diff(base TreeHash) (dirty []string, shape bool) {
+	for p, leaf := range t.Leaves {
+		bl, ok := base.Leaves[p]
+		if !ok {
+			dirty = append(dirty, p)
+			shape = true
+		} else if bl != leaf {
+			dirty = append(dirty, p)
+		}
+	}
+	for p := range base.Leaves {
+		if _, ok := t.Leaves[p]; !ok {
+			dirty = append(dirty, p)
+			shape = true
+		}
+	}
+	sort.Strings(dirty)
+	return dirty, shape
+}

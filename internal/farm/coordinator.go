@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/derive"
 	"repro/internal/obs"
 )
 
@@ -324,14 +325,14 @@ func (co *coordinator) Receive(env *Envelope) *Envelope {
 			Ordinal: int32(env.From)}
 	case MsgSealPut:
 		co.cl.c.sealPuts.Add(co.l, 1)
-		co.shards.PutSeal(SealKey{
-			State: KeyFor(env.Image, env.Config), Job: env.Job,
+		co.shards.PutSeal(derive.SealKey{
+			State: derive.KeyFor(env.Image, env.Config), Job: env.Job,
 			Ordinal: int(env.Ordinal),
 		}, env.Val, env.Digest)
 		return &Envelope{Type: MsgSealAck, From: Coordinator, To: env.From}
 	case MsgSealGet:
 		co.cl.c.sealGets.Add(co.l, 1)
-		key := KeyFor(env.Image, env.Config)
+		key := derive.KeyFor(env.Image, env.Config)
 		ord := int(env.Ordinal)
 		if ord == 0 {
 			ord = co.shards.Latest(key, env.Job)
@@ -340,7 +341,7 @@ func (co *coordinator) Receive(env *Envelope) *Envelope {
 			return &Envelope{Type: MsgSealData, From: Coordinator, To: env.From,
 				Status: "miss"}
 		}
-		val, digest, ok := co.shards.Seal(SealKey{State: key, Job: env.Job, Ordinal: ord})
+		val, digest, ok := co.shards.Seal(derive.SealKey{State: key, Job: env.Job, Ordinal: ord})
 		if !ok {
 			return &Envelope{Type: MsgSealData, From: Coordinator, To: env.From,
 				Status: "miss"}
@@ -348,7 +349,7 @@ func (co *coordinator) Receive(env *Envelope) *Envelope {
 		return &Envelope{Type: MsgSealData, From: Coordinator, To: env.From,
 			Ordinal: int32(ord), Digest: digest, Val: val}
 	case MsgStateGet:
-		val, ok := co.shards.GetOrLease(KeyFor(env.Image, env.Config))
+		val, ok := co.shards.GetOrLease(derive.KeyFor(env.Image, env.Config))
 		if !ok {
 			co.cl.c.stateMiss.Add(co.l, 1)
 			return &Envelope{Type: MsgStateData, From: Coordinator, To: env.From,
@@ -357,7 +358,7 @@ func (co *coordinator) Receive(env *Envelope) *Envelope {
 		co.cl.c.stateHits.Add(co.l, 1)
 		return &Envelope{Type: MsgStateData, From: Coordinator, To: env.From, Val: val}
 	case MsgStatePut:
-		co.shards.Put(KeyFor(env.Image, env.Config), env.Val)
+		co.shards.Put(derive.KeyFor(env.Image, env.Config), env.Val)
 		return &Envelope{Type: MsgStateAck, From: Coordinator, To: env.From}
 	case MsgDown:
 		co.mu.Lock()

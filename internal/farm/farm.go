@@ -1,3 +1,25 @@
+// Package farm is the distributed build-farm service: a coordinator and
+// worker nodes speaking a message-typed request/response protocol (proto.go)
+// over a pluggable transport — an in-process deterministic transport for
+// tests and simulation (transport.go), and a net/http+JSON binding for real
+// deployment (http.go).
+//
+// The design premise is the paper's §3 purity argument at fleet scale: a
+// DetTrace build is a pure function of its declared inputs, so the farm
+// layer — placement, capacity, retries, message loss and duplication, node
+// crashes, checkpoint recovery — must contribute nothing to any output byte.
+// Determinism is the distributed-systems correctness oracle: the farm's
+// output must be bitwise-independent of node count, placement seed and
+// failure schedule, and internal/buildsim's farm equivalence tests gate
+// exactly that.
+//
+// Prepared state — baseline kernel snapshots, container templates (DESIGN
+// §4b) and checkpoint seals (DESIGN §4d) — lives in a content-addressed,
+// sharded derivation store (shards.go) keyed by internal/derive's unified
+// key schema (DESIGN §4g), so any node can fork any prepared state instead
+// of cold-booting, a crashed worker's job can be recovered on another node
+// from the freshest valid seal, and incremental rebuilds can reuse seals
+// across the fleet.
 package farm
 
 import (

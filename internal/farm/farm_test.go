@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/derive"
 	"repro/internal/obs"
 	"repro/internal/reprotest"
 )
@@ -13,7 +14,7 @@ import (
 // build satisfies. It seals three checkpoints per run; a doomed run crashes
 // after sealing, so the retry can restore from the freshest seal.
 func toyExec(ctx *ExecCtx) (uint64, error) {
-	key := KeyFor(ctx.Job.Image, ctx.Job.Config)
+	key := derive.KeyFor(ctx.Job.Image, ctx.Job.Config)
 	// Prepared state: build once farm-wide, reuse everywhere.
 	ctx.Prepared(key, func() any { return ctx.Job.Image * 3 })
 	start := 0

@@ -1,10 +1,14 @@
 package farm
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/derive"
+)
 
 // Shards is the content-addressed, sharded store of prepared state: baseline
-// kernel snapshots and container templates keyed by StateKey, checkpoint
-// seals keyed by SealKey. It lives at the coordinator — the one node the
+// kernel snapshots and container templates keyed by derive.Key, checkpoint
+// seals keyed by derive.SealKey. It lives at the coordinator — the one node the
 // fault plane never kills — so a worker's death cannot take seals down with
 // it, and any surviving node can fork any prepared state by content address.
 //
@@ -18,10 +22,15 @@ type Shards struct {
 	shards []shard
 }
 
+// Shards is the cluster-scale derive.Store: the same lease/seal semantics
+// buildsim's in-process store serves locally, so incremental rebuilds reuse
+// seals identically whether the source is this node or the coordinator.
+var _ derive.Store = (*Shards)(nil)
+
 type shard struct {
 	mu     sync.Mutex
-	state  map[StateKey]*stateEntry
-	seals  map[SealKey]sealEntry
+	state  map[derive.Key]*stateEntry
+	seals  map[derive.SealKey]sealEntry
 	latest map[latestKey]int
 }
 
@@ -37,7 +46,7 @@ type sealEntry struct {
 
 // latestKey tracks the freshest seal ordinal per (state, job).
 type latestKey struct {
-	state StateKey
+	state derive.Key
 	job   uint64
 }
 
@@ -49,21 +58,21 @@ func NewShards(n int) *Shards {
 	s := &Shards{n: n, shards: make([]shard, n)}
 	for i := range s.shards {
 		s.shards[i] = shard{
-			state:  make(map[StateKey]*stateEntry),
-			seals:  make(map[SealKey]sealEntry),
+			state:  make(map[derive.Key]*stateEntry),
+			seals:  make(map[derive.SealKey]sealEntry),
 			latest: make(map[latestKey]int),
 		}
 	}
 	return s
 }
 
-func (s *Shards) shard(k StateKey) *shard { return &s.shards[k.Shard(s.n)] }
+func (s *Shards) shard(k derive.Key) *shard { return &s.shards[k.Shard(s.n)] }
 
 // GetOrLease returns the prepared state at k. The first caller for a missing
 // key gets (nil, false): it holds the lease and must call Put. Later callers
 // block until the lease is filled and return (val, true). A present key
 // returns immediately.
-func (s *Shards) GetOrLease(k StateKey) (any, bool) {
+func (s *Shards) GetOrLease(k derive.Key) (any, bool) {
 	sh := s.shard(k)
 	sh.mu.Lock()
 	e, ok := sh.state[k]
@@ -78,7 +87,7 @@ func (s *Shards) GetOrLease(k StateKey) (any, bool) {
 }
 
 // Put fills the lease at k with the built state and wakes all waiters.
-func (s *Shards) Put(k StateKey, val any) {
+func (s *Shards) Put(k derive.Key, val any) {
 	sh := s.shard(k)
 	sh.mu.Lock()
 	e := sh.state[k]
@@ -99,7 +108,7 @@ func (s *Shards) Put(k StateKey, val any) {
 // PutSeal stores a checkpoint seal and advances the freshest-ordinal marker
 // for its (state, job). Re-putting the same key is idempotent (first wins),
 // which makes duplicate MsgSealPut deliveries harmless.
-func (s *Shards) PutSeal(k SealKey, val any, digest uint64) {
+func (s *Shards) PutSeal(k derive.SealKey, val any, digest uint64) {
 	sh := s.shard(k.State)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -113,7 +122,7 @@ func (s *Shards) PutSeal(k SealKey, val any, digest uint64) {
 }
 
 // Seal returns the seal stored at k, its digest, and whether it exists.
-func (s *Shards) Seal(k SealKey) (any, uint64, bool) {
+func (s *Shards) Seal(k derive.SealKey) (any, uint64, bool) {
 	sh := s.shard(k.State)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -123,7 +132,7 @@ func (s *Shards) Seal(k SealKey) (any, uint64, bool) {
 
 // Latest returns the freshest seal ordinal recorded for (state, job), or 0
 // if the job sealed nothing.
-func (s *Shards) Latest(state StateKey, job uint64) int {
+func (s *Shards) Latest(state derive.Key, job uint64) int {
 	sh := s.shard(state)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -3,6 +3,7 @@ package farm
 import (
 	"sync"
 
+	"repro/internal/derive"
 	"repro/internal/obs"
 )
 
@@ -153,7 +154,7 @@ func (c *ExecCtx) send(env *Envelope) *Envelope {
 // template) at key, building it via build exactly once farm-wide: the first
 // requester holds the lease and builds; concurrent requesters block until
 // the put lands.
-func (c *ExecCtx) Prepared(key StateKey, build func() any) any {
+func (c *ExecCtx) Prepared(key derive.Key, build func() any) any {
 	resp := c.send(&Envelope{Type: MsgStateGet, Image: key.Image, Config: key.Config})
 	if resp.Status == "lease" {
 		val := build()
@@ -165,7 +166,7 @@ func (c *ExecCtx) Prepared(key StateKey, build func() any) any {
 
 // PutSeal publishes a checkpoint seal for this job into the content-
 // addressed store.
-func (c *ExecCtx) PutSeal(key StateKey, ordinal int, digest uint64, seal any) {
+func (c *ExecCtx) PutSeal(key derive.Key, ordinal int, digest uint64, seal any) {
 	c.send(&Envelope{Type: MsgSealPut, Job: c.Job.ID,
 		Image: key.Image, Config: key.Config,
 		Ordinal: int32(ordinal), Digest: digest, Val: seal})
@@ -173,7 +174,7 @@ func (c *ExecCtx) PutSeal(key StateKey, ordinal int, digest uint64, seal any) {
 
 // LatestSeal returns the freshest seal ordinal published for this job (0 if
 // none).
-func (c *ExecCtx) LatestSeal(key StateKey) int {
+func (c *ExecCtx) LatestSeal(key derive.Key) int {
 	resp := c.send(&Envelope{Type: MsgSealGet, Job: c.Job.ID,
 		Image: key.Image, Config: key.Config})
 	if resp.Status == "miss" {
@@ -183,7 +184,7 @@ func (c *ExecCtx) LatestSeal(key StateKey) int {
 }
 
 // Seal fetches the seal at the given ordinal for this job.
-func (c *ExecCtx) Seal(key StateKey, ordinal int) (any, bool) {
+func (c *ExecCtx) Seal(key derive.Key, ordinal int) (any, bool) {
 	resp := c.send(&Envelope{Type: MsgSealGet, Job: c.Job.ID,
 		Image: key.Image, Config: key.Config, Ordinal: int32(ordinal)})
 	if resp.Status == "miss" || resp.Type == MsgErr {

@@ -1,0 +1,28 @@
+package fs
+
+import "repro/internal/abi"
+
+// Amend replaces the contents of an existing regular file in place, leaving
+// every other property of the tree — inode number, link count, timestamps,
+// directory sizes, allocator state — untouched. It is the incremental-rebuild
+// patch primitive (ISSUE 8): after forking a checkpoint seal whose prefix
+// never read the file, the rebuilder amends the dirty source bytes into the
+// resumed filesystem, making the suffix's reads see exactly what a cold build
+// of the patched image would have populated.
+//
+// The amended inode gets a fresh Data slice and drops any COW aliasing with
+// the seal's frozen base, so the patch can never leak into the sealed state
+// or be clobbered by a later COW break. Amend is content-only by design —
+// it cannot create, remove or retype a file, because a shape change would
+// alter inode allocation order and directory listings for the whole run
+// (those patches go cold; see derive.PlanRebuild).
+func (f *FS) Amend(path string, data []byte) bool {
+	f.mustMutable()
+	n, err := f.Resolve(LookupCtx{Root: f.Root, Cwd: f.Root}, path, true)
+	if err != abi.OK || n == nil || !n.IsRegular() {
+		return false
+	}
+	n.Data = append([]byte(nil), data...)
+	n.cowData = false
+	return true
+}

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"repro/internal/abi"
+	"repro/internal/derive"
 	"repro/internal/machine"
 	"repro/internal/prng"
 )
@@ -550,14 +551,7 @@ func (f *FS) ReadDirRaw(dir *Inode) []abi.Dirent {
 
 // nameSeed derives the filesystem's directory-hash salt from the machine
 // identity.
-func nameSeed(name string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 0x100000001b3
-	}
-	return h
-}
+func nameSeed(name string) uint64 { return derive.DigestBytes([]byte(name)) }
 
 // nameHash is an FNV-style hash salted with the filesystem seed.
 func (f *FS) nameHash(name string) uint64 {

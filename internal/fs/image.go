@@ -2,11 +2,11 @@ package fs
 
 import (
 	"bytes"
-	"encoding/binary"
 	"sort"
 	"strings"
 
 	"repro/internal/abi"
+	"repro/internal/derive"
 )
 
 // Image is a portable description of a filesystem tree — the "initial
@@ -76,39 +76,43 @@ func (im *Image) Equal(other *Image) bool {
 	return true
 }
 
-// Hash returns a content hash of the image: FNV-1a over the sorted paths
-// and their length-prefixed entry fields. Two images with Equal contents
-// hash identically; the template cache (internal/buildsim) uses this as its
-// key, per ISSUE 3's "keyed by image content hash".
+// LeafHash returns the content hash of one entry: its type and permission
+// bits, ownership, file body, link target and device identity. One file's
+// leaf is the per-file granule the incremental-rebuild planner diffs — a
+// one-byte patch moves exactly one leaf.
+func (e ImageEntry) LeafHash() uint64 {
+	h := derive.NewHasher()
+	h.Num(uint64(e.Mode))
+	h.Num(uint64(e.UID))
+	h.Num(uint64(e.GID))
+	h.Data(e.Data)
+	h.Str(e.Target)
+	h.Str(e.DevID)
+	return h.Sum()
+}
+
+// TreeHash returns the Merkle-style tree hash of the image: one leaf per
+// path plus the root fold over the sorted (path, leaf) pairs. The root is
+// the image's content address; the leaves feed derive.PlanRebuild's tree
+// diff.
+func (im *Image) TreeHash() derive.TreeHash {
+	leaves := make(map[string]uint64, len(im.Entries))
+	for p, e := range im.Entries {
+		leaves[p] = e.LeafHash()
+	}
+	return derive.TreeHash{Root: derive.FoldLeaves(leaves), Leaves: leaves}
+}
+
+// Hash returns the content hash of the image — the root of TreeHash. Two
+// images with Equal contents hash identically; every cache layer keys on
+// this through derive.KeyFor, per ISSUE 3's "keyed by image content hash"
+// and ISSUE 8's unified derivation keys.
 func (im *Image) Hash() uint64 {
-	h := uint64(0xcbf29ce484222325)
-	mix := func(b []byte) {
-		for _, c := range b {
-			h ^= uint64(c)
-			h *= 0x100000001b3
-		}
+	leaves := make(map[string]uint64, len(im.Entries))
+	for p, e := range im.Entries {
+		leaves[p] = e.LeafHash()
 	}
-	var buf [8]byte
-	num := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		mix(buf[:])
-	}
-	str := func(s string) {
-		num(uint64(len(s)))
-		mix([]byte(s))
-	}
-	for _, p := range im.Paths() {
-		e := im.Entries[p]
-		str(p)
-		num(uint64(e.Mode))
-		num(uint64(e.UID))
-		num(uint64(e.GID))
-		num(uint64(len(e.Data)))
-		mix(e.Data)
-		str(e.Target)
-		str(e.DevID)
-	}
-	return h
+	return derive.FoldLeaves(leaves)
 }
 
 // Clone returns a deep copy, so experiment images can be derived from a

@@ -89,12 +89,12 @@ type procSeal struct {
 	zombies []zombie
 	mem     map[int64]int64
 
-	trap                         cpu.TrapConfig
-	vdsoReplaced, vdsoLogical    bool
-	scratchPage                  bool
-	weight                       int64
-	timeCallCount                int64
-	threadBusy, lthreadBusy      int64
+	trap                      cpu.TrapConfig
+	vdsoReplaced, vdsoLogical bool
+	scratchPage               bool
+	weight                    int64
+	timeCallCount             int64
+	threadBusy, lthreadBusy   int64
 }
 
 // fdSeal is one console descriptor (quiescence admits no other kind).
@@ -123,6 +123,12 @@ func (cp *Checkpoint) VirtualNow() int64 { return cp.now }
 
 // LNow returns the sealed logical time.
 func (cp *Checkpoint) LNow() int64 { return cp.lnow }
+
+// FSSeal exposes the sealed (frozen) filesystem for read-only inspection.
+// The incremental-rebuild planner walks it to learn what the sealed prefix
+// had built — the phase journal and the object tree — without resuming the
+// checkpoint (core.Checkpoint.RebuildInfo).
+func (cp *Checkpoint) FSSeal() *fs.FS { return cp.fsSeal }
 
 // quiescentStop returns the sole pending thread if the kernel is at a
 // checkpointable stop, nil otherwise. See the file comment for why each

@@ -3,6 +3,8 @@ package obs
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/derive"
 )
 
 // Kind tags a flight-recorder event.
@@ -64,6 +66,14 @@ const (
 	// KindWsConflict marks a deterministic workspace merge conflict; the
 	// container aborts reproducibly right after recording it.
 	KindWsConflict
+	// KindDeriveHit marks a derivation-store hit (ISSUE 8): derived state
+	// was reused instead of rebuilt. Arg is the derivation key hash, Ret
+	// the granularity (0 = template/snapshot, 1 = phase seal, 2 = compile
+	// unit). Observability-only — reuse never changes guest-visible bytes.
+	KindDeriveHit
+	// KindDeriveMiss marks a derivation-store miss at the same granularity
+	// encoding: the state had to be built (or a unit re-executed).
+	KindDeriveMiss
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -99,6 +109,10 @@ func (k Kind) String() string {
 		return "ws-merge"
 	case KindWsConflict:
 		return "ws-conflict"
+	case KindDeriveHit:
+		return "derive-hit"
+	case KindDeriveMiss:
+		return "derive-miss"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -251,33 +265,13 @@ type Span struct {
 	LEnd   int64
 }
 
-// fnvOffset/fnvPrime are the FNV-1a constants used for event digests.
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
-
 // DigestBytes folds a byte slice into a 64-bit FNV-1a digest — how entropy
-// draws and syscall payloads enter events without copying guest data.
-func DigestBytes(p []byte) uint64 {
-	h := uint64(fnvOffset)
-	for _, b := range p {
-		h = (h ^ uint64(b)) * fnvPrime
-	}
-	return h
-}
+// draws and syscall payloads enter events without copying guest data. It is
+// derive.DigestBytes re-exported: event digests share the one derivation-key
+// mixer (ISSUE 8) so observability and cache keys can never disagree on what
+// a content hash is.
+func DigestBytes(p []byte) uint64 { return derive.DigestBytes(p) }
 
 // DigestU64 folds additional words into a running digest (seed with
 // DigestBytes(nil) for an empty start).
-func DigestU64(h uint64, vs ...uint64) uint64 {
-	if h == 0 {
-		h = fnvOffset
-	}
-	for _, v := range vs {
-		for i := 0; i < 8; i++ {
-			h = (h ^ (v & 0xff)) * fnvPrime
-			v >>= 8
-		}
-	}
-	return h
-}
+func DigestU64(h uint64, vs ...uint64) uint64 { return derive.DigestU64(h, vs...) }

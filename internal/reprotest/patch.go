@@ -1,0 +1,36 @@
+package reprotest
+
+import "repro/internal/prng"
+
+// PatchFor derives a deterministic patch schedule from a seed: `rounds`
+// successive edits, each naming the (1-3) source-file indices to dirty out
+// of `files` candidates. Like PlanFor it is a pure function of its
+// arguments, so the same seed replays the same schedule on every host, every
+// worker count and both sides of the incremental ablation — which is what
+// lets the incremental-equivalence property test (ISSUE 8) compare whole
+// schedules DeepEqual across Jobs x Nodes x incremental on/off.
+func PatchFor(seed uint64, files, rounds int) [][]int {
+	if files <= 0 || rounds <= 0 {
+		return nil
+	}
+	rng := prng.NewHost(seed ^ 0x9A7C84)
+	sched := make([][]int, rounds)
+	for r := range sched {
+		n := 1 + int(rng.Uint64()%3)
+		if n > files {
+			n = files
+		}
+		picked := make(map[int]bool, n)
+		round := make([]int, 0, n)
+		for len(round) < n {
+			i := int(rng.Uint64() % uint64(files))
+			if picked[i] {
+				continue
+			}
+			picked[i] = true
+			round = append(round, i)
+		}
+		sched[r] = round
+	}
+	return sched
+}
