@@ -138,6 +138,34 @@ type incrementalBench struct {
 	Speedup     float64 `json:"rebuild_speedup"`
 }
 
+// ttdBench is the time-travel debug section (X19): what dense delta
+// checkpointing stores versus standalone full seals, what a logical-time
+// seek costs against a cold replay to the same instant, and the auto-bisect
+// probe/replay counts with agreement against the linear diagnoser.
+// delta_full_equivalent must equal packages — the DisableDeltaSeals ablation
+// may change seal representation, never an output byte.
+type ttdBench struct {
+	Packages   int `json:"packages"`
+	Seals      int `json:"seals"`
+	Equivalent int `json:"delta_full_equivalent"`
+
+	DeltaBytes int64   `json:"seal_delta_bytes"`
+	FullBytes  int64   `json:"seal_full_bytes"`
+	DeltaRatio float64 `json:"seal_delta_ratio"`
+
+	// seek_speedup is the deterministic action-count ratio (cold replay
+	// actions / chain-seek actions); the *_ns wall times are informational.
+	ReplayedActions int64   `json:"seek_replayed_actions"`
+	ColdActions     int64   `json:"cold_replayed_actions"`
+	SeekSpeedup     float64 `json:"seek_speedup"`
+	SeekNs          int64   `json:"seek_ns"`
+	ColdReplayNs    int64   `json:"cold_replay_ns"`
+
+	BisectProbes  int `json:"bisect_probes"`
+	BisectReplays int `json:"bisect_window_replays"`
+	BisectAgree   int `json:"bisect_agree_linear"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -173,6 +201,7 @@ type benchReport struct {
 	Farm        farmBench        `json:"farm"`
 	Workspaces  workspaceBench   `json:"workspaces"`
 	Incremental incrementalBench `json:"incremental"`
+	TTD         ttdBench         `json:"ttd"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -319,6 +348,23 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		AvgRebuild:  is.AvgRebuildNs,
 		AvgCold:     is.AvgColdNs,
 		Speedup:     is.Speedup,
+	}
+	td := o.RunTTDStudy(debpkg.Universe(seed, sampleOr(n, 24)))
+	rep.TTD = ttdBench{
+		Packages:        td.Packages,
+		Seals:           td.Seals,
+		Equivalent:      td.Equivalent,
+		DeltaBytes:      td.DeltaBytes,
+		FullBytes:       td.FullBytes,
+		DeltaRatio:      td.Ratio,
+		ReplayedActions: td.ReplayedActions,
+		ColdActions:     td.ColdActions,
+		SeekSpeedup:     td.Speedup,
+		SeekNs:          td.SeekNs,
+		ColdReplayNs:    td.ColdNs,
+		BisectProbes:    td.BisectProbes,
+		BisectReplays:   td.BisectReplays,
+		BisectAgree:     td.BisectAgree,
 	}
 	cost := kernel.DefaultCostModel()
 	rep.Workspaces = workspaceBench{ForkNs: cost.WsForkCost, MergeNs: cost.WsMergeCost}

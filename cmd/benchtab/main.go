@@ -19,6 +19,7 @@
 //	benchtab -farm              X16 distributed-farm study (scaling, placement, node-kill recovery)
 //	benchtab -workspaces        X17 thread-workspace ablation (farm speedup + output equivalence)
 //	benchtab -incremental       X18 incremental-rebuild study (derivation-store seal reuse vs cold)
+//	benchtab -ttd               X19 time-travel debug study (delta seals, seek latency, bisect cost)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -63,6 +64,7 @@ func main() {
 		farmStd  = flag.Bool("farm", false, "X16 distributed-farm study: node counts x placement seeds x fault schedules vs the local reference")
 		wsStud   = flag.Bool("workspaces", false, "X17 thread-workspace ablation: threaded-build speedup vs serialized threads, with bitwise output equivalence")
 		incrStd  = flag.Bool("incremental", false, "X18 incremental-rebuild study: one-file patches rebuilt from derivation-store seals vs cold, compared bitwise")
+		ttdStd   = flag.Bool("ttd", false, "X19 time-travel debug study: delta-seal sizes, logical-time seek vs cold replay, bisect probe counts")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -200,6 +202,11 @@ func main() {
 	if *all || *incrStd {
 		section("X18: incremental rebuilds — derivation-store seal reuse vs cold")
 		fmt.Println(o.RunIncrementalStudy(debpkg.Universe(*seed, sampleOr(*n, 120)), 0))
+		fmt.Println()
+	}
+	if *all || *ttdStd {
+		section("X19: time-travel debugging — delta seals, logical-time seek, auto-bisect")
+		fmt.Println(o.RunTTDStudy(debpkg.Universe(*seed, sampleOr(*n, 24))))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -14,6 +14,14 @@
 //	reprotest -pkg 7 -diagnose
 //	reprotest -pkg 7 -diagnose -inject-entropy 3
 //
+// With -bisect the same seeded divergence is localized the time-travel way:
+// both runs record every checkpoint seal, the seal chains are binary-searched
+// by ring-prefix digest, and only the bracketing window is re-executed. The
+// tool exits non-zero unless bisection lands on the exact event the linear
+// diagnoser reports, within the O(log n) window-replay bound.
+//
+//	reprotest -pkg 7 -bisect -inject-entropy 3
+//
 // With -inject-crash N the tool instead runs the crash-recovery gate: build
 // the package checkpointed and uninterrupted, crash a second run at action N
 // (0 picks the midpoint), recover it from its last checkpoint, and exit
@@ -64,7 +72,8 @@ func main() {
 		pkgN     = flag.Int("pkg", 0, "universe package index")
 		llvm     = flag.Bool("llvm", false, "build the llvm package instead")
 		diagnose = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
-		inject   = flag.Int("inject-entropy", 0, "with -diagnose: perturb the second run's N'th entropy draw")
+		bisect   = flag.Bool("bisect", false, "localize the first divergent event by checkpoint bisection and verify it against the linear diagnoser")
+		inject   = flag.Int("inject-entropy", 0, "with -diagnose or -bisect: perturb the second run's N'th entropy draw")
 		crashAt  = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
 		nodes    = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
 		killNode = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
@@ -127,6 +136,15 @@ func main() {
 	if *crashAt >= 0 {
 		fmt.Println()
 		report, ok := o.CrashRecovery(spec, *crashAt)
+		fmt.Println(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if *bisect {
+		fmt.Println()
+		report, ok := o.BisectDiagnose(spec, *inject)
 		fmt.Println(report)
 		if !ok {
 			os.Exit(1)

@@ -77,6 +77,7 @@ func (j *jobCkpts) key(ordinal int) derive.SealKey {
 
 func (j *jobCkpts) sink(cp *core.Checkpoint) {
 	j.o.sc().ckptSealed.Add(j.l, 1)
+	j.o.bookSealBytes(j.l, cp)
 	cache := j.o.caches().checkpoints
 	cache.putPinned(j.key(cp.Ordinal()), cp)
 	if j.latest > 0 {

@@ -93,6 +93,14 @@ type setupCounters struct {
 	mttrNs          *obs.Counter
 	replayNs        *obs.Counter
 	redoneNs        *obs.Counter
+
+	// Seal-size accounting (ISSUE 9, ttd.go): bytes a delta seal actually
+	// stored (fresh data only) vs bytes the equivalent full seals hold.
+	// Booked here at the farm layer — never inside core.sealCheckpoint —
+	// because attaching a checkpoint sink must not perturb a run's own
+	// metrics registry (the bitwise equivalence tests compare those).
+	ckptDeltaBytes *obs.Counter
+	ckptFullBytes  *obs.Counter
 }
 
 // SetupStats is a point-in-time snapshot of the farm's container-setup
@@ -203,6 +211,9 @@ func (o *Options) initObsLocked() {
 		mttrNs:          r.Counter("farm_mttr_ns"),
 		replayNs:        r.Counter("farm_replay_ns"),
 		redoneNs:        r.Counter("farm_redone_ns"),
+
+		ckptDeltaBytes: r.Counter("checkpoint_delta_bytes"),
+		ckptFullBytes:  r.Counter("checkpoint_full_bytes"),
 	}
 	o.obsReg = r
 	o.deriveRec = obs.NewRecorder(obs.DefaultRingEvents)

@@ -1,0 +1,308 @@
+// Time-travel debugging over recorded builds (ISSUE 9): record a package
+// build in checkpoint mode keeping EVERY seal (not just the freshest, as the
+// crash-recovery LRU does), wrap the seal chain and the full flight-recorder
+// trace in a ttd.Session, and drive the two debugger verbs — SeekTo a
+// logical instant, and Bisect two runs to their first divergent event in
+// O(log n) seal probes plus a constant number of window replays.
+//
+// BisectDiagnose is the `reprotest -bisect` gate: it must land on the SAME
+// event the linear diagnoser (diagnose.go) finds, while re-executing only
+// the checkpoint-bracketed window. RunTTDStudy is the `benchtab -ttd` study:
+// delta-vs-full seal sizes, seek latency against cold replay, bisect probe
+// counts.
+package buildsim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/debpkg"
+	"repro/internal/obs"
+	"repro/internal/reprotest"
+	"repro/internal/stats"
+	"repro/internal/ttd"
+)
+
+// bookSealBytes charges one sealed checkpoint's storage cost to the farm's
+// seal-size counters: a delta seal stores only the bytes dirtied since the
+// previous seal, a full seal its whole tree. Farm-layer on purpose — sinks
+// must never touch the run's own registry (see setupCounters.ckptDeltaBytes).
+func (o *Options) bookSealBytes(l obs.Local, cp *core.Checkpoint) {
+	st := cp.Kernel().FSSealStats()
+	sc := o.sc()
+	if st.Delta {
+		sc.ckptDeltaBytes.Add(l, st.FreshBytes)
+	} else {
+		sc.ckptFullBytes.Add(l, st.TotalBytes)
+	}
+}
+
+// recordSession builds spec once in checkpoint mode with an all-seals sink
+// and a diagnosis-sized ring, and wraps the recording in a ttd.Session.
+// inject > 0 perturbs the inject'th entropy draw (the divergence the bisect
+// gate localizes); mod further adjusts the config (the delta-seal ablation).
+// The session's Launch closure cold-boots deliberately — core templates
+// zero the per-run halt knobs, so a halted replay must never route through
+// the template fork path.
+func (o *Options) recordSession(l obs.Local, spec *debpkg.Spec, inject int, mod func(*core.Config)) (*ttd.Session, dtRun) {
+	seed := pkgSeed(o.Seed, spec)
+	v, _ := reprotest.Pair(seed)
+	img, pkgdir, imgHash := o.pkgImage(l, spec, "/build")
+	cfg := o.dtConfig(img, pkgdir, seed, v)
+	cfg.RingEvents = diagnoseRingEvents
+	if inject > 0 {
+		cfg.FaultInjectEntropy = inject
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	var seals []*core.Checkpoint
+	cfg.CheckpointSink = func(cp *core.Checkpoint) {
+		o.sc().ckptSealed.Add(l, 1)
+		o.bookSealBytes(l, cp)
+		seals = append(seals, cp)
+	}
+	res := o.runContainer(l, cfg, img, imgHash, checkpointEnv)
+	sess := &ttd.Session{
+		Cfg:   cfg,
+		Reg:   registry(),
+		Seals: seals,
+		Trace: res.Events,
+		Obs:   o.Obs(),
+		Launch: func(c core.Config) *core.Result {
+			return core.New(c).Run(registry(), "/bin/dpkg-buildpackage",
+				[]string{"dpkg-buildpackage", "-b"}, checkpointEnv)
+		},
+	}
+	return sess, dtRunFrom(res, spec, pkgdir)
+}
+
+// sameDivergence reports whether the bisect and the linear diagnoser named
+// the same first divergent event: same comparable-stream index and the same
+// event content on both sides (nil sides must agree too).
+func sameDivergence(a, b *obs.Divergence) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	if a.Index != b.Index {
+		return false
+	}
+	same := func(x, y *obs.Event) bool {
+		if x == nil || y == nil {
+			return x == nil && y == nil
+		}
+		return x.Kind == y.Kind && x.Pid == y.Pid && x.Num == y.Num &&
+			x.Arg == y.Arg && x.Ret == y.Ret
+	}
+	return same(a.A, b.A) && same(a.B, b.B)
+}
+
+// BisectDiagnose is the gate behind `reprotest -bisect -inject-entropy N`:
+// record the build twice (run B with the injected entropy perturbation),
+// localize the first divergent event by checkpoint bisection, and check the
+// answer against the linear diagnoser over the two full traces. ok requires
+// agreement on the exact event AND the O(log n) bound — at most
+// ceil(log2(seals))+1 window re-executions.
+func (o *Options) BisectDiagnose(spec *debpkg.Spec, inject int) (report string, ok bool) {
+	on := &Options{Seed: o.Seed, Checkpoints: true}
+	l := obs.NewLocal()
+	a, runA := on.recordSession(l, spec, 0, nil)
+	if v, _ := runA.verdict(); v != "" {
+		return fmt.Sprintf("reference build did not complete: %s", v), false
+	}
+	b, runB := on.recordSession(l, spec, inject, nil)
+	if v, _ := runB.verdict(); v != "" {
+		return fmt.Sprintf("perturbed build did not complete: %s", v), false
+	}
+
+	linear := obs.FirstDivergence(a.Trace, b.Trace)
+	bres, err := a.Bisect(b)
+	if err != nil {
+		return fmt.Sprintf("bisect failed: %v", err), false
+	}
+
+	seals := len(a.Seals)
+	if len(b.Seals) < seals {
+		seals = len(b.Seals)
+	}
+	bound := int(math.Ceil(math.Log2(float64(seals)))) + 1
+	agree := sameDivergence(bres.Divergence, linear)
+	ok = agree && bres.WindowReplays <= bound
+
+	report = fmt.Sprintf(
+		"%s_%s: %d seals (run A %d, run B %d), injected entropy fault at draw %d\n"+
+			"bisect: %d digest probes, window (%d, %d], %d window replays (bound %d)\n",
+		spec.Name, spec.Version, seals, len(a.Seals), len(b.Seals), inject,
+		bres.Probes, bres.LowOrdinal, bres.HighOrdinal, bres.WindowReplays, bound)
+	switch {
+	case bres.Divergence == nil && linear == nil:
+		report += "no divergence found by either method"
+		if inject > 0 {
+			report += " (injection did not reach an entropy draw)"
+			ok = false
+		}
+	case agree:
+		report += fmt.Sprintf("bisect and linear diagnoser agree:\n%s", bres.Divergence)
+	default:
+		report += fmt.Sprintf("MISMATCH\nbisect:  %s\nlinear:  %s", bres.Divergence, linear)
+	}
+	if agree && bres.WindowReplays > bound {
+		report += fmt.Sprintf("\nwindow replays %d exceed the O(log n) bound %d",
+			bres.WindowReplays, bound)
+	}
+	return report, ok
+}
+
+// TTDStudy is the `benchtab -ttd` result: what dense delta checkpointing
+// costs, what it buys a seek, and what bisection saves over linear replay.
+type TTDStudy struct {
+	Packages int
+	Seals    int // seals recorded per reference run, summed
+
+	// Equivalent counts packages whose delta-sealed build matched the
+	// DisableDeltaSeals build bitwise (the ablation equivalence gate).
+	Equivalent int
+
+	// DeltaBytes is what the delta chains actually stored (base seal + fresh
+	// bytes of every delta); FullBytes what the same chains would hold as
+	// standalone full seals. Ratio = DeltaBytes/FullBytes.
+	DeltaBytes int64
+	FullBytes  int64
+	Ratio      float64
+
+	// ReplayedActions is a mid-build SeekTo's forward-replay distance when
+	// restored from the seal chain; ColdActions the same seek forced to
+	// replay from boot. Speedup = ColdActions/ReplayedActions — the
+	// deterministic seek-cost ratio (kernel actions re-executed, a pure
+	// function of the run). SeekNs/ColdNs are the wall times those replays
+	// took, informational only: the study records packages in parallel, so
+	// wall time carries scheduler noise the action counts do not.
+	ReplayedActions int64
+	ColdActions     int64
+	Speedup         float64
+	SeekNs          int64
+	ColdNs          int64
+
+	// BisectProbes/BisectReplays aggregate the entropy-injected bisections;
+	// BisectAgree counts those landing on the linear diagnoser's event.
+	BisectProbes  int
+	BisectReplays int
+	BisectAgree   int
+}
+
+// String renders the study for benchtab text output.
+func (st *TTDStudy) String() string {
+	return fmt.Sprintf(
+		"ttd: %d packages, %d seals; delta/full equivalent %d/%d\n"+
+			"seal bytes: delta %d vs full %d (ratio %.3f)\n"+
+			"seek: %d actions replayed from seal chain vs %d cold (%.1fx); wall %.2f ms vs %.2f ms\n"+
+			"bisect: %d probes, %d window replays, %s agree with linear",
+		st.Packages, st.Seals, st.Equivalent, st.Packages,
+		st.DeltaBytes, st.FullBytes, st.Ratio,
+		st.ReplayedActions, st.ColdActions, st.Speedup,
+		float64(st.SeekNs)/1e6, float64(st.ColdNs)/1e6,
+		st.BisectProbes, st.BisectReplays, stats.Pct(st.BisectAgree, st.Packages))
+}
+
+// RunTTDStudy measures the time-travel debug service over specs: the
+// delta-seal ablation equivalence, chain storage cost against full seals,
+// seek latency against cold replay, and bisect cost against linear
+// diagnosis.
+func (o *Options) RunTTDStudy(specs []*debpkg.Spec) *TTDStudy {
+	on := &Options{Seed: o.Seed, Jobs: o.Jobs, Checkpoints: true}
+	st := &TTDStudy{}
+	type tOut struct {
+		ok, equivalent, agree  bool
+		seals                  int
+		deltaBytes, fullBytes  int64
+		seekNs, coldNs         int64
+		replayed, coldReplayed int64
+		probes, replays        int
+	}
+	outs := make([]tOut, len(specs))
+	o.forEach(len(specs), func(l obs.Local, i int) {
+		spec := specs[i]
+		sess, run := on.recordSession(l, spec, 0, nil)
+		if v, _ := run.verdict(); v != "" {
+			return
+		}
+		full, fullRun := on.recordSession(l, spec, 0, func(c *core.Config) {
+			c.DisableDeltaSeals = true
+		})
+		out := tOut{ok: true, seals: len(sess.Seals)}
+		out.equivalent = run.exit == fullRun.exit && run.wall == fullRun.wall &&
+			bytes.Equal(run.deb, fullRun.deb) && bytes.Equal(run.log, fullRun.log)
+
+		// Chain storage: the delta chain's stored bytes vs the standalone
+		// full seals the ablated run took at the same instants.
+		for _, cp := range sess.Seals {
+			s := cp.Kernel().FSSealStats()
+			if s.Delta {
+				out.deltaBytes += s.FreshBytes
+			} else {
+				out.deltaBytes += s.TotalBytes
+			}
+		}
+		for _, cp := range full.Seals {
+			out.fullBytes += cp.Kernel().FSSealStats().TotalBytes
+		}
+
+		// Seek to the run's logical midpoint, once from the seal chain and
+		// once forced cold (a sealless session replays from boot).
+		if len(sess.Trace) > 0 {
+			mid := sess.Trace[len(sess.Trace)/2].LTime
+			if view, err := sess.SeekTo(mid); err == nil {
+				out.seekNs = view.ReplayedNs
+				out.replayed = view.ReplayedActions
+			}
+			cold := *sess
+			cold.Seals = nil
+			if view, err := cold.SeekTo(mid); err == nil {
+				out.coldNs = view.ReplayedNs
+				out.coldReplayed = view.ReplayedActions
+			}
+		}
+
+		// Bisect against an entropy-injected recording of the same build.
+		inj, injRun := on.recordSession(l, spec, 1, nil)
+		if v, _ := injRun.verdict(); v == "" {
+			if bres, err := sess.Bisect(inj); err == nil {
+				out.probes = bres.Probes
+				out.replays = bres.WindowReplays
+				out.agree = sameDivergence(bres.Divergence,
+					obs.FirstDivergence(sess.Trace, inj.Trace))
+			}
+		}
+		outs[i] = out
+	})
+	for _, out := range outs {
+		if !out.ok {
+			continue
+		}
+		st.Packages++
+		st.Seals += out.seals
+		if out.equivalent {
+			st.Equivalent++
+		}
+		st.DeltaBytes += out.deltaBytes
+		st.FullBytes += out.fullBytes
+		st.SeekNs += out.seekNs
+		st.ColdNs += out.coldNs
+		st.ReplayedActions += out.replayed
+		st.ColdActions += out.coldReplayed
+		st.BisectProbes += out.probes
+		st.BisectReplays += out.replays
+		if out.agree {
+			st.BisectAgree++
+		}
+	}
+	if st.FullBytes > 0 {
+		st.Ratio = float64(st.DeltaBytes) / float64(st.FullBytes)
+	}
+	if st.ReplayedActions > 0 {
+		st.Speedup = float64(st.ColdActions) / float64(st.ReplayedActions)
+	}
+	return st
+}

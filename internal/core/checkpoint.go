@@ -112,14 +112,28 @@ func (cp *Checkpoint) Ordinal() int { return cp.ordinal }
 // Actions returns the kernel action count at the seal.
 func (cp *Checkpoint) Actions() int64 { return cp.kern.Actions() }
 
+// LNow returns the logical clock at the seal — the checkpoint's position on
+// the logical-time axis ttd.Session seeks over.
+func (cp *Checkpoint) LNow() int64 { return cp.kern.LNow() }
+
+// Kernel exposes the sealed kernel state for read-only inspection (the
+// time-travel debugger's FS view and seal-chain stats).
+func (cp *Checkpoint) Kernel() *kernel.Checkpoint { return cp.kern }
+
 // VirtualNow returns the sealed virtual time (ns since boot). A resumed
 // run's final WallTime minus this is the virtual work re-executed after
 // restore — the X15 MTTR numerator, versus a cold replay's full WallTime.
 func (cp *Checkpoint) VirtualNow() int64 { return cp.kern.VirtualNow() }
 
-// Valid recomputes the ring-prefix digest and compares it to the sealed one;
-// false means the checkpoint was corrupted after sealing.
-func (cp *Checkpoint) Valid() bool { return ringDigestOf(cp.ringSeal) == cp.ringDigest }
+// Valid recomputes the ring-prefix digest and the filesystem seal chain's
+// content digests and compares them to the sealed ones; false means the
+// checkpoint — or, for a delta seal, any link it chains through — was
+// corrupted after sealing. A corrupted link therefore invalidates every
+// later seal chained onto it, and recovery steps down to the newest seal
+// whose whole chain validates.
+func (cp *Checkpoint) Valid() bool {
+	return ringDigestOf(cp.ringSeal) == cp.ringDigest && cp.kern.FSSealChain().ChainValid()
+}
 
 // Digest returns the sealed ring-prefix digest — the checkpoint's content
 // address in the farm's seal transfer format (internal/farm): a seal travels
@@ -185,10 +199,14 @@ func (c *Container) sealCheckpoint(kcp *kernel.Checkpoint, t *kernel.Thread) {
 	}
 	cp.ringDigest = ringDigestOf(cp.ringSeal)
 	if c.cfg.FaultCorruptCheckpoint > 0 && c.checkpoints == c.cfg.FaultCorruptCheckpoint {
-		// Injected checkpoint-write corruption: the stored digest no longer
-		// matches the contents, so Valid() — and therefore Resume — rejects
+		// Injected checkpoint-write corruption: the stored digests no longer
+		// match the contents, so Valid() — and therefore Resume — rejects
 		// this seal and recovery must fall back to an older one or cold-boot.
+		// Both the ring digest and the filesystem seal digest are flipped:
+		// when seals are delta-chained, the fs corruption also poisons every
+		// later seal that chains through this one.
 		cp.ringDigest ^= 1
+		kcp.CorruptFSSeal()
 	}
 	c.cfg.CheckpointSink(cp)
 }
@@ -270,6 +288,9 @@ func resume(cp *Checkpoint, reg *guest.Registry, cfg Config, patch map[string][]
 		Rec:           c.rec,
 		CrashAtAction: cfg.FaultInjectCrash,
 		Checkpointer:  kcheck,
+		DeltaSeals:    !cfg.DisableDeltaSeals,
+		HaltAtAction:  cfg.HaltAtAction,
+		HaltAtLTime:   cfg.HaltAtLTime,
 	})
 	setupNs := time.Since(setupStart).Nanoseconds()
 	c.k = k

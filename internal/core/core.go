@@ -73,6 +73,15 @@ type Config struct {
 	// assumption the cache may lean on.
 	DisableIncremental bool
 
+	// DisableDeltaSeals makes every checkpoint a standalone full seal
+	// instead of a delta against the previous one (ISSUE 9). Restores are
+	// provably bitwise-identical either way — the ttd equivalence gate pins
+	// it — but like DisableIncremental the ablation IS joined into
+	// ConfigHash: a delta chain and a full-seal sequence are different
+	// derivation artifacts, and cached state must never cross the ablation
+	// that is under test.
+	DisableDeltaSeals bool
+
 	// DisableTemplateReuse forces cold construction even when the container
 	// came from a Template: the kernel populates a fresh FS from the image
 	// instead of COW-forking the prepared base. A mechanism ablation, not a
@@ -188,6 +197,18 @@ type Config struct {
 	// LFSR bytes (and are flagged in the result). [input]
 	RandomReplay []byte
 
+	// HaltAtLTime / HaltAtAction, when > 0, stop the run at the first
+	// traced-stop boundary where the logical clock (resp. the processed-
+	// action count) has reached the given value; the Result reports
+	// Halted with the state at that instant. These are the time-travel
+	// debugger's seek primitives (internal/ttd). Debug knobs like Debug
+	// itself — a halted replay observes a strict prefix of the run, its
+	// result never enters any cache — so both stay out of ConfigHash;
+	// that is also what lets a seek resume pass checkpoint validation
+	// (recoveryHash) while halting early.
+	HaltAtLTime  int64
+	HaltAtAction int64
+
 	// Debug receives a kernel trace when non-nil (the --debug flag).
 	Debug func(format string, args ...any)
 }
@@ -242,6 +263,15 @@ type Result struct {
 	// than booted from the start. Like Forked, benchmarking metadata: a
 	// resumed result is bitwise identical to the uninterrupted one.
 	Resumed bool
+
+	// Halted reports the run stopped at a HaltAtLTime/HaltAtAction debug
+	// halt point rather than finishing; LTime is the final logical clock
+	// and EntropyDraws the entropy-log cursor (how many numbered draws the
+	// container had served) at that instant — the time-travel debugger's
+	// inspection hooks.
+	Halted       bool
+	LTime        int64
+	EntropyDraws int
 
 	// Observability metadata, like SetupNs never part of the
 	// reproducibility-observable output. Obs is the run's metrics registry
@@ -459,6 +489,9 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 			Rec:           c.rec,
 			CrashAtAction: c.cfg.FaultInjectCrash,
 			Checkpointer:  kcheck,
+			DeltaSeals:    !c.cfg.DisableDeltaSeals,
+			HaltAtAction:  c.cfg.HaltAtAction,
+			HaltAtLTime:   c.cfg.HaltAtLTime,
 		})
 	} else {
 		k = kernel.New(kernel.Config{
@@ -474,6 +507,9 @@ func (c *Container) Run(reg *guest.Registry, path string, argv, env []string) *R
 			Rec:           c.rec,
 			CrashAtAction: c.cfg.FaultInjectCrash,
 			Checkpointer:  kcheck,
+			DeltaSeals:    !c.cfg.DisableDeltaSeals,
+			HaltAtAction:  c.cfg.HaltAtAction,
+			HaltAtLTime:   c.cfg.HaltAtLTime,
 		})
 	}
 	setupNs := time.Since(setupStart).Nanoseconds()
@@ -585,6 +621,12 @@ func (c *Container) assembleResult(proc *kernel.Proc, runErr error) *Result {
 	res.Stats.MemWrites = counters.MemWrites
 	res.RandomLog = c.randomLog
 	res.ReplayExhausted = c.replayExhausted
+	res.Halted = errors.Is(runErr, kernel.ErrHalted)
+	if res.Halted {
+		res.Err = nil // a reached halt point is the requested result
+	}
+	res.LTime = k.LNow()
+	res.EntropyDraws = c.entropyDraws
 	var ab *kernel.AbortError
 	if errors.As(runErr, &ab) {
 		res.Err = fmt.Errorf("dettrace: %w", ab.Err)

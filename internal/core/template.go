@@ -64,6 +64,7 @@ func NewTemplate(cfg Config) *Template {
 	cfg.Debug = nil
 	cfg.CheckpointSink = nil
 	cfg.FaultCorruptCheckpoint = 0
+	cfg.HaltAtLTime, cfg.HaltAtAction = 0, 0 // per-run debugger knobs, like the sinks
 	tp := &Template{
 		cfg:    cfg,
 		filter: filterFor(cfg),
@@ -134,6 +135,12 @@ func (tp *Template) CompatibleWith(cfg Config) bool {
 // crash knob, since a recovery deliberately clears it). DisableIncremental
 // is hashed even though core never reads it: the ablation must partition
 // the derivation-key space so cached state never crosses it (ISSUE 8).
+// DisableDeltaSeals is hashed for the same reason: whether checkpoint seals
+// are delta-chained changes what a cached derivation's seal chain means, so
+// the ablation partitions the key space too. HaltAtLTime/HaltAtAction stay
+// out: a halted replay observes a strict prefix of the run and its result
+// never enters a cache, and keeping them unhashed is what lets a debugger
+// seek resume pass checkpoint validation (recoveryHash) while halting early.
 //
 // The Profile IS included even though it is [host]-marked: the prepared
 // filesystem bakes in profile-derived state (the readdir hash salt, the
@@ -155,6 +162,7 @@ func ConfigHash(cfg Config) uint64 {
 	h.Flag(cfg.DisableInodeVirt)
 	h.Flag(cfg.DisableGetdentsSort)
 	h.Flag(cfg.DisableIncremental)
+	h.Flag(cfg.DisableDeltaSeals)
 	h.Str(cfg.WorkingDir)
 	h.Num(uint64(cfg.SpinLimit))
 	h.Flag(cfg.UpdateVirtualMtimes)

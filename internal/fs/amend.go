@@ -24,5 +24,6 @@ func (f *FS) Amend(path string, data []byte) bool {
 	}
 	n.Data = append([]byte(nil), data...)
 	n.cowData = false
+	n.dataEpoch = f.sealEpoch
 	return true
 }

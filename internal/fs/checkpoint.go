@@ -27,30 +27,16 @@ import "repro/internal/prng"
 // (materialization is lazy only as an allocation optimization), so sealing a
 // running filesystem does not perturb the run being sealed.
 
-// CheckpointSeal returns an immutable deep copy of a live filesystem,
-// suitable for storing in a checkpoint. The seal is frozen: it can be
-// resumed from any number of times (retries) but never mutated.
-func (f *FS) CheckpointSeal() *FS {
-	nf := f.deepClone(nil, nil)
-	nf.frozen = true
-	return nf
-}
+// The public sealing API lives in delta.go: SealCheckpoint produces a *Seal
+// (full or delta-chained), Seal.Resume rebuilds a live filesystem from one.
+// This file keeps the eager identity cloner both of them are built on.
 
-// ResumeCheckpoint builds a fresh mutable filesystem from a seal taken by
-// CheckpointSeal, bound to the resumed kernel's clock and entropy pool. The
-// seal itself is left untouched, so one checkpoint can serve bounded
-// retries. Unlike Fork, no entropy is drawn: the inode numbering base was
-// fixed at the original boot and the seal carries it verbatim.
-func (f *FS) ResumeCheckpoint(clock Clock, entropy *prng.Host) *FS {
-	if !f.frozen {
-		panic("fs: ResumeCheckpoint of a non-sealed filesystem")
-	}
-	return f.deepClone(clock, entropy)
-}
-
-// deepClone copies the whole tree eagerly, preserving identity fields.
-func (f *FS) deepClone(clock Clock, entropy *prng.Host) *FS {
-	nf := &FS{
+// cloneFSHeader copies the allocator and identity state of f into a fresh
+// FS bound to the given clock and entropy pool (both nil for an immutable
+// seal). No entropy is drawn: the inode numbering base was fixed at the
+// original boot and carries over verbatim.
+func (f *FS) cloneFSHeader(clock Clock, entropy *prng.Host) *FS {
+	return &FS{
 		profile:   f.profile,
 		clock:     clock,
 		entropy:   entropy,
@@ -61,8 +47,14 @@ func (f *FS) deepClone(clock Clock, entropy *prng.Host) *FS {
 		freeInos:  append([]uint64(nil), f.freeInos...),
 		hashSeed:  f.hashSeed,
 		bootStamp: f.bootStamp,
+		sealEpoch: 1,
 	}
-	memo := make(map[*Inode]*Inode)
+}
+
+// deepClone copies the whole tree eagerly, preserving identity fields, and
+// records the source→clone mapping in memo.
+func (f *FS) deepClone(clock Clock, entropy *prng.Host, memo map[*Inode]*Inode) *FS {
+	nf := f.cloneFSHeader(clock, entropy)
 	nf.Root = cloneInodeDeep(f.Root, nf, memo)
 	nf.Root.parent = nf.Root
 	return nf

@@ -66,6 +66,7 @@ func (f *FS) Fork(clock Clock, entropy *prng.Host) *FS {
 		base:      f,
 		clones:    make(map[*Inode]*Inode),
 		bootStamp: clock(),
+		sealEpoch: 1,
 	}
 	nf.nextIno = nf.inoBase + (f.nextIno - f.inoBase)
 	for _, ino := range f.freeInos {

@@ -1,0 +1,241 @@
+package fs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/abi"
+	"repro/internal/prng"
+)
+
+// deltaMutations is a scripted sequence of representative tree mutations —
+// data writes, truncation, creation, link/unlink, rename, metadata touches —
+// applied one step per seal so every delta in the chain has something fresh
+// and plenty to share.
+func deltaMutations(f *FS) []func() {
+	ctx := LookupCtx{Root: f.Root, Cwd: f.Root}
+	get := func(path string) *Inode {
+		n, err := f.Resolve(ctx, path, true)
+		if err != abi.OK {
+			panic(fmt.Sprintf("resolve %s: %v", path, err))
+		}
+		return n
+	}
+	return []func(){
+		func() { get("/src/main.c").WriteAt([]byte("int main(){return 1;}"), 0) },
+		func() {
+			dir := get("/build")
+			n, _ := f.CreateFile(dir, "a.o", 0o644, 0, 0)
+			n.WriteAt([]byte("obj-a"), 0)
+		},
+		func() { get("/src/main.c").Truncate(4) },
+		func() {
+			dir := get("/build")
+			f.Mkdir(dir, "deps", 0o755, 0, 0)
+			f.Symlink(dir, "cc", "/bin/cc", 0, 0)
+		},
+		func() { get("/bin/ld").WriteAt([]byte("!"), 2) },
+		func() { f.Unlink(get("/build"), "a.o") },
+		func() {
+			f.Rename(get("/src"), "zero.o", get("/build"), "zero.o")
+		},
+		func() { get("/build/zero.o").WriteAt([]byte("filled"), 0) },
+	}
+}
+
+// sealSweep drives two identically-constructed filesystems through the same
+// mutation script, sealing one in delta mode and the other in full mode at
+// every step, and returns both chains.
+func sealSweep(t *testing.T) (deltas, fulls []*Seal) {
+	t.Helper()
+	fd := coldFS(templateImage(), 7, 100)
+	ff := coldFS(templateImage(), 7, 100)
+	mutsD, mutsF := deltaMutations(fd), deltaMutations(ff)
+	deltas = append(deltas, fd.SealCheckpoint(true))
+	fulls = append(fulls, ff.SealCheckpoint(false))
+	for i := range mutsD {
+		mutsD[i]()
+		mutsF[i]()
+		deltas = append(deltas, fd.SealCheckpoint(true))
+		fulls = append(fulls, ff.SealCheckpoint(false))
+	}
+	return deltas, fulls
+}
+
+// TestDeltaChainRestoreEqualsFull is the chain-equivalence property: at
+// every chain length k, restoring (base + k deltas) must observe exactly
+// what restoring the equivalent standalone full seal does — inode numbers,
+// timestamps, data, directory order, everything.
+func TestDeltaChainRestoreEqualsFull(t *testing.T) {
+	deltas, fulls := sealSweep(t)
+	for k := range deltas {
+		clock := func() int64 { return 900 }
+		rd := deltas[k].Resume(clock, prng.NewHost(3))
+		rf := fulls[k].Resume(clock, prng.NewHost(3))
+		a, b := observe(rd), observe(rf)
+		if len(a) != len(b) {
+			t.Fatalf("chain length %d: %d nodes restored from delta chain, %d from full seal", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("chain length %d: node %d differs\n delta: %+v\n full:  %+v", k, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestDeltaSealsShareCleanState pins what makes dense checkpointing cheap:
+// a delta seal after a small write copies only the dirtied file, sharing
+// every clean subtree with the previous seal.
+func TestDeltaSealsShareCleanState(t *testing.T) {
+	f := coldFS(templateImage(), 7, 100)
+	base := f.SealCheckpoint(true)
+	bs := base.Stats()
+	if bs.Delta {
+		t.Fatalf("first seal must be a full base, got delta")
+	}
+	if bs.Shared != 0 || bs.Fresh != bs.Nodes {
+		t.Fatalf("base seal must be all-fresh: %+v", bs)
+	}
+
+	ctx := LookupCtx{Root: f.Root, Cwd: f.Root}
+	n, _ := f.Resolve(ctx, "/src/main.c", true)
+	payload := []byte("patched")
+	n.WriteAt(payload, 0)
+	d := f.SealCheckpoint(true)
+	ds := d.Stats()
+	if !ds.Delta || d.Base() != base {
+		t.Fatalf("second seal must chain onto the first: %+v", ds)
+	}
+	if ds.Shared == 0 || ds.Shared <= ds.Fresh {
+		t.Fatalf("small write must share most of the tree: %+v", ds)
+	}
+	// Fresh data is the dirtied file alone (copies are whole-file granular);
+	// its ancestors are re-walked dirs — fresh nodes, but no data bytes.
+	if ds.FreshBytes != n.Size() {
+		t.Fatalf("delta stored %d fresh bytes, want the dirtied file's %d", ds.FreshBytes, n.Size())
+	}
+	if ds.TotalBytes != bs.TotalBytes {
+		t.Fatalf("logical tree size changed: %d -> %d", bs.TotalBytes, ds.TotalBytes)
+	}
+}
+
+// TestDeltaSharingIsDeep verifies shared nodes are genuinely the previous
+// seal's nodes (no copies) and that restoring still deep-copies them — a
+// restore must never alias seal state into a live filesystem.
+func TestDeltaSharingIsDeep(t *testing.T) {
+	f := coldFS(templateImage(), 7, 100)
+	s1 := f.SealCheckpoint(true)
+	ctx := LookupCtx{Root: f.Root, Cwd: f.Root}
+	n, _ := f.Resolve(ctx, "/src/main.c", true)
+	n.WriteAt([]byte("x"), 0)
+	s2 := f.SealCheckpoint(true)
+
+	c1 := LookupCtx{Root: s1.Tree().Root, Cwd: s1.Tree().Root}
+	c2 := LookupCtx{Root: s2.Tree().Root, Cwd: s2.Tree().Root}
+	a, _ := s1.Tree().Resolve(c1, "/bin/cc", true)
+	b, _ := s2.Tree().Resolve(c2, "/bin/cc", true)
+	if a != b {
+		t.Fatalf("clean inode not shared between chained seals")
+	}
+
+	r := s2.Resume(func() int64 { return 900 }, prng.NewHost(3))
+	rc := LookupCtx{Root: r.Root, Cwd: r.Root}
+	live, _ := r.Resolve(rc, "/bin/cc", true)
+	if live == b {
+		t.Fatalf("restore aliased a sealed inode into the live tree")
+	}
+	live.WriteAt([]byte("mutate"), 0)
+	if string(b.Data) == "mutate" {
+		t.Fatalf("writing the restored tree mutated the seal")
+	}
+}
+
+// TestReconstituteEqualsChain folds a delta chain into a standalone full
+// seal and checks it observes identically and no longer depends on the chain.
+func TestReconstituteEqualsChain(t *testing.T) {
+	deltas, _ := sealSweep(t)
+	last := deltas[len(deltas)-1]
+	full := last.Reconstitute()
+	if full.Base() != nil {
+		t.Fatalf("reconstituted seal still chains to a base")
+	}
+	if !full.Valid() || !full.ChainValid() {
+		t.Fatalf("reconstituted seal fails validation")
+	}
+	clock := func() int64 { return 900 }
+	a := observe(last.Resume(clock, prng.NewHost(3)))
+	b := observe(full.Resume(clock, prng.NewHost(3)))
+	if len(a) != len(b) {
+		t.Fatalf("node counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs after reconstitution\n chain: %+v\n recon: %+v", i, a[i], b[i])
+		}
+	}
+	fs := full.Stats()
+	if fs.Delta || fs.Shared != 0 || fs.FreshBytes != fs.TotalBytes {
+		t.Fatalf("reconstituted stats not standalone: %+v", fs)
+	}
+}
+
+// TestCorruptMidChainInvalidatesSuffix pins the chain validator: corrupting
+// one delta link must invalidate that seal and every later seal chained
+// through it, while the prefix before the corruption stays restorable.
+func TestCorruptMidChainInvalidatesSuffix(t *testing.T) {
+	deltas, _ := sealSweep(t)
+	if len(deltas) < 5 {
+		t.Fatalf("sweep too short: %d seals", len(deltas))
+	}
+	mid := len(deltas) / 2
+	deltas[mid].Corrupt()
+	for i, s := range deltas {
+		valid := s.ChainValid()
+		if i < mid && !valid {
+			t.Fatalf("seal %d (before corruption at %d) must stay valid", i, mid)
+		}
+		if i >= mid && valid {
+			t.Fatalf("seal %d (at/after corruption at %d) must be invalid", i, mid)
+		}
+	}
+	// The nearest valid prefix still restores.
+	r := deltas[mid-1].Resume(func() int64 { return 900 }, prng.NewHost(3))
+	if r == nil || r.Root == nil {
+		t.Fatalf("restore from the nearest valid prefix failed")
+	}
+}
+
+// TestResumedChainSealsLikeUninterrupted: a delta seal taken after a restore
+// must chain against the restored seal exactly as the uninterrupted run's
+// next seal chains against the original — same sharing, same restored bytes.
+func TestResumedChainSealsLikeUninterrupted(t *testing.T) {
+	// Uninterrupted: seal, mutate, seal.
+	f := coldFS(templateImage(), 7, 100)
+	muts := deltaMutations(f)
+	f.SealCheckpoint(true)
+	muts[0]()
+	s2 := f.SealCheckpoint(true)
+
+	// Interrupted twin: seal, restore the seal, replay the mutation, seal.
+	g := coldFS(templateImage(), 7, 100)
+	g1 := g.SealCheckpoint(true)
+	r := g1.Resume(func() int64 { return 100 }, prng.NewHost(9))
+	deltaMutations(r)[0]()
+	r2 := r.SealCheckpoint(true)
+
+	if r2.Base() != g1 {
+		t.Fatalf("post-resume seal does not chain onto the restored seal")
+	}
+	rs, us := r2.Stats(), s2.Stats()
+	if rs.Fresh != us.Fresh || rs.Shared != us.Shared || rs.FreshBytes != us.FreshBytes {
+		t.Fatalf("post-resume delta shape differs from uninterrupted:\n resumed: %+v\n original: %+v", rs, us)
+	}
+	a := observe(s2.Resume(func() int64 { return 900 }, prng.NewHost(3)))
+	b := observe(r2.Resume(func() int64 { return 900 }, prng.NewHost(3)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d differs between resumed and uninterrupted chains", i)
+		}
+	}
+}

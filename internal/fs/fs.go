@@ -70,6 +70,16 @@ type FS struct {
 	// whenever a seal is taken.
 	wsOut int
 
+	// Delta-seal state (delta.go). sealEpoch numbers the inter-seal window
+	// the filesystem is currently in (1 before the first seal); WriteAt,
+	// Truncate and Amend stamp it into Inode.dataEpoch so SealCheckpoint can
+	// tell dirty file contents from clean ones. lastSeal/lastSealMemo
+	// remember the previous seal and its live→clone mapping, the sharing
+	// substrate for delta seals.
+	sealEpoch    uint64
+	lastSeal     *Seal
+	lastSealMemo map[*Inode]*Inode
+
 	// OnCOWBreak, when non-nil, observes each copy-on-write data unshare
 	// (the copied byte count). Observation only: the callback must not
 	// touch the filesystem.
@@ -91,7 +101,8 @@ func New(p *machine.Profile, clock Clock, entropy *prng.Host) *FS {
 		// stable for one machine's filesystem across runs, different across
 		// machines. That is why readdir order is a portability leak rather
 		// than a run-to-run one (§7.3).
-		hashSeed: nameSeed(p.Name),
+		hashSeed:  nameSeed(p.Name),
+		sealEpoch: 1,
 	}
 	f.nextIno = f.inoBase
 	f.Root = f.newInode(abi.ModeDir | 0o755)
@@ -124,6 +135,14 @@ type Inode struct {
 	// cowData marks file Data still shared read-only with the base.
 	cowDir  *Inode
 	cowData bool
+
+	// dataEpoch is the owning filesystem's sealEpoch at the last Data
+	// mutation (WriteAt/Truncate/Amend). Data is unchanged since the last
+	// checkpoint seal iff dataEpoch < fs.sealEpoch — the only sound dirtiness
+	// signal, because WriteAt mutates Data in place without changing slice
+	// identity. Metadata dirtiness needs no epoch: delta sealing compares the
+	// fields directly.
+	dataEpoch uint64
 
 	fs *FS
 }
@@ -504,6 +523,7 @@ func (n *Inode) WriteAt(p []byte, off int64) int {
 		n.Data = grown
 	}
 	copy(n.Data[off:], p)
+	n.dataEpoch = n.fs.sealEpoch
 	n.touchMtime()
 	return len(p)
 }
@@ -521,6 +541,7 @@ func (n *Inode) Truncate(size int64) abi.Errno {
 		copy(grown, n.Data)
 		n.Data = grown
 	}
+	n.dataEpoch = n.fs.sealEpoch
 	n.touchMtime()
 	return abi.OK
 }

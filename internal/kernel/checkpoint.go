@@ -60,7 +60,7 @@ type Checkpoint struct {
 
 	consoleOut, consoleErr []byte
 
-	fsSeal *fs.FS
+	fsSeal *fs.Seal
 
 	proc   procSeal
 	thread threadSeal
@@ -124,11 +124,25 @@ func (cp *Checkpoint) VirtualNow() int64 { return cp.now }
 // LNow returns the sealed logical time.
 func (cp *Checkpoint) LNow() int64 { return cp.lnow }
 
-// FSSeal exposes the sealed (frozen) filesystem for read-only inspection.
-// The incremental-rebuild planner walks it to learn what the sealed prefix
-// had built — the phase journal and the object tree — without resuming the
-// checkpoint (core.Checkpoint.RebuildInfo).
-func (cp *Checkpoint) FSSeal() *fs.FS { return cp.fsSeal }
+// FSSeal exposes the sealed (frozen) filesystem tree for read-only
+// inspection. The incremental-rebuild planner walks it to learn what the
+// sealed prefix had built — the phase journal and the object tree — without
+// resuming the checkpoint (core.Checkpoint.RebuildInfo); the time-travel
+// debugger serves filesystem views from it. When the seal is a delta, shared
+// subtrees resolve transparently through the chain.
+func (cp *Checkpoint) FSSeal() *fs.FS { return cp.fsSeal.Tree() }
+
+// FSSealChain exposes the seal object itself: its delta-chain link, cost
+// stats, and chain validation.
+func (cp *Checkpoint) FSSealChain() *fs.Seal { return cp.fsSeal }
+
+// FSSealStats returns the filesystem seal's cost accounting (delta vs full
+// bytes — the checkpoint_delta_bytes/checkpoint_full_bytes counters).
+func (cp *Checkpoint) FSSealStats() fs.SealStats { return cp.fsSeal.Stats() }
+
+// CorruptFSSeal flips a bit in the seal's stored digest — the deterministic
+// storage-fault hook behind core's FaultCorruptCheckpoint.
+func (cp *Checkpoint) CorruptFSSeal() { cp.fsSeal.Corrupt() }
 
 // quiescentStop returns the sole pending thread if the kernel is at a
 // checkpointable stop, nil otherwise. See the file comment for why each
@@ -205,7 +219,7 @@ func (k *Kernel) seal(t *Thread) *Checkpoint {
 		stats:          k.Stats,
 		consoleOut:     append([]byte(nil), k.Console.Out...),
 		consoleErr:     append([]byte(nil), k.Console.Err...),
-		fsSeal:         k.FS.CheckpointSeal(),
+		fsSeal:         k.FS.SealCheckpoint(k.deltaSeals),
 		execPath:       sc.Path,
 	}
 	cp.stats.PerSyscall = make(map[abi.Sysno]int64, len(k.Stats.PerSyscall))
@@ -321,6 +335,9 @@ func Resume(cp *Checkpoint, b BootConfig) (*Kernel, *Proc, *Thread) {
 		crashAt:        b.CrashAtAction,
 		checkpointer:   b.Checkpointer,
 		lastCheckpoint: cp.actions,
+		deltaSeals:     b.DeltaSeals,
+		haltAtAction:   b.HaltAtAction,
+		haltAtLTime:    b.HaltAtLTime,
 	}
 	k.Stats = cp.stats
 	k.Stats.PerSyscall = make(map[abi.Sysno]int64, len(cp.stats.PerSyscall))
@@ -335,7 +352,7 @@ func Resume(cp *Checkpoint, b BootConfig) (*Kernel, *Proc, *Thread) {
 	k.sysVec = k.Obs.CounterVec("kernel_syscalls", abi.SysnoSlots)
 	k.Entropy = prng.NewHost(0)
 	k.Entropy.SetState(cp.entropyState)
-	k.FS = cp.fsSeal.ResumeCheckpoint(k.WallClock, k.Entropy)
+	k.FS = cp.fsSeal.Resume(k.WallClock, k.Entropy)
 	hwPool := prng.NewHost(0)
 	hwPool.SetState(cp.hwEntropyState)
 	k.HW = cpu.ResumeHW(cp.profile, hwPool, func() int64 { return k.now }, cp.bootTSC)

@@ -208,6 +208,9 @@ var (
 	ErrTimeout = errors.New("kernel: virtual time limit exceeded")
 	// ErrRunaway: the action budget was exhausted (busy loop safety net).
 	ErrRunaway = errors.New("kernel: action budget exhausted")
+	// ErrHalted: a debugger halt point (HaltAtAction/HaltAtLTime) was
+	// reached. Not a failure: the kernel state at the halt is the result.
+	ErrHalted = errors.New("kernel: halted at requested logical instant")
 )
 
 // AbortError wraps a policy-raised reproducible container error.
@@ -273,6 +276,19 @@ type Config struct {
 	// run reaches identically, so attaching a checkpointer never perturbs
 	// guest-visible behaviour.
 	Checkpointer func(*Checkpoint, *Thread)
+
+	// DeltaSeals makes every checkpoint after the first a delta against the
+	// previous seal (fs.SealCheckpoint's delta mode). Mechanism-only: seals
+	// restore bitwise-identically either way.
+	DeltaSeals bool
+
+	// HaltAtAction / HaltAtLTime, when > 0, stop the run with ErrHalted at
+	// the first top-of-loop stop where the processed-action count (resp. the
+	// logical clock) has reached the given value — the time-travel debugger's
+	// seek primitive. Both are pure functions of guest behaviour, so a halted
+	// replay observes exactly the state the uninterrupted run passed through.
+	HaltAtAction int64
+	HaltAtLTime  int64
 }
 
 // Stats aggregates everything a run counted. Weighted counters account for
@@ -361,6 +377,9 @@ type Kernel struct {
 	crashAt        int64
 	checkpointer   func(*Checkpoint, *Thread)
 	lastCheckpoint int64
+	deltaSeals     bool
+	haltAtAction   int64
+	haltAtLTime    int64
 
 	devices       map[string]func() fs.Device // device registry by DevID
 	unixListeners map[string]*socket          // AF_UNIX listeners by path
@@ -422,6 +441,9 @@ func newKernel(cfg Config, mkFS func(k *Kernel, fsEntropy *prng.Host) *fs.FS) *K
 		crashAt:        cfg.CrashAtAction,
 		checkpointer:   cfg.Checkpointer,
 		lastCheckpoint: -1,
+		deltaSeals:     cfg.DeltaSeals,
+		haltAtAction:   cfg.HaltAtAction,
+		haltAtLTime:    cfg.HaltAtLTime,
 	}
 	k.Stats.PerSyscall = make(map[abi.Sysno]int64)
 	k.Obs = cfg.Obs
@@ -548,6 +570,14 @@ func (k *Kernel) run() error {
 		if k.crashAt > 0 && k.actions >= k.crashAt {
 			k.killEverything()
 			return ErrInjectedCrash
+		}
+		// Debugger halt points stop at the same top-of-loop boundary the
+		// fault plane uses, so a halted replay's history is a strict prefix
+		// of the uninterrupted run's.
+		if (k.haltAtAction > 0 && k.actions >= k.haltAtAction) ||
+			(k.haltAtLTime > 0 && k.lnow >= k.haltAtLTime) {
+			k.killEverything()
+			return ErrHalted
 		}
 		if len(k.pending) == 0 && len(k.parked) == 0 {
 			// Only kernel-blocked threads remain: time can only advance via

@@ -46,6 +46,11 @@ type BootConfig struct {
 	// CrashAtAction/Checkpointer mirror the Config fault/checkpoint plane.
 	CrashAtAction int64
 	Checkpointer  func(*Checkpoint, *Thread)
+	// DeltaSeals/HaltAtAction/HaltAtLTime mirror the Config delta-seal and
+	// debugger-halt knobs.
+	DeltaSeals   bool
+	HaltAtAction int64
+	HaltAtLTime  int64
 }
 
 // Prepare builds the shareable half of a boot from the config's Profile,
@@ -77,19 +82,22 @@ func (s *Snapshot) Boot(b BootConfig) *Kernel {
 		resolver = b.Resolver
 	}
 	cfg := Config{
-		Profile:    s.Profile,
-		Seed:       b.Seed,
-		Epoch:      b.Epoch,
-		Policy:     b.Policy,
-		Resolver:   resolver,
-		Cost:       s.Cost,
-		Deadline:   b.Deadline,
-		MaxActions: b.MaxActions,
+		Profile:       s.Profile,
+		Seed:          b.Seed,
+		Epoch:         b.Epoch,
+		Policy:        b.Policy,
+		Resolver:      resolver,
+		Cost:          s.Cost,
+		Deadline:      b.Deadline,
+		MaxActions:    b.MaxActions,
 		NumCPU:        b.NumCPU,
 		Obs:           b.Obs,
 		Rec:           b.Rec,
 		CrashAtAction: b.CrashAtAction,
 		Checkpointer:  b.Checkpointer,
+		DeltaSeals:    b.DeltaSeals,
+		HaltAtAction:  b.HaltAtAction,
+		HaltAtLTime:   b.HaltAtLTime,
 	}
 	return newKernel(cfg, func(k *Kernel, fsEntropy *prng.Host) *fs.FS {
 		return s.base.Fork(k.WallClock, fsEntropy)

@@ -11,20 +11,32 @@ func comparableKind(k Kind) bool {
 	switch k {
 	case KindCOWBreak, KindSpan, KindCheckpoint,
 		KindFarmAssign, KindFarmSteal, KindFarmRecover,
-		KindWsFork, KindWsMerge, KindWsConflict:
+		KindWsFork, KindWsMerge, KindWsConflict,
+		KindSeek, KindBisectProbe:
 		return false
 	default:
 		return true
 	}
 }
 
+// ContextEvents is how many comparable events FirstDivergence captures on
+// each side of the mismatch, per stream. A window, not a knob: big enough to
+// show the syscall pattern around the divergent event, small enough to read
+// in one screen of -diagnose output.
+const ContextEvents = 4
+
 // Divergence is the first point where two flight-recorder streams disagree.
 // Index is the position in the filtered (comparable-kind) stream; A and B
 // are the mismatching events — either may be nil when one stream ended
-// early.
+// early. ContextA/ContextB are bounded windows of the filtered streams
+// around the mismatch (up to ContextEvents before and after, including the
+// mismatching event itself when present), so a debugger can show what each
+// run was doing without re-replaying it.
 type Divergence struct {
-	Index int
-	A, B  *Event
+	Index    int
+	A, B     *Event
+	ContextA []Event
+	ContextB []Event
 }
 
 // String renders the divergence for reprotest -diagnose output.
@@ -41,6 +53,24 @@ func (d *Divergence) String() string {
 	}
 	return fmt.Sprintf("first divergence at event %d:\n  A: %s\n  B: %s",
 		d.Index, desc(d.A), desc(d.B))
+}
+
+// contextWindow slices up to ContextEvents before and after index i out of
+// the filtered stream (clamped to stream bounds), copying so the caller can
+// hold the window after the stream's backing array is reused.
+func contextWindow(evs []Event, i int) []Event {
+	lo := i - ContextEvents
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + ContextEvents + 1
+	if hi > len(evs) {
+		hi = len(evs)
+	}
+	if lo >= hi {
+		return nil
+	}
+	return append([]Event(nil), evs[lo:hi]...)
 }
 
 // sameEvent compares content, not logical time: LClock rates depend on the
@@ -66,11 +96,13 @@ func FirstDivergence(a, b []Event) *Divergence {
 	for i := 0; i < n; i++ {
 		if !sameEvent(fa[i], fb[i]) {
 			ea, eb := fa[i], fb[i]
-			return &Divergence{Index: i, A: &ea, B: &eb}
+			return &Divergence{Index: i, A: &ea, B: &eb,
+				ContextA: contextWindow(fa, i), ContextB: contextWindow(fb, i)}
 		}
 	}
 	if len(fa) != len(fb) {
-		d := &Divergence{Index: n}
+		d := &Divergence{Index: n,
+			ContextA: contextWindow(fa, n), ContextB: contextWindow(fb, n)}
 		if len(fa) > n {
 			ev := fa[n]
 			d.A = &ev

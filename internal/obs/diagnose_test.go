@@ -63,3 +63,79 @@ func TestFirstDivergenceLengthMismatch(t *testing.T) {
 		t.Fatalf("String missing ended marker: %s", d)
 	}
 }
+
+// TestFirstDivergenceContext pins the bounded context windows: up to
+// ContextEvents comparable events on each side of the mismatch, per stream,
+// clamped at stream bounds, with mechanism events filtered out before
+// windowing.
+func TestFirstDivergenceContext(t *testing.T) {
+	mk := func(n int) []Event {
+		evs := make([]Event, 0, n+1)
+		for i := 0; i < n; i++ {
+			evs = append(evs, Event{Kind: KindSyscallEnter, Num: int32(i)})
+			if i == 2 {
+				// Mechanism noise must not count toward the window.
+				evs = append(evs, Event{Kind: KindCheckpoint}, Event{Kind: KindSeek})
+			}
+		}
+		return evs
+	}
+	a, b := mk(20), mk(20)
+	b[14].Ret = 999 // Num=12: comparable index 12 (raw 14, mechanism events filtered)
+	d := FirstDivergence(a, b)
+	if d == nil || d.Index != 12 {
+		t.Fatalf("divergence = %v, want index 12", d)
+	}
+	if len(d.ContextA) != 2*ContextEvents+1 || len(d.ContextB) != 2*ContextEvents+1 {
+		t.Fatalf("context lengths = %d/%d, want %d", len(d.ContextA), len(d.ContextB), 2*ContextEvents+1)
+	}
+	if d.ContextA[0].Num != int32(12-ContextEvents) || d.ContextA[len(d.ContextA)-1].Num != int32(12+ContextEvents) {
+		t.Fatalf("window misaligned: %v", d.ContextA)
+	}
+	if d.ContextA[ContextEvents] != *d.A || d.ContextB[ContextEvents] != *d.B {
+		t.Fatalf("mismatching event not centered in its window")
+	}
+	for _, ev := range append(append([]Event(nil), d.ContextA...), d.ContextB...) {
+		if !comparableKind(ev.Kind) {
+			t.Fatalf("mechanism event leaked into a context window: %v", ev)
+		}
+	}
+
+	// Mismatch near the front clamps the left edge.
+	a2, b2 := mk(20), mk(20)
+	b2[1].Ret = 999
+	d = FirstDivergence(a2, b2)
+	if d == nil || d.Index != 1 {
+		t.Fatalf("divergence = %v, want index 1", d)
+	}
+	if len(d.ContextA) != 1+ContextEvents+1 {
+		t.Fatalf("front-clamped window length = %d, want %d", len(d.ContextA), 1+ContextEvents+1)
+	}
+	if d.ContextA[0].Num != 0 {
+		t.Fatalf("front-clamped window starts at %d, want 0", d.ContextA[0].Num)
+	}
+}
+
+// TestFirstDivergenceContextLengthMismatch: when one stream ends early the
+// shorter side still gets a trailing window (the events before the cut) and
+// the longer side a full one around its unmatched event.
+func TestFirstDivergenceContextLengthMismatch(t *testing.T) {
+	long := make([]Event, 10)
+	for i := range long {
+		long[i] = Event{Kind: KindSyscallEnter, Num: int32(i)}
+	}
+	short := append([]Event(nil), long[:6]...)
+	d := FirstDivergence(long, short)
+	if d == nil || d.Index != 6 || d.A == nil || d.B != nil {
+		t.Fatalf("divergence = %v, want A-only at 6", d)
+	}
+	if len(d.ContextA) != ContextEvents+ContextEvents { // [2..9]: 4 before + event 6 + 3 after
+		t.Fatalf("ContextA length = %d, want %d", len(d.ContextA), 2*ContextEvents)
+	}
+	if len(d.ContextB) != ContextEvents { // [2..5]: the last 4 events before the cut
+		t.Fatalf("ContextB length = %d, want %d", len(d.ContextB), ContextEvents)
+	}
+	if d.ContextB[len(d.ContextB)-1].Num != 5 {
+		t.Fatalf("ContextB does not end at the cut: %v", d.ContextB)
+	}
+}

@@ -74,6 +74,16 @@ const (
 	// KindDeriveMiss marks a derivation-store miss at the same granularity
 	// encoding: the state had to be built (or a unit re-executed).
 	KindDeriveMiss
+	// KindSeek marks a time-travel debugger seek (ISSUE 9): Arg is the
+	// requested logical instant, Ret the checkpoint ordinal restored from
+	// (-1 = cold replay from boot), Num the number of actions replayed
+	// forward from the seal. Recorded on the debug session's own ring, never
+	// on a guest run's — mechanism-level like the farm kinds.
+	KindSeek
+	// KindBisectProbe marks one probe of the auto-bisect binary search: Arg
+	// is the probed seal ordinal, Ret 1 if the two runs' seals already
+	// diverged at that ordinal and 0 if they still agreed.
+	KindBisectProbe
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -113,6 +123,10 @@ func (k Kind) String() string {
 		return "derive-hit"
 	case KindDeriveMiss:
 		return "derive-miss"
+	case KindSeek:
+		return "ttd-seek"
+	case KindBisectProbe:
+		return "ttd-bisect-probe"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

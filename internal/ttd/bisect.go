@@ -1,0 +1,126 @@
+package ttd
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// This file is the auto-bisect half of the debugger: localize the first
+// divergent event between two recorded runs in O(log n) seal probes and a
+// constant number of window replays, instead of the linear diagnoser's two
+// full traces.
+//
+// The trick is that checkpoint seals already carry the search index. Each
+// seal's Digest() is the content digest of the flight-recorder prefix at the
+// seal, and divergence is monotone over it: once the two runs' event streams
+// disagree, every later prefix digest disagrees too (events are only ever
+// appended). So "does the divergence lie before seal k?" is a pure digest
+// comparison — no replay, no I/O — and binary search over the chain brackets
+// the divergence between two adjacent seals in ceil(log2 n) probes. Only
+// then does re-execution happen: each run replays just the bracketing
+// window (resume the seal below, halt at its own seal above), and the
+// linear diagnoser runs on those two window rings. Because a restored ring
+// continues byte-for-byte and halted replay is exact, the window rings are
+// prefixes of the original traces — the divergence found is THE first
+// divergence, at the same comparable-stream index the full linear diagnose
+// reports.
+
+// BisectResult describes a localized divergence: the bracketing seal window,
+// the probe/replay cost, and the divergence itself (with context windows
+// from obs.FirstDivergence).
+type BisectResult struct {
+	// Divergence is the first divergent comparable event, nil if the two
+	// runs' traces agree entirely.
+	Divergence *obs.Divergence
+
+	// LowOrdinal/HighOrdinal bracket the divergence: it lies after seal
+	// LowOrdinal (0 = boot) and at or before seal HighOrdinal (0 = end of
+	// run — the streams first disagree after the last common seal).
+	LowOrdinal  int
+	HighOrdinal int
+
+	// Probes is how many seal-digest comparisons the binary search spent;
+	// WindowReplays how many partial re-executions localization needed. The
+	// O(log n) claim the CLI gate checks: WindowReplays must stay within
+	// ceil(log2(seals))+1 even though Probes grows with log n too.
+	Probes        int
+	WindowReplays int
+}
+
+// Bisect localizes the first divergent event between this session's run and
+// other's. The two sessions must be recordings of comparable runs — same
+// command, configs differing in the behaviour under investigation (e.g. a
+// FaultInjectEntropy injection) — with checkpointing on so both carry seal
+// chains. Probe count and probe events land on s's session observability.
+func (s *Session) Bisect(other *Session) (*BisectResult, error) {
+	if len(s.Seals) == 0 || len(other.Seals) == 0 {
+		return nil, errors.New("ttd: bisect needs both runs recorded with checkpoints")
+	}
+	n := len(s.Seals)
+	if len(other.Seals) < n {
+		n = len(other.Seals)
+	}
+	res := &BisectResult{}
+
+	// Binary search the common chain for the first ordinal whose ring-prefix
+	// digests disagree. Invariant: digests agree at ordinal lo (0 = boot,
+	// where both rings are empty), disagree at ordinal hi when hi <= n.
+	lo, hi := 0, n+1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		diverged := s.Seals[mid-1].Digest() != other.Seals[mid-1].Digest()
+		res.Probes++
+		s.count("ttd_bisect_probes", 1)
+		s.record(obs.KindBisectProbe, 0, uint64(mid), int64(boolToInt(diverged)))
+		if diverged {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.LowOrdinal = lo
+	if hi <= n {
+		res.HighOrdinal = hi
+	}
+
+	// Replay each run across the bracketing window only: resume its own
+	// seal lo (stepping down on corruption), halt at its own seal hi's
+	// action count — action counts may differ between the runs once
+	// diverged, so each halts on its own chain's coordinate.
+	ringA, err := s.windowRing(lo, hi, n, &res.WindowReplays)
+	if err != nil {
+		return nil, fmt.Errorf("ttd: bisect window replay (run A): %w", err)
+	}
+	ringB, err := other.windowRing(lo, hi, n, &res.WindowReplays)
+	if err != nil {
+		return nil, fmt.Errorf("ttd: bisect window replay (run B): %w", err)
+	}
+	res.Divergence = obs.FirstDivergence(ringA, ringB)
+	return res, nil
+}
+
+// windowRing re-executes the [lo, hi] seal window of this session's run and
+// returns the resulting event ring — a byte-exact prefix of the original
+// trace ending at seal hi (or the run's end when hi > n: the divergence lies
+// beyond the last common seal, so the window extends to completion).
+func (s *Session) windowRing(lo, hi, n int, replays *int) ([]obs.Event, error) {
+	cfg := s.replayConfig()
+	if hi <= n {
+		cfg.HaltAtAction = s.Seals[hi-1].Actions()
+	}
+	*replays++
+	res, _, err := s.replayFrom(lo-1, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Events, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
