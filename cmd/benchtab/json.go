@@ -166,6 +166,38 @@ type ttdBench struct {
 	BisectAgree   int `json:"bisect_agree_linear"`
 }
 
+// attestBench is the Byzantine-robustness section (X20): attested farms
+// under adversarial schedules x node counts x slot counts. admitted_identical
+// and outs_identical must equal cells and lies_admitted/false_verified must
+// be zero — a Byzantine participant can be detected, named and quarantined
+// but never move an admitted bit. verify_cost_pct is the rebuild-free claim:
+// log-only verification as a percentage of build cost.
+type attestBench struct {
+	Packages int `json:"packages"`
+	Cells    int `json:"cells"`
+
+	AdmittedIdentical int `json:"admitted_identical"`
+	OutsIdentical     int `json:"outs_identical"`
+	LiesAdmitted      int `json:"lies_admitted"`
+
+	ByzantineCells int `json:"byzantine_cells"`
+	Caught         int `json:"byzantine_caught"`
+
+	Attestations int64 `json:"attestations"`
+	Rebuilds     int64 `json:"rebuilds"`
+	Lies         int64 `json:"lies_detected"`
+	Corrupt      int64 `json:"corrupt_attestations"`
+	Withheld     int64 `json:"cosigns_withheld"`
+	Quarantines  int64 `json:"quarantines"`
+	Epochs       int64 `json:"epochs_sealed"`
+
+	Verified      int     `json:"verified"`
+	Refuted       int     `json:"refuted"`
+	FalseVerified int     `json:"false_verified"`
+	ForgedBlocks  int     `json:"forged_blocks_rejected"`
+	VerifyCostPct float64 `json:"verify_cost_pct"`
+}
+
 // obsBench is the observability section: the modeled Fig. 5 slowdown with
 // the flight recorder on and off (the recorder charges no virtual time, so
 // the regression must stay under the 2% acceptance bound), the recorder
@@ -202,6 +234,7 @@ type benchReport struct {
 	Workspaces  workspaceBench   `json:"workspaces"`
 	Incremental incrementalBench `json:"incremental"`
 	TTD         ttdBench         `json:"ttd"`
+	Attest      attestBench      `json:"attest"`
 }
 
 // runSyscallBench times `calls` intercepted time() calls end to end inside a
@@ -366,6 +399,28 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 		BisectReplays:   td.BisectReplays,
 		BisectAgree:     td.BisectAgree,
 	}
+	at := o.RunAttestStudy(debpkg.Universe(seed, sampleOr(n, 6)))
+	rep.Attest = attestBench{
+		Packages:          at.Packages,
+		Cells:             at.Cells,
+		AdmittedIdentical: at.IdenticalAdmitted,
+		OutsIdentical:     at.IdenticalOuts,
+		LiesAdmitted:      at.LiesAdmitted,
+		ByzantineCells:    at.ByzantineCells,
+		Caught:            at.Caught,
+		Attestations:      at.Attestations,
+		Rebuilds:          at.Rebuilds,
+		Lies:              at.LiesDetected,
+		Corrupt:           at.CorruptAttestations,
+		Withheld:          at.CosignsWithheld,
+		Quarantines:       at.Quarantines,
+		Epochs:            at.EpochsSealed,
+		Verified:          at.Verified,
+		Refuted:           at.Refuted,
+		FalseVerified:     at.FalsePos,
+		ForgedBlocks:      at.ForgedSeen,
+		VerifyCostPct:     at.VerifyCostPct(),
+	}
 	cost := kernel.DefaultCostModel()
 	rep.Workspaces = workspaceBench{ForkNs: cost.WsForkCost, MergeNs: cost.WsMergeCost}
 	for _, r := range mlsim.RunWorkspaceSweep(seed) {
@@ -391,10 +446,11 @@ func writeBenchJSON(o *buildsim.Options, seed uint64, n int) error {
 	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical; threaded ws speedup %.2fx; incremental rebuild %.1fx geomean speedup, %d/%d rounds identical)\n",
+	fmt.Printf("wrote %s (%.0f ns/op buffered, %.0f ns/op unbuffered; slowdown %.2fx vs %.2fx; template setup %.1fx less; crash MTTR %.1fx less than replay; farm %d/%d cells identical; threaded ws speedup %.2fx; incremental rebuild %.1fx geomean speedup, %d/%d rounds identical; attest %d/%d cells admitted-identical, %d lies admitted, verify %.2f%% of build cost)\n",
 		name, rep.Buffered.NsPerOp, rep.Unbuffered.NsPerOp,
 		rep.AggregateSlowdown, rep.AggregateSlowdownUnbuffered, rep.Templates.SetupReduction,
 		rep.Faults.MTTRSpeedup, rep.Farm.Identical, rep.Farm.Cells, rep.Workspaces.FarmThreadedSpeedup,
-		rep.Incremental.Speedup, rep.Incremental.Identical, rep.Incremental.Rounds)
+		rep.Incremental.Speedup, rep.Incremental.Identical, rep.Incremental.Rounds,
+		rep.Attest.AdmittedIdentical, rep.Attest.Cells, rep.Attest.LiesAdmitted, rep.Attest.VerifyCostPct)
 	return nil
 }

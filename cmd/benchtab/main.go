@@ -20,6 +20,7 @@
 //	benchtab -workspaces        X17 thread-workspace ablation (farm speedup + output equivalence)
 //	benchtab -incremental       X18 incremental-rebuild study (derivation-store seal reuse vs cold)
 //	benchtab -ttd               X19 time-travel debug study (delta seals, seek latency, bisect cost)
+//	benchtab -attest            X20 Byzantine-robustness study (attested farms under adversarial schedules)
 //	benchtab -json              machine-readable BENCH_<date>.json report
 //	benchtab -trace <dir>       flight-recorder Chrome traces + Prometheus metrics dump
 //	benchtab -all               everything (except -json and -trace, which write files)
@@ -65,6 +66,7 @@ func main() {
 		wsStud   = flag.Bool("workspaces", false, "X17 thread-workspace ablation: threaded-build speedup vs serialized threads, with bitwise output equivalence")
 		incrStd  = flag.Bool("incremental", false, "X18 incremental-rebuild study: one-file patches rebuilt from derivation-store seals vs cold, compared bitwise")
 		ttdStd   = flag.Bool("ttd", false, "X19 time-travel debug study: delta-seal sizes, logical-time seek vs cold replay, bisect probe counts")
+		attStd   = flag.Bool("attest", false, "X20 Byzantine-robustness study: attested farms under adversarial schedules, quorum admission, rebuild-free verification")
 		jsonOut  = flag.Bool("json", false, "write BENCH_<date>.json with throughput, slowdown and stop counts")
 		traceDir = flag.String("trace", "", "export flight-recorder Chrome traces and a Prometheus metrics dump to this directory")
 		all      = flag.Bool("all", false, "")
@@ -207,6 +209,11 @@ func main() {
 	if *all || *ttdStd {
 		section("X19: time-travel debugging — delta seals, logical-time seek, auto-bisect")
 		fmt.Println(o.RunTTDStudy(debpkg.Universe(*seed, sampleOr(*n, 24))))
+		fmt.Println()
+	}
+	if *all || *attStd {
+		section("X20: Byzantine-robust attestation — adversarial schedules, quorum admission, rebuild-free verification")
+		fmt.Println(o.RunAttestStudy(debpkg.Universe(*seed, sampleOr(*n, 6))))
 		fmt.Println()
 	}
 	if *jsonOut {

@@ -38,6 +38,16 @@
 //
 //	reprotest -pkg 7 -nodes 3 -kill-node 0
 //
+// With -attest the package is built on a farm whose Byzantine fault plane
+// seats -byzantine N simultaneous adversaries — a lying builder, an
+// equivocating transparency-log replica, a signature corrupter, a
+// co-signature withholder — and the tool exits non-zero unless every
+// adversary is detected and quarantined, the admitted statement set and the
+// build output are bitwise-unchanged, and the rebuild-free verifier confirms
+// the honest artifact while refuting false claims.
+//
+//	reprotest -pkg 7 -attest -byzantine 2
+//
 // Multi-threaded (javac) builds run with copy-on-write thread workspaces by
 // default; -workspaces=false serializes sibling threads instead. The ablation
 // never changes a verdict or an output byte — only the modeled wall time.
@@ -68,17 +78,19 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "universe + environment seed")
-		pkgN     = flag.Int("pkg", 0, "universe package index")
-		llvm     = flag.Bool("llvm", false, "build the llvm package instead")
-		diagnose = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
-		bisect   = flag.Bool("bisect", false, "localize the first divergent event by checkpoint bisection and verify it against the linear diagnoser")
-		inject   = flag.Int("inject-entropy", 0, "with -diagnose or -bisect: perturb the second run's N'th entropy draw")
-		crashAt  = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
-		nodes    = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
-		killNode = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
-		wsFlag   = flag.Bool("workspaces", true, "thread workspaces for multi-threaded builds (false = serialized-thread ablation; never changes an output byte)")
-		patch    = flag.String("patch", "", "incremental-rebuild gate: patch FILE (or PKG:FILE) in the source tree, rebuild from the derivation store, and verify the bits")
+		seed      = flag.Uint64("seed", 1, "universe + environment seed")
+		pkgN      = flag.Int("pkg", 0, "universe package index")
+		llvm      = flag.Bool("llvm", false, "build the llvm package instead")
+		diagnose  = flag.Bool("diagnose", false, "double-build with identical inputs and report the first divergent flight-recorder event")
+		bisect    = flag.Bool("bisect", false, "localize the first divergent event by checkpoint bisection and verify it against the linear diagnoser")
+		inject    = flag.Int("inject-entropy", 0, "with -diagnose or -bisect: perturb the second run's N'th entropy draw")
+		crashAt   = flag.Int64("inject-crash", -1, "crash a checkpointed build at action N (0 = midpoint), recover it, and verify the bits")
+		nodes     = flag.Int("nodes", 0, "run the crash-recovery gate on a distributed farm with N worker nodes")
+		killNode  = flag.Int("kill-node", 0, "with -nodes: worker ordinal to kill mid-build (0 auto-picks the node the job lands on)")
+		attest    = flag.Bool("attest", false, "run the Byzantine-robustness gate: attested farm build under seated adversaries")
+		byzantine = flag.Int("byzantine", 2, "with -attest: number of simultaneous adversaries to seat (1-4)")
+		wsFlag    = flag.Bool("workspaces", true, "thread workspaces for multi-threaded builds (false = serialized-thread ablation; never changes an output byte)")
+		patch     = flag.String("patch", "", "incremental-rebuild gate: patch FILE (or PKG:FILE) in the source tree, rebuild from the derivation store, and verify the bits")
 	)
 	flag.Parse()
 
@@ -118,6 +130,15 @@ func main() {
 	if *patch != "" {
 		fmt.Println()
 		report, ok := o.PatchRebuild(spec, *patch)
+		fmt.Println(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if *attest {
+		fmt.Println()
+		report, ok := o.ByzantineGate(spec, *byzantine)
 		fmt.Println(report)
 		if !ok {
 			os.Exit(1)

@@ -1,0 +1,246 @@
+// Package attest is the Byzantine-robust attestation chain: the
+// rebuild-free verification surface of the reproducible build farm
+// (DESIGN.md §4i, the ROADMAP's CHAINIAC-style transparency log).
+//
+// The paper's determinism guarantee makes every honest rebuild of the same
+// derivation bit-identical; this package turns that into a checkable,
+// adversary-tolerant claim. Farm workers emit signed attestations binding
+// (source Merkle root, config hash, output hash, flight-recorder ring
+// digest) for every completed build; independent rebuilder nodes re-execute
+// and co-sign; a k-of-n quorum admits exactly one statement per job while
+// naming every dissenting builder; and admitted statements land in an
+// epoch-batched, hash-chained transparency log with skipchain back-links so
+// a verifier checks any epoch in O(log n) link hops. Consumers then answer
+// "is this artifact the honest build of this source?" from the log alone —
+// never by rebuilding — and the whole pipeline stays correct under lying
+// builders, corrupted attestations, equivocating log servers and withheld
+// co-signatures, because determinism gives honesty a canonical value to
+// agree on: any lie is a minority of one bit-for-bit disagreement.
+package attest
+
+import (
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/derive"
+)
+
+// Role tags which execution an attestation certifies.
+type Role uint8
+
+const (
+	// RolePrimary is the worker that built the job in the farm schedule.
+	RolePrimary Role = iota + 1
+	// RoleRebuilder is an independent node that re-executed the derivation
+	// to co-sign (or refute) the primary's claim.
+	RoleRebuilder
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleRebuilder:
+		return "rebuilder"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Statement is the claim an attestation signs: this derivation subject
+// (source Merkle root + behaviour-relevant config hash, the unified
+// derive.Key the whole cache hierarchy shares), executed as this job,
+// produced this output with this logical flight-recorder digest. Every
+// field is a pure function of the declared build inputs, so every honest
+// builder computes the same statement — which is exactly what makes a lie
+// detectable by majority.
+type Statement struct {
+	// Subject is the derivation identity: the image Merkle tree hash and
+	// core.ConfigHash, shared verbatim with the template/seal caches so the
+	// attested artifact and the cached prepared state can never drift in
+	// what "the same build" means.
+	Subject derive.Key
+	// Job is the farm job ID the build ran as.
+	Job uint64
+	// Output is the artifact digest (buildsim's protocol-level out digest).
+	Output uint64
+	// Ring is the run's logical flight-recorder digest: a fold of the
+	// schedule-pure timeline observables (action count and the weighted
+	// event-class counters). Raw ring bytes are mechanism-level — forked
+	// boots record COW breaks cold boots don't, recovered runs replay a
+	// suffix — so the attested digest covers the logical content the
+	// diagnoser also aligns on, which X15/X16 pin schedule-independent.
+	Ring uint64
+}
+
+// appendStatement is the canonical signing encoding of a statement.
+func appendStatement(buf []byte, st Statement) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, st.Subject.Image)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Subject.Config)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Job)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Output)
+	buf = binary.LittleEndian.AppendUint64(buf, st.Ring)
+	return buf
+}
+
+// Digest folds the statement into one 64-bit content address.
+func (st Statement) Digest() uint64 {
+	return derive.DigestBytes(appendStatement(nil, st))
+}
+
+// Attestation is one builder's signed statement.
+type Attestation struct {
+	Statement
+	// Builder is the signing node's farm ordinal (0 = the coordinator,
+	// signing as rebuilder of last resort).
+	Builder int32
+	Role    Role
+	// Sig is the ed25519 signature over the canonical statement encoding
+	// plus (Builder, Role) — a co-signature is bound to who gave it and in
+	// which role, so a replayed primary signature cannot impersonate an
+	// independent rebuild.
+	Sig []byte
+}
+
+// signedBytes is the exact byte string an attestation signs.
+func signedBytes(st Statement, builder int32, role Role) []byte {
+	buf := make([]byte, 0, 5*8+4+1)
+	buf = appendStatement(buf, st)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(builder))
+	buf = append(buf, byte(role))
+	return buf
+}
+
+// attWireSize is the fixed portion of the attestation wire encoding; Sig is
+// a length-prefixed tail.
+const attWireSize = 5*8 + 4 + 1
+
+// MarshalBinary encodes the attestation in the compact little-endian wire
+// format (the attestation envelope of the farm protocol's result and
+// co-sign messages).
+func (a *Attestation) MarshalBinary() []byte {
+	buf := make([]byte, 0, attWireSize+2+len(a.Sig))
+	buf = appendStatement(buf, a.Statement)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Builder))
+	buf = append(buf, byte(a.Role))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(a.Sig)))
+	buf = append(buf, a.Sig...)
+	return buf
+}
+
+// DecodeAttestation decodes the wire format produced by MarshalBinary.
+// Truncated or trailing-garbage inputs error; they never panic.
+func DecodeAttestation(buf []byte) (*Attestation, error) {
+	if len(buf) < attWireSize+2 {
+		return nil, fmt.Errorf("attest: short attestation: %d bytes", len(buf))
+	}
+	a := &Attestation{}
+	a.Subject.Image = binary.LittleEndian.Uint64(buf[0:])
+	a.Subject.Config = binary.LittleEndian.Uint64(buf[8:])
+	a.Job = binary.LittleEndian.Uint64(buf[16:])
+	a.Output = binary.LittleEndian.Uint64(buf[24:])
+	a.Ring = binary.LittleEndian.Uint64(buf[32:])
+	a.Builder = int32(binary.LittleEndian.Uint32(buf[40:]))
+	a.Role = Role(buf[44])
+	slen := int(binary.LittleEndian.Uint16(buf[attWireSize:]))
+	if len(buf) != attWireSize+2+slen {
+		return nil, fmt.Errorf("attest: attestation length %d, want %d", len(buf), attWireSize+2+slen)
+	}
+	if slen > 0 {
+		a.Sig = append([]byte(nil), buf[attWireSize+2:]...)
+	}
+	return a, nil
+}
+
+// Signer holds one node's attestation keypair. Keys derive deterministically
+// from (ordinal, farm key seed) — a declared input like every other seed in
+// the system — so the same farm configuration yields the same keyring on
+// every host, and signatures themselves are deterministic (ed25519 is
+// RFC 8032 deterministic), keeping the whole attestation plane inside the
+// reproducibility contract.
+type Signer struct {
+	ord  int32
+	priv ed25519.PrivateKey
+}
+
+// keyMaterial expands (ordinal, seed) into an ed25519 seed.
+func keyMaterial(ord int32, seed uint64) []byte {
+	material := make([]byte, ed25519.SeedSize)
+	h := derive.DigestU64(0, 0xA77E57, uint64(uint32(ord)), seed)
+	for i := 0; i < ed25519.SeedSize; i += 8 {
+		h = derive.DigestU64(h, uint64(i))
+		binary.LittleEndian.PutUint64(material[i:], h)
+	}
+	return material
+}
+
+// NewSigner derives the node's deterministic signing key.
+func NewSigner(ord int32, seed uint64) *Signer {
+	return &Signer{ord: ord, priv: ed25519.NewKeyFromSeed(keyMaterial(ord, seed))}
+}
+
+// Ordinal is the signer's node ordinal.
+func (s *Signer) Ordinal() int32 { return s.ord }
+
+// Attest signs the statement in the given role.
+func (s *Signer) Attest(st Statement, role Role) Attestation {
+	return Attestation{Statement: st, Builder: s.ord, Role: role,
+		Sig: ed25519.Sign(s.priv, signedBytes(st, s.ord, role))}
+}
+
+// Cosign signs an epoch block hash (the witness half of the CHAINIAC
+// collective signature: every live honest node endorses each sealed epoch).
+func (s *Signer) Cosign(blockHash uint64) []byte {
+	return ed25519.Sign(s.priv, cosignBytes(blockHash))
+}
+
+func cosignBytes(blockHash uint64) []byte {
+	buf := make([]byte, 0, 8+6)
+	buf = append(buf, "epoch:"...)
+	return binary.LittleEndian.AppendUint64(buf, blockHash)
+}
+
+// Keyring maps node ordinals to their attestation public keys. Because keys
+// derive from declared inputs, any party — coordinator, worker, external
+// verifier — reconstructs the same ring from (node count, key seed) alone;
+// no key distribution protocol is required.
+type Keyring struct {
+	seed uint64
+	pubs map[int32]ed25519.PublicKey
+}
+
+// NewKeyring builds the ring for the coordinator (ordinal 0) and workers
+// 1..nodes.
+func NewKeyring(nodes int, seed uint64) *Keyring {
+	r := &Keyring{seed: seed, pubs: make(map[int32]ed25519.PublicKey, nodes+1)}
+	for ord := 0; ord <= nodes; ord++ {
+		r.pubs[int32(ord)] = NewSigner(int32(ord), seed).priv.Public().(ed25519.PublicKey)
+	}
+	return r
+}
+
+// Verify reports whether the attestation's signature is valid under the
+// ring's key for its builder. An unknown builder or a corrupted signature
+// fails closed.
+func (r *Keyring) Verify(a Attestation) bool {
+	pub, ok := r.pubs[a.Builder]
+	if !ok || len(a.Sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, signedBytes(a.Statement, a.Builder, a.Role), a.Sig)
+}
+
+// VerifyCosign reports whether sig is ord's valid endorsement of the epoch
+// block hash.
+func (r *Keyring) VerifyCosign(ord int32, blockHash uint64, sig []byte) bool {
+	pub, ok := r.pubs[ord]
+	if !ok || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, cosignBytes(blockHash), sig)
+}
+
+// Size is the number of keys in the ring (coordinator included).
+func (r *Keyring) Size() int { return len(r.pubs) }

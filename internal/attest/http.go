@@ -1,0 +1,148 @@
+package attest
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/derive"
+)
+
+// This file is the net/http binding of the verification surface — the
+// deployment skeleton for serving "is this artifact the honest build of this
+// source?" to external consumers. A log server exports read-only JSON
+// endpoints (head, epoch, locate); HTTPLogClient implements LogClient over
+// them, so the same Verifier runs unchanged against in-process replicas and
+// remote ones. The verification service endpoint wraps a Verifier for
+// clients that hold nothing but the artifact claim — the millions-of-users
+// surface, where one GET replaces one rebuild.
+
+// NewLogHandler serves a log server's query surface:
+//
+//	GET /head            -> Epoch JSON
+//	GET /epoch?i=N       -> Epoch JSON
+//	GET /locate?image=&config=&job= -> {"index":N}
+//
+// A killed server answers 503; clients degrade exactly as in-process ones.
+func NewLogHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	fail := func(w http.ResponseWriter, err error) {
+		code := http.StatusNotFound
+		if err == ErrServerDown {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+	}
+	mux.HandleFunc("/head", func(w http.ResponseWriter, req *http.Request) {
+		e, err := s.Head()
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e)
+	})
+	mux.HandleFunc("/epoch", func(w http.ResponseWriter, req *http.Request) {
+		i, _ := strconv.Atoi(req.URL.Query().Get("i"))
+		e, err := s.EpochAt(i)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(e)
+	})
+	mux.HandleFunc("/locate", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		image, _ := strconv.ParseUint(q.Get("image"), 10, 64)
+		config, _ := strconv.ParseUint(q.Get("config"), 10, 64)
+		job, _ := strconv.ParseUint(q.Get("job"), 10, 64)
+		i, err := s.Locate(derive.Key{Image: image, Config: config}, job)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"index": i})
+	})
+	return mux
+}
+
+// HTTPLogClient implements LogClient against a NewLogHandler base URL.
+type HTTPLogClient struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPLogClient builds a client for one remote log replica.
+func NewHTTPLogClient(base string) *HTTPLogClient {
+	return &HTTPLogClient{base: base, client: &http.Client{}}
+}
+
+func (c *HTTPLogClient) get(path string, out any) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return ErrServerDown
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("attest: %s: %s", path, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Head implements LogClient.
+func (c *HTTPLogClient) Head() (*Epoch, error) {
+	var e Epoch
+	if err := c.get("/head", &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// EpochAt implements LogClient.
+func (c *HTTPLogClient) EpochAt(i int) (*Epoch, error) {
+	var e Epoch
+	if err := c.get(fmt.Sprintf("/epoch?i=%d", i), &e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Locate implements LogClient.
+func (c *HTTPLogClient) Locate(subject derive.Key, job uint64) (int, error) {
+	var out map[string]int
+	path := fmt.Sprintf("/locate?image=%d&config=%d&job=%d", subject.Image, subject.Config, job)
+	if err := c.get(path, &out); err != nil {
+		return 0, err
+	}
+	return out["index"], nil
+}
+
+// NewVerifyHandler serves the verification service:
+//
+//	GET /verify?image=&config=&job=&output= -> Verdict JSON
+//
+// plus "level" and "ok" as flat fields for curl-ability.
+func NewVerifyHandler(v *Verifier) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		image, _ := strconv.ParseUint(q.Get("image"), 10, 64)
+		config, _ := strconv.ParseUint(q.Get("config"), 10, 64)
+		job, _ := strconv.ParseUint(q.Get("job"), 10, 64)
+		output, _ := strconv.ParseUint(q.Get("output"), 10, 64)
+		verdict := v.Verify(derive.Key{Image: image, Config: config}, job, output)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"level":   verdict.Level.String(),
+			"ok":      verdict.OK,
+			"refuted": verdict.Refuted,
+			"hops":    verdict.Hops,
+			"detail":  verdict.Detail,
+		})
+	})
+}

@@ -146,7 +146,24 @@ type Options struct {
 	// and duplication — see reprotest.FarmPlanFor). A node-killing plan
 	// requires Checkpoints: the doomed build dies mid-flight and its job is
 	// recovered on another node from the freshest seal in the shard store.
+	// It also carries the Byzantine plane (reprotest.ByzantinePlanFor) when
+	// Attest is on: lying builders, corrupted attestations, equivocating log
+	// servers and withheld co-signatures.
 	FarmPlan reprotest.FaultPlan
+	// Attest enables the farm's Byzantine-robust attestation chain (ISSUE
+	// 10): every completed job is independently re-executed by rebuilder
+	// nodes, quorum-admitted with dissent naming and quarantine, and sealed
+	// into an epoch-batched transparency log so consumers can verify
+	// artifacts rebuild-free. Requires Distributed. Like everything else in
+	// the farm layer, it must not change any output byte — attest_test.go
+	// pins the admitted set and the Out bodies DeepEqual across fault
+	// schedules and farm shapes.
+	Attest bool
+	// Rebuilders is the independent re-executions certifying each job
+	// (0 = farm default, 2).
+	Rebuilders int
+	// LogServers is the transparency-log replica count (0 = farm default, 3).
+	LogServers int
 
 	// jobSeq hands each checkpointed build a farm-unique identity for its
 	// LRU entries. Scheduling-dependent, so it must never influence results —

@@ -67,6 +67,13 @@ func (o *Options) buildAllFarm(specs []*debpkg.Spec, progress func(done, total i
 		if err != nil {
 			return 0, err
 		}
+		ctx.Attest.Ring = ringDigest(&out)
+		if ctx.Rebuild {
+			// Attestation rebuild: the full build runs (that is the point —
+			// an independent re-execution) but the result is admission
+			// evidence, never farm output.
+			return outDigest(&out), nil
+		}
 		mu.Lock()
 		outs[i] = out
 		done++
@@ -77,7 +84,9 @@ func (o *Options) buildAllFarm(specs []*debpkg.Spec, progress func(done, total i
 		return outDigest(&out), nil
 	}
 	cl := farm.New(farm.Config{Nodes: nodes, Slots: slots,
-		PlacementSeed: o.PlacementSeed, Plan: o.FarmPlan}, exec)
+		PlacementSeed: o.PlacementSeed, Plan: o.FarmPlan,
+		Attest: o.Attest, Rebuilders: o.Rebuilders,
+		LogServers: o.LogServers, KeySeed: o.Seed}, exec)
 	jobs := make([]farm.Job, len(specs))
 	for i, spec := range specs {
 		// Affinity/Image are the spec's pure identity hash: placement input
@@ -118,6 +127,18 @@ func outDigest(out *Out) uint64 {
 		uint64(out.Events.Syscalls), uint64(out.Events.Stops))
 }
 
+// ringDigest condenses one Out into the flight-recorder digest bound into the
+// build's attestation statement: the protocol digest folded with the recorded
+// event counts — a fingerprint of the *execution*, not just the product, so a
+// builder cannot attest an honest output it obtained by a different run. Any
+// pure function of Out is schedule-pure here because X16 pins full Out bodies
+// DeepEqual across every farm shape.
+func ringDigest(out *Out) uint64 {
+	return obs.DigestU64(outDigest(out), uint64(out.RecEvents),
+		uint64(out.Events.Replays), uint64(out.Events.Sched),
+		uint64(out.Events.WsForks), uint64(out.Events.WsMerges))
+}
+
 // stageSnapshots routes the package's prepared baseline-kernel snapshots
 // through the coordinator's shard store: the first node to need one holds
 // the lease and prepares it, every other node forks the farm-shared copy —
@@ -155,6 +176,11 @@ func (o *Options) farmDT1(ctx *farm.ExecCtx, spec *debpkg.Spec) func(obs.Local, 
 	return func(l obs.Local, seed uint64, v reprotest.Variation) (dtRun, error) {
 		img, pkgdir, imgHash := o.pkgImage(l, spec, "/build")
 		cfg := o.dtConfig(img, pkgdir, seed, v)
+		// Attestation subject: the content-addressed identity of this build,
+		// taken from the CLEAN config — before any doomed-node crash knob
+		// lands in runCfg — so honest primaries and rebuilders bind the same
+		// subject regardless of the fault schedule.
+		ctx.Attest.Subject = derive.KeyFor(imgHash, core.ConfigHash(cfg))
 		env := containerEnv
 		runCfg := cfg
 		var state derive.Key

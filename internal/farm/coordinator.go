@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/attest"
 	"repro/internal/derive"
 	"repro/internal/obs"
 )
@@ -220,6 +221,12 @@ func (co *coordinator) result(id NodeID, p pending, resp *Envelope) {
 			co.cond.Broadcast()
 		}
 		co.mu.Unlock()
+		if co.cl.at != nil {
+			// Quorum-admit the completed job: the primary's signed claim
+			// (possibly withheld or a lie) against independent rebuilds.
+			co.cl.at.admitJob(p.job, int32(id),
+				attestationFrom(resp, int32(id), attest.RolePrimary))
+		}
 	case "crashed":
 		co.cl.c.crashes.Add(co.l, 1)
 		co.mu.Lock()
@@ -304,6 +311,16 @@ func (co *coordinator) runLocal(p pending) {
 		co.cl.record(obs.KindFarmRecover, 0, p.job.ID, int64(ctx.RestoredFrom))
 	}
 	co.mu.Unlock()
+	if co.cl.at != nil && err == nil {
+		// The coordinator is the primary for fallback jobs: it signs its own
+		// statement and admission proceeds as usual (a degenerate pool when
+		// no workers survive).
+		st := ctx.Attest
+		st.Job = p.job.ID
+		st.Output = digest
+		a := co.cl.at.signer.Attest(st, attest.RolePrimary)
+		co.cl.at.admitJob(p.job, 0, &a)
+	}
 }
 
 // Receive implements Receiver: the coordinator's half of the protocol —

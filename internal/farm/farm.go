@@ -27,6 +27,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/attest"
 	"repro/internal/obs"
 	"repro/internal/reprotest"
 )
@@ -77,6 +78,15 @@ type ExecCtx struct {
 	// attempt restored from (0 = cold replay or no recovery). The worker
 	// reports it back so the coordinator can stamp the recover event.
 	RestoredFrom int
+	// Rebuild marks an independent re-execution for the attestation quorum:
+	// the executor must run the full build and fill Attest, but must not
+	// publish its result as farm output (buildsim skips its Out store).
+	Rebuild bool
+	// Attest is filled by the executor when the attestation plane is on: the
+	// statement's Subject (source Merkle root + behaviour-relevant config
+	// hash) and logical Ring digest. Job and Output are stamped by the node
+	// that signs.
+	Attest attest.Statement
 
 	w *Worker // nil when the coordinator executes inline (local fallback)
 	c *Cluster
@@ -113,6 +123,25 @@ type Config struct {
 	// binding's tests); nil means the deterministic memTransport. The fault
 	// decorator wraps whatever is supplied.
 	Transport Transport
+
+	// Attest enables the Byzantine-robust attestation chain (DESIGN §4i):
+	// every completed job is independently re-executed by Rebuilders other
+	// nodes, quorum-admitted with dissent naming and quarantine, and sealed
+	// into an epoch-batched transparency log replicated across LogServers.
+	Attest bool
+	// Rebuilders is how many independent re-executions certify each job
+	// beyond the primary (default 2; the coordinator tops up the pool as
+	// rebuilder of last resort when the farm is smaller).
+	Rebuilders int
+	// LogServers is the transparency-log replica count (default 3).
+	LogServers int
+	// EpochSize is how many admitted records one sealed epoch batches
+	// (default 4).
+	EpochSize int
+	// KeySeed seeds the deterministic attestation keyring: every node's
+	// ed25519 key is a pure function of (ordinal, KeySeed), so any party
+	// reconstructs the ring without a distribution protocol.
+	KeySeed uint64
 }
 
 // JobReport is the farm's per-job accounting: which worker completed the
@@ -148,6 +177,7 @@ type Cluster struct {
 	tr Transport // fault-decorated transport every node sends through
 	co *coordinator
 	ws []*Worker
+	at *attestPlane // nil unless cfg.Attest
 }
 
 // farmCounters is the coordinator's slice of the farm registry.
@@ -166,6 +196,18 @@ type farmCounters struct {
 	stateHits *obs.Counter
 	stateMiss *obs.Counter
 	nodeJobs  *obs.CounterVec
+
+	// Attestation-plane counters (zero unless Config.Attest).
+	attestations *obs.Counter
+	rebuilds     *obs.Counter
+	admitRetries *obs.Counter
+	backoffNs    *obs.Counter
+	cosigns      *obs.Counter
+	withholds    *obs.Counter
+	lies         *obs.Counter
+	corrupts     *obs.Counter
+	quarantines  *obs.Counter
+	epochs       *obs.Counter
 }
 
 func newFarmCounters(reg *obs.Registry, nodes int) farmCounters {
@@ -188,6 +230,16 @@ func newFarmCounters(reg *obs.Registry, nodes int) farmCounters {
 	c.stateMiss = reg.Counter("farm_state_misses")
 	// Slot 0 is the coordinator's local-fallback lane; 1..nodes the workers.
 	c.nodeJobs = reg.CounterVec("farm_node_jobs", nodes+1)
+	c.attestations = reg.Counter("farm_attestations")
+	c.rebuilds = reg.Counter("farm_attest_rebuilds")
+	c.admitRetries = reg.Counter("farm_attest_retries")
+	c.backoffNs = reg.Counter("farm_attest_backoff_ns")
+	c.cosigns = reg.Counter("farm_epoch_cosigns")
+	c.withholds = reg.Counter("farm_attest_withholds")
+	c.lies = reg.Counter("farm_attest_lies")
+	c.corrupts = reg.Counter("farm_attest_corrupt")
+	c.quarantines = reg.Counter("farm_attest_quarantines")
+	c.epochs = reg.Counter("farm_epochs_sealed")
 	return c
 }
 
@@ -208,6 +260,17 @@ func New(cfg Config, exec ExecFunc) *Cluster {
 	}
 	if cfg.Plan.KillNode > 0 && cfg.Plan.KillAtJob < 1 {
 		cfg.Plan.KillAtJob = 1
+	}
+	if cfg.Attest {
+		if cfg.Rebuilders < 1 {
+			cfg.Rebuilders = 2
+		}
+		if cfg.LogServers < 1 {
+			cfg.LogServers = 3
+		}
+		if cfg.EpochSize < 1 {
+			cfg.EpochSize = 4
+		}
 	}
 	cl := &Cluster{cfg: cfg, exec: exec}
 	cl.reg = obs.NewRegistry()
@@ -233,6 +296,9 @@ func New(cfg Config, exec ExecFunc) *Cluster {
 			mem.attach(w.id, w)
 		}
 	}
+	if cfg.Attest {
+		cl.at = newAttestPlane(cl)
+	}
 	return cl
 }
 
@@ -257,6 +323,12 @@ func (cl *Cluster) Run(jobs []Job) ([]JobReport, error) {
 		}
 	}
 	reports := cl.co.dispatch(jobs)
+	if cl.at != nil {
+		// Audit never-exercised live workers against the admitted record of
+		// the first job, then seal the chain into epochs and replicate it.
+		cl.at.audit(jobs)
+		cl.at.sealEpochs()
+	}
 	for _, w := range cl.ws {
 		cl.reg.Absorb(w.reg)
 	}
@@ -294,6 +366,51 @@ func (cl *Cluster) Ring() *obs.Recorder { return cl.rec }
 // buildsim driver seed prepared state through it).
 func (cl *Cluster) Shards() *Shards { return cl.co.shards }
 
+// Keyring exposes the attestation keyring (nil unless Config.Attest).
+func (cl *Cluster) Keyring() *attest.Keyring {
+	if cl.at == nil {
+		return nil
+	}
+	return cl.at.ring
+}
+
+// Chain exposes the sealed transparency log (nil unless Config.Attest).
+func (cl *Cluster) Chain() *attest.Chain {
+	if cl.at == nil {
+		return nil
+	}
+	return cl.at.chain
+}
+
+// LogServers exposes the transparency-log replicas, in ordinal order (nil
+// unless Config.Attest). Replica N is the equivocating server when the fault
+// plan's EquivocateEpoch == N.
+func (cl *Cluster) LogServers() []*attest.Server {
+	if cl.at == nil {
+		return nil
+	}
+	return cl.at.logs
+}
+
+// AdmittedSet is the chain's admitted statements sorted by job — the value
+// the attestation equivalence gates compare across fault schedules and farm
+// shapes (nil unless Config.Attest).
+func (cl *Cluster) AdmittedSet() []attest.Statement {
+	if cl.at == nil {
+		return nil
+	}
+	return cl.at.chain.AdmittedSet()
+}
+
+// Quarantined returns the ordinals the admission pipeline named and
+// quarantined, sorted ascending.
+func (cl *Cluster) Quarantined() []int {
+	if cl.at == nil {
+		return nil
+	}
+	return cl.at.quarantinedOrds()
+}
+
 // Stats is the farm's deterministic accounting, gathered from the rolled-up
 // registry after Run.
 type Stats struct {
@@ -305,6 +422,13 @@ type Stats struct {
 	ColdRecoveries, LocalFallbacks        int64
 	SealPuts, SealGets                    int64
 	StateHits, StateMisses                int64
+
+	// Attestation plane (zero unless Config.Attest).
+	Attestations, Rebuilds, AdmitRetries int64
+	BackoffNs                            int64
+	Cosigns, CosignsWithheld             int64
+	LiesDetected, CorruptAttestations    int64
+	Quarantines, EpochsSealed            int64
 }
 
 // Stats reads the cluster's counters. Call after Run.
@@ -315,23 +439,33 @@ func (cl *Cluster) Stats() Stats {
 		jobs += c.nodeJobs.At(i)
 	}
 	return Stats{
-		Nodes:             cl.cfg.Nodes,
-		Jobs:              int(jobs),
-		MsgsSent:          c.sent.Value(),
-		MsgsLost:          c.lost.Value(),
-		MsgsRetransmitted: c.retrans.Value(),
-		MsgsDuplicated:    c.duped.Value(),
-		MsgsDeduped:       c.deduped.Value(),
-		Assigns:           c.assigns.Value(),
-		Results:           c.results.Value(),
-		NodeCrashes:       c.crashes.Value(),
-		Steals:            c.steals.Value(),
-		Recoveries:        c.recovers.Value(),
-		ColdRecoveries:    c.coldRuns.Value(),
-		LocalFallbacks:    c.fallbacks.Value(),
-		SealPuts:          c.sealPuts.Value(),
-		SealGets:          c.sealGets.Value(),
-		StateHits:         c.stateHits.Value(),
-		StateMisses:       c.stateMiss.Value(),
+		Nodes:               cl.cfg.Nodes,
+		Jobs:                int(jobs),
+		MsgsSent:            c.sent.Value(),
+		MsgsLost:            c.lost.Value(),
+		MsgsRetransmitted:   c.retrans.Value(),
+		MsgsDuplicated:      c.duped.Value(),
+		MsgsDeduped:         c.deduped.Value(),
+		Assigns:             c.assigns.Value(),
+		Results:             c.results.Value(),
+		NodeCrashes:         c.crashes.Value(),
+		Steals:              c.steals.Value(),
+		Recoveries:          c.recovers.Value(),
+		ColdRecoveries:      c.coldRuns.Value(),
+		LocalFallbacks:      c.fallbacks.Value(),
+		SealPuts:            c.sealPuts.Value(),
+		SealGets:            c.sealGets.Value(),
+		StateHits:           c.stateHits.Value(),
+		StateMisses:         c.stateMiss.Value(),
+		Attestations:        c.attestations.Value(),
+		Rebuilds:            c.rebuilds.Value(),
+		AdmitRetries:        c.admitRetries.Value(),
+		BackoffNs:           c.backoffNs.Value(),
+		Cosigns:             c.cosigns.Value(),
+		CosignsWithheld:     c.withholds.Value(),
+		LiesDetected:        c.lies.Value(),
+		CorruptAttestations: c.corrupts.Value(),
+		Quarantines:         c.quarantines.Value(),
+		EpochsSealed:        c.epochs.Value(),
 	}
 }

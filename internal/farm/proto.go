@@ -58,6 +58,12 @@ const (
 	// (after a planned node crash). Response: MsgDownAck.
 	MsgDown
 	MsgDownAck
+	// MsgCosign: coordinator -> worker. Asks the worker to co-sign a sealed
+	// transparency-log epoch (Digest carries the block hash, Job the epoch
+	// index). Response: MsgCosignAck with Sig, or Status "withheld" when the
+	// Byzantine plan makes this worker drop co-signatures.
+	MsgCosign
+	MsgCosignAck
 	// MsgErr is the error response to any malformed or unroutable request.
 	MsgErr
 )
@@ -93,6 +99,10 @@ func (t MsgType) String() string {
 		return "down"
 	case MsgDownAck:
 		return "down-ack"
+	case MsgCosign:
+		return "cosign"
+	case MsgCosignAck:
+		return "cosign-ack"
 	case MsgErr:
 		return "err"
 	default:
@@ -130,9 +140,22 @@ type Envelope struct {
 	// coordinator decides doom at placement time (the plan's KillAtJob-th
 	// job placed on the killed node), so the crash site is a pure function
 	// of the schedule, not of slot interleaving.
-	Doom   bool     `json:"doom,omitempty"`
-	Pinned []uint64 `json:"pinned,omitempty"`
-	Status string   `json:"status,omitempty"`
+	Doom bool `json:"doom,omitempty"`
+	// Source is the attestation subject's source Merkle root — distinct from
+	// Image, which is the farm-level placement/content hash. Together with
+	// Config, Digest (output) and Ring it reconstructs the attest.Statement a
+	// result or rebuild response certifies.
+	Source uint64 `json:"source,omitempty"`
+	// Ring is the run's logical flight-recorder digest (attestation field).
+	Ring uint64 `json:"ring,omitempty"`
+	// Rebuild marks a MsgAssign as an independent re-execution for the
+	// attestation quorum: the worker builds and attests but the result is
+	// admission evidence, not farm output.
+	Rebuild bool     `json:"rebuild,omitempty"`
+	Pinned  []uint64 `json:"pinned,omitempty"`
+	Status  string   `json:"status,omitempty"`
+	// Sig is an ed25519 attestation or epoch co-signature (attest package).
+	Sig []byte `json:"sig,omitempty"`
 	// Val is the in-process body reference (a kernel snapshot, container
 	// template or checkpoint seal). It never crosses a real wire: both codecs
 	// carry only the content address (Image, Config, Job, Ordinal, Digest),
@@ -150,14 +173,14 @@ func (e *Envelope) IdemKey() uint64 {
 		e.Image, e.Config, uint64(uint32(e.Ordinal)), e.Digest)
 }
 
-// envWireSize is the fixed portion of the binary encoding; Status and Pinned
-// are length-prefixed tails.
-const envWireSize = 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 4 + 8 + 8 + 4 + 1
+// envWireSize is the fixed portion of the binary encoding; Status, Pinned
+// and Sig are length-prefixed tails.
+const envWireSize = 1 + 4 + 4 + 8 + 8 + 8 + 4 + 8 + 8 + 4 + 8 + 8 + 4 + 1 + 8 + 8 + 1
 
 // MarshalBinary encodes the envelope in the compact little-endian wire
 // format (Val, the in-process body, is not encoded — see Envelope.Val).
 func (e *Envelope) MarshalBinary() []byte {
-	buf := make([]byte, 0, envWireSize+2+len(e.Status)+2+8*len(e.Pinned))
+	buf := make([]byte, 0, envWireSize+2+len(e.Status)+2+8*len(e.Pinned)+2+len(e.Sig))
 	buf = append(buf, byte(e.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.To))
@@ -176,18 +199,27 @@ func (e *Envelope) MarshalBinary() []byte {
 		doom = 1
 	}
 	buf = append(buf, doom)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Source)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Ring)
+	var rebuild byte
+	if e.Rebuild {
+		rebuild = 1
+	}
+	buf = append(buf, rebuild)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Status)))
 	buf = append(buf, e.Status...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Pinned)))
 	for _, p := range e.Pinned {
 		buf = binary.LittleEndian.AppendUint64(buf, p)
 	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Sig)))
+	buf = append(buf, e.Sig...)
 	return buf
 }
 
 // DecodeEnvelope decodes the binary wire format produced by MarshalBinary.
 func DecodeEnvelope(buf []byte) (*Envelope, error) {
-	if len(buf) < envWireSize+4 {
+	if len(buf) < envWireSize+6 {
 		return nil, fmt.Errorf("farm: short envelope: %d bytes", len(buf))
 	}
 	e := &Envelope{}
@@ -205,10 +237,13 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	e.Wall = int64(binary.LittleEndian.Uint64(buf[65:]))
 	e.Slots = int32(binary.LittleEndian.Uint32(buf[73:]))
 	e.Doom = buf[77] != 0
+	e.Source = binary.LittleEndian.Uint64(buf[78:])
+	e.Ring = binary.LittleEndian.Uint64(buf[86:])
+	e.Rebuild = buf[94] != 0
 	off := envWireSize
 	slen := int(binary.LittleEndian.Uint16(buf[off:]))
 	off += 2
-	if len(buf) < off+slen+2 {
+	if len(buf) < off+slen+4 {
 		return nil, fmt.Errorf("farm: envelope truncated in status")
 	}
 	if slen > 0 {
@@ -217,14 +252,23 @@ func DecodeEnvelope(buf []byte) (*Envelope, error) {
 	off += slen
 	plen := int(binary.LittleEndian.Uint16(buf[off:]))
 	off += 2
-	if len(buf) != off+8*plen {
-		return nil, fmt.Errorf("farm: envelope length %d, want %d", len(buf), off+8*plen)
+	if len(buf) < off+8*plen+2 {
+		return nil, fmt.Errorf("farm: envelope truncated in pinned")
 	}
 	if plen > 0 {
 		e.Pinned = make([]uint64, plen)
 		for i := range e.Pinned {
 			e.Pinned[i] = binary.LittleEndian.Uint64(buf[off+8*i:])
 		}
+	}
+	off += 8 * plen
+	glen := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if len(buf) != off+glen {
+		return nil, fmt.Errorf("farm: envelope length %d, want %d", len(buf), off+glen)
+	}
+	if glen > 0 {
+		e.Sig = append([]byte(nil), buf[off:]...)
 	}
 	return e, nil
 }

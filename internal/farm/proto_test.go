@@ -19,6 +19,15 @@ func sampleEnvelopes() []*Envelope {
 			Image: 1, Config: 2, Ordinal: 4, Digest: 99},
 		{Type: MsgSealData, From: Coordinator, To: 2, Status: "miss"},
 		{Type: MsgErr, From: Coordinator, To: 9, Status: "unexpected down-ack"},
+		{Type: MsgAssign, From: Coordinator, To: 2, Seq: 9, Idem: 0xBEEF,
+			Job: 42, Image: 0xABC000, Config: 0xC0F, Rebuild: true},
+		{Type: MsgResult, From: 2, To: Coordinator, Job: 42, Status: "ok",
+			Source: 0x50BCE, Config: 0xC0F, Ring: 0x1234, Digest: 0xFEEDFACE,
+			Sig: []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01}},
+		{Type: MsgCosign, From: Coordinator, To: 3, Job: 2, Digest: 0xB10C4A54},
+		{Type: MsgCosignAck, From: 3, To: Coordinator, Job: 2,
+			Sig: []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}},
+		{Type: MsgCosignAck, From: 4, To: Coordinator, Job: 2, Status: "withheld"},
 	}
 }
 

@@ -3,6 +3,7 @@ package farm
 import (
 	"sync"
 
+	"repro/internal/attest"
 	"repro/internal/derive"
 	"repro/internal/obs"
 )
@@ -31,6 +32,10 @@ type Worker struct {
 	// jobs. Set before Run.
 	Pins []uint64
 
+	// signer is the worker's deterministic attestation key (nil unless the
+	// cluster's attestation plane is on).
+	signer *attest.Signer
+
 	mu       sync.Mutex
 	down     bool
 	accepted int                  // accepted-assignment ordinal clock
@@ -46,6 +51,9 @@ func newWorker(cl *Cluster, id NodeID) *Worker {
 	w.c.deduped = w.reg.Counter("farm_msgs_deduped")
 	w.c.crashes = w.reg.Counter("farm_worker_crashes")
 	w.idem = make(map[uint64]*Envelope)
+	if cl.cfg.Attest {
+		w.signer = attest.NewSigner(int32(id), cl.cfg.KeySeed)
+	}
 	return w
 }
 
@@ -63,9 +71,13 @@ func (w *Worker) register() error {
 }
 
 // Receive implements Receiver: the worker's half of the protocol. Only
-// MsgAssign arrives here; everything else is a protocol error.
+// MsgAssign (builds and attestation rebuilds) and MsgCosign arrive here;
+// everything else is a protocol error.
 func (w *Worker) Receive(env *Envelope) *Envelope {
 	w.c.msgs.Add(w.l, 1)
+	if env.Type == MsgCosign {
+		return w.cosign(env)
+	}
 	if env.Type != MsgAssign {
 		return &Envelope{Type: MsgErr, From: w.id, To: env.From,
 			Status: "unexpected " + env.Type.String()}
@@ -111,6 +123,7 @@ func (w *Worker) run(env *Envelope) *Envelope {
 		Job:      Job{ID: env.Job, Image: env.Image, Config: env.Config},
 		Attempt:  int(env.Attempt),
 		PrevWall: env.Wall,
+		Rebuild:  env.Rebuild,
 		w:        w,
 		c:        w.cl,
 	}
@@ -130,10 +143,70 @@ func (w *Worker) run(env *Envelope) *Envelope {
 		return &Envelope{Type: MsgResult, From: w.id, To: env.From,
 			Job: env.Job, Attempt: env.Attempt, Status: "error: " + err.Error()}
 	}
-	w.c.jobs.Add(w.l, 1)
-	return &Envelope{Type: MsgResult, From: w.id, To: env.From,
+	if !env.Rebuild {
+		w.c.jobs.Add(w.l, 1)
+	}
+	resp := &Envelope{Type: MsgResult, From: w.id, To: env.From,
 		Job: env.Job, Attempt: env.Attempt, Status: "ok",
 		Digest: digest, Ordinal: int32(ctx.RestoredFrom)}
+	if w.signer != nil {
+		w.attest(env, ctx, digest, resp)
+	}
+	return resp
+}
+
+// attest attaches the worker's signed statement to an "ok" result or rebuild
+// response — or, on Byzantine schedules that seat this ordinal, emits the
+// planned misbehaviour: LieOutput signs (and claims) a per-ordinal wrong
+// output, CorruptAttestation flips bits in an honest signature, and
+// WithholdCosign attaches nothing at all. The lie is a VALID signature over
+// wrong bits — exactly the claim-layer attack the admission quorum exists to
+// out-vote and name.
+func (w *Worker) attest(env *Envelope, ctx *ExecCtx, digest uint64, resp *Envelope) {
+	plan := w.cl.cfg.Plan
+	ord := int(w.id)
+	if plan.WithholdCosign == ord {
+		return
+	}
+	st := ctx.Attest
+	st.Job = env.Job
+	st.Output = digest
+	if plan.LieOutput == ord {
+		st.Output ^= lieMask(ord)
+	}
+	role := attest.RolePrimary
+	if env.Rebuild {
+		role = attest.RoleRebuilder
+	}
+	a := w.signer.Attest(st, role)
+	if plan.CorruptAttestation == ord {
+		a.Sig[0] ^= 0xFF
+	}
+	resp.Source = st.Subject.Image
+	resp.Config = st.Subject.Config
+	resp.Ring = st.Ring
+	resp.Digest = st.Output
+	resp.Sig = a.Sig
+}
+
+// cosign answers an epoch co-signing request (or withholds, on the Byzantine
+// schedule that seats this worker as the withholder).
+func (w *Worker) cosign(env *Envelope) *Envelope {
+	resp := &Envelope{Type: MsgCosignAck, From: w.id, To: env.From, Job: env.Job}
+	w.mu.Lock()
+	down := w.down
+	w.mu.Unlock()
+	plan := w.cl.cfg.Plan
+	if w.signer == nil || down || plan.WithholdCosign == int(w.id) {
+		resp.Status = "withheld"
+		return resp
+	}
+	sig := w.signer.Cosign(env.Digest)
+	if plan.CorruptAttestation == int(w.id) {
+		sig[0] ^= 0xFF
+	}
+	resp.Sig = sig
+	return resp
 }
 
 // The ExecCtx accessors below route a build's prepared-state and seal

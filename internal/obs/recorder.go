@@ -84,6 +84,16 @@ const (
 	// is the probed seal ordinal, Ret 1 if the two runs' seals already
 	// diverged at that ordinal and 0 if they still agreed.
 	KindBisectProbe
+	// KindAttest marks one job's quorum admission on the coordinator ring
+	// (ISSUE 10): Pid is the primary builder's ordinal, Arg the job, Ret the
+	// dissenting-builder count. Mechanism-level like the farm kinds.
+	KindAttest
+	// KindQuarantine marks a builder named as Byzantine and quarantined:
+	// Pid is the quarantined ordinal, Arg the job whose admission named it.
+	KindQuarantine
+	// KindEpochSeal marks a transparency-log epoch sealed and replicated:
+	// Arg is the epoch index, Ret the admitted-record count.
+	KindEpochSeal
 )
 
 // String names the kind for human-facing diagnoser output.
@@ -127,6 +137,12 @@ func (k Kind) String() string {
 		return "ttd-seek"
 	case KindBisectProbe:
 		return "ttd-bisect-probe"
+	case KindAttest:
+		return "attest-admit"
+	case KindQuarantine:
+		return "attest-quarantine"
+	case KindEpochSeal:
+		return "attest-epoch-seal"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -218,6 +218,25 @@ func Quorum(results []Result, k int) (string, bool) {
 	return best, true
 }
 
+// QuorumDissent is Quorum plus accountability: alongside the winning state
+// hash it returns the indices of every replica that dissented from the
+// quorum value — errored replicas and replicas reporting a different hash.
+// Under determinism a healthy honest replica CANNOT dissent (the quorum
+// value is the unique function of the inputs), so a dissenting index names a
+// faulty or lying node, which is what lets the attestation layer quarantine
+// Byzantine builders instead of merely failing the k-of-n check. When no
+// quorum forms, every index is returned as dissenting.
+func QuorumDissent(results []Result, k int) (string, []int, bool) {
+	best, ok := Quorum(results, k)
+	dissent := make([]int, 0, len(results))
+	for i, r := range results {
+		if !ok || r.Err != nil || r.StateHash != best {
+			dissent = append(dissent, i)
+		}
+	}
+	return best, dissent, ok
+}
+
 // Reference computes the cluster's canonical checkpointed outcome once, on
 // the first host. Determinism makes any single healthy replica THE cluster
 // reference — so recovery validation costs one replica's work, not N.

@@ -41,6 +41,29 @@ type FaultPlan struct {
 	// DupMsg delivers the transmission with this per-link message ordinal
 	// twice (0 = none); the receiver's idempotency cache absorbs the copy.
 	DupMsg int64
+
+	// The remaining events are the Byzantine fault plane (internal/attest):
+	// participants that follow the protocol but lie. Each field names a node
+	// ordinal (1-based worker; 0 = honest everywhere). Like every other
+	// fault these are scheduled on identity and logical ordinals, never on
+	// time, so the same plan seats the same adversaries on every run.
+
+	// LieOutput makes the named worker sign a wrong output hash in every
+	// attestation it emits — the classic compromised-builder attack the
+	// quorum must out-vote and name.
+	LieOutput int
+	// CorruptAttestation makes the named worker flip bits in its signature
+	// after signing, so the attestation fails keyring verification and is
+	// demoted to an errored vote.
+	CorruptAttestation int
+	// EquivocateEpoch makes the log server with this ordinal (1-based)
+	// present a tampered fork of the chain to every other query — the
+	// split-view attack a collective signature exists to catch.
+	EquivocateEpoch int
+	// WithholdCosign makes the named worker silently drop every attestation
+	// and epoch co-signature request — an availability attack on quorum
+	// formation.
+	WithholdCosign int
 }
 
 // Crashes reports whether the plan schedules a crash at all.
@@ -91,6 +114,46 @@ func FarmPlanFor(seed uint64, nodes int) FaultPlan {
 	}
 	if rng.Uint64()%4 == 0 {
 		p.DupMsg = 1 + int64(rng.Uint64()%3)
+	}
+	return p
+}
+
+// Byzantine reports whether the plan seats any lying participant.
+func (p FaultPlan) Byzantine() bool {
+	return p.LieOutput > 0 || p.CorruptAttestation > 0 || p.EquivocateEpoch > 0 || p.WithholdCosign > 0
+}
+
+// ByzantinePlanFor derives the adversarial schedule for a farm of the given
+// worker count — the Byzantine slice of the fault plane, layered onto the
+// same plan struct so one schedule can combine crash, transport and lying
+// faults. Half of all seeds seat a lying builder; a quarter each corrupt an
+// attestation, equivocate a log server, or withhold co-signatures. Distinct
+// worker ordinals are drawn without replacement so one seed can seat several
+// simultaneous adversaries on different nodes.
+func ByzantinePlanFor(seed uint64, nodes int) FaultPlan {
+	rng := prng.NewHost(seed ^ 0xB12A47)
+	var p FaultPlan
+	if nodes <= 0 {
+		return p
+	}
+	pick := func() int { return 1 + int(rng.Uint64()%uint64(nodes)) }
+	if rng.Uint64()%2 == 0 {
+		p.LieOutput = pick()
+	}
+	if rng.Uint64()%4 == 0 {
+		p.CorruptAttestation = pick()
+		if p.CorruptAttestation == p.LieOutput {
+			p.CorruptAttestation = 1 + p.CorruptAttestation%nodes
+		}
+	}
+	if rng.Uint64()%4 == 0 {
+		p.EquivocateEpoch = 1 + int(rng.Uint64()%3)
+	}
+	if rng.Uint64()%4 == 0 {
+		p.WithholdCosign = pick()
+		if p.WithholdCosign == p.LieOutput {
+			p.WithholdCosign = 1 + p.WithholdCosign%nodes
+		}
 	}
 	return p
 }

@@ -87,3 +87,39 @@ func valueOf(env []string, prefix string) string {
 	}
 	return ""
 }
+
+func TestByzantinePlanForDeterministicAndDisjoint(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		p1 := ByzantinePlanFor(seed, 5)
+		p2 := ByzantinePlanFor(seed, 5)
+		if p1 != p2 {
+			t.Fatalf("seed %d: plan not a pure function of the seed", seed)
+		}
+		// Simultaneous adversaries must sit on distinct worker ordinals —
+		// one node plays one role per schedule.
+		if p1.LieOutput > 0 && p1.LieOutput == p1.CorruptAttestation {
+			t.Fatalf("seed %d: liar and corrupter share ordinal %d", seed, p1.LieOutput)
+		}
+		if p1.LieOutput > 0 && p1.LieOutput == p1.WithholdCosign {
+			t.Fatalf("seed %d: liar and withholder share ordinal %d", seed, p1.LieOutput)
+		}
+		for _, ord := range []int{p1.LieOutput, p1.CorruptAttestation, p1.WithholdCosign} {
+			if ord < 0 || ord > 5 {
+				t.Fatalf("seed %d: worker ordinal %d out of range", seed, ord)
+			}
+		}
+	}
+	// The sweep must actually seat adversaries somewhere.
+	seated := 0
+	for seed := uint64(0); seed < 64; seed++ {
+		if ByzantinePlanFor(seed, 5).Byzantine() {
+			seated++
+		}
+	}
+	if seated == 0 {
+		t.Fatal("no seed seats any adversary")
+	}
+	if p := ByzantinePlanFor(3, 0); p.Byzantine() {
+		t.Fatal("zero-node farm must get an honest plan")
+	}
+}
